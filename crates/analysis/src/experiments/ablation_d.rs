@@ -1,0 +1,153 @@
+//! Ablation: sensitivity of AVC to the intermediate-level count `d`.
+//!
+//! The paper's analysis sets `d = Θ(log m · log n)` but its experiments use
+//! `d = 1` and observe that "setting d > 1 does not significantly affect the
+//! running time" (§6 discussion). This ablation fixes a state *budget* `s`
+//! and reallocates it between `m` and `d` (`s = m + 2d + 1`), measuring the
+//! convergence time at a hard margin for several splits.
+
+use crate::harness::{run_trials, EngineKind, TrialPlan};
+use crate::stats::Summary;
+use crate::table::{fmt_num, Table};
+use avc_population::{ConvergenceRule, MajorityInstance};
+use avc_protocols::Avc;
+
+/// Parameters for the `d` ablation.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Population size.
+    pub n: u64,
+    /// State budget `s` to split between `m` and `d`.
+    pub state_budget: u64,
+    /// Level counts to try.
+    pub ds: Vec<u32>,
+    /// Runs per point.
+    pub runs: u64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            n: 10_001,
+            state_budget: 64,
+            ds: vec![1, 2, 4, 8, 16],
+            runs: 25,
+            seed: 6,
+        }
+    }
+}
+
+impl Config {
+    /// A downscaled configuration for smoke tests and CI.
+    #[must_use]
+    pub fn quick() -> Config {
+        Config {
+            n: 1_001,
+            state_budget: 24,
+            ds: vec![1, 4],
+            runs: 9,
+            seed: 6,
+        }
+    }
+}
+
+/// One `(m, d)` measurement.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Maximum weight.
+    pub m: u64,
+    /// Intermediate levels.
+    pub d: u32,
+    /// Realized state count `m + 2d + 1`.
+    pub s: u64,
+    /// Parallel-time summary.
+    pub summary: Summary,
+}
+
+/// Runs the ablation at margin `ε = 1/n`.
+///
+/// # Panics
+///
+/// Panics if the budget cannot accommodate some `d` (needs
+/// `m = budget − 2d − 1 ≥ 1`).
+#[must_use]
+pub fn run(config: &Config) -> Vec<Point> {
+    let instance = MajorityInstance::one_extra(config.n);
+    let mut points = Vec::new();
+    for (i, &d) in config.ds.iter().enumerate() {
+        let budget_for_m = config
+            .state_budget
+            .checked_sub(2 * d as u64 + 1)
+            .unwrap_or_else(|| panic!("budget {} too small for d={d}", config.state_budget));
+        let m = if budget_for_m % 2 == 1 {
+            budget_for_m
+        } else {
+            budget_for_m - 1
+        };
+        assert!(m >= 1, "budget {} too small for d={d}", config.state_budget);
+        let avc = Avc::new(m, d).expect("m odd >= 1, d >= 1");
+        let plan = TrialPlan::new(instance)
+            .runs(config.runs)
+            .seed(config.seed + i as u64);
+        let results = run_trials(&avc, &plan, EngineKind::Auto, ConvergenceRule::OutputConsensus);
+        points.push(Point {
+            m,
+            d,
+            s: avc.s(),
+            summary: results.summary(),
+        });
+    }
+    points
+}
+
+/// Renders the result table.
+#[must_use]
+pub fn table(points: &[Point], config: &Config) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Ablation: splitting a budget of {} states between m and d (n = {}, eps = 1/n)",
+            config.state_budget, config.n
+        ),
+        ["m", "d", "s", "mean_parallel_time", "std_dev", "runs"],
+    );
+    for p in points {
+        t.push_row([
+            p.m.to_string(),
+            p.d.to_string(),
+            p.s.to_string(),
+            fmt_num(p.summary.mean),
+            fmt_num(p.summary.std_dev),
+            p.summary.count.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_splits_converge_exactly() {
+        let points = run(&Config::quick());
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert_eq!(p.s as u64, p.m + 2 * p.d as u64 + 1);
+            assert_eq!(p.summary.count, 9, "every run must converge (exactness)");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn rejects_infeasible_budget() {
+        let _ = run(&Config {
+            n: 101,
+            state_budget: 8,
+            ds: vec![4],
+            runs: 1,
+            seed: 0,
+        });
+    }
+}

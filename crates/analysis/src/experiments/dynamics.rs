@@ -1,0 +1,211 @@
+//! Trajectory dynamics of AVC — the empirical counterpart of the analysis
+//! in §4.
+//!
+//! The proof of Theorem 4.1 tracks two quantities along the execution:
+//!
+//! * the extremal weights per sign, which halve every `O(log n)` parallel
+//!   time (Claim A.2) until only `±1` values remain;
+//! * the population split among strong / intermediate / weak states, which
+//!   shifts mass toward many low-weight majority nodes (the "augmentation"
+//!   that beats the four-state protocol).
+//!
+//! This experiment records those statistics along a single seeded run,
+//! producing a time-series table (plus the constant value-sum column that
+//! witnesses Invariant 4.3 live).
+
+use crate::table::{fmt_num, Table};
+use avc_population::engine::CountSim;
+use avc_population::trace::{record, Trace};
+use avc_population::{Config as PopulationConfig, ConvergenceRule, MajorityInstance, StateId};
+use avc_protocols::{Avc, AvcState};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Parameters for the dynamics trace.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Population size.
+    pub n: u64,
+    /// AVC maximum weight (odd).
+    pub m: u64,
+    /// AVC intermediate levels.
+    pub d: u32,
+    /// Margin.
+    pub epsilon: f64,
+    /// Steps between samples.
+    pub cadence: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            n: 100_001,
+            m: 1_023,
+            d: 1,
+            epsilon: 1e-3,
+            cadence: 50_000,
+            seed: 2,
+        }
+    }
+}
+
+impl Config {
+    /// A downscaled configuration for smoke tests and CI.
+    #[must_use]
+    pub fn quick() -> Config {
+        Config {
+            n: 1_001,
+            m: 63,
+            d: 1,
+            epsilon: 0.01,
+            cadence: 2_000,
+            seed: 2,
+        }
+    }
+}
+
+/// Statistic names recorded by [`run`], in column order.
+pub const STATISTICS: [&str; 8] = [
+    "max_pos_weight",
+    "max_neg_weight",
+    "strong_pos",
+    "strong_neg",
+    "intermediate_pos",
+    "intermediate_neg",
+    "weak",
+    "total_value",
+];
+
+/// Records one seeded AVC trajectory.
+///
+/// # Panics
+///
+/// Panics on invalid AVC parameters.
+#[must_use]
+pub fn run(config: &Config) -> Trace {
+    let avc = Avc::new(config.m, config.d).expect("valid AVC parameters");
+    let instance = MajorityInstance::with_margin(config.n, config.epsilon);
+    let initial = PopulationConfig::from_input(&avc, instance.a(), instance.b());
+    let mut sim = CountSim::new(avc.clone(), initial);
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+
+    record(
+        &mut sim,
+        &mut rng,
+        config.cadence,
+        u64::MAX,
+        ConvergenceRule::OutputConsensus,
+        STATISTICS.iter().map(|s| s.to_string()).collect(),
+        move |counts| probe(&avc, counts),
+    )
+}
+
+/// Computes the [`STATISTICS`] vector from AVC species counts.
+fn probe(avc: &Avc, counts: &[u64]) -> Vec<f64> {
+    let mut max_pos = 0i64;
+    let mut max_neg = 0i64;
+    let mut strong_pos = 0u64;
+    let mut strong_neg = 0u64;
+    let mut inter_pos = 0u64;
+    let mut inter_neg = 0u64;
+    let mut weak = 0u64;
+    for (id, &c) in counts.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        match avc.decode(id as StateId) {
+            AvcState::Strong(v) if v > 0 => {
+                strong_pos += c;
+                max_pos = max_pos.max(v);
+            }
+            AvcState::Strong(v) => {
+                strong_neg += c;
+                max_neg = max_neg.max(-v);
+            }
+            AvcState::Intermediate(sign, _) => {
+                if sign == avc_protocols::Sign::Plus {
+                    inter_pos += c;
+                    max_pos = max_pos.max(1);
+                } else {
+                    inter_neg += c;
+                    max_neg = max_neg.max(1);
+                }
+            }
+            AvcState::Weak(_) => weak += c,
+        }
+    }
+    vec![
+        max_pos as f64,
+        max_neg as f64,
+        strong_pos as f64,
+        strong_neg as f64,
+        inter_pos as f64,
+        inter_neg as f64,
+        weak as f64,
+        avc.total_value(counts) as f64,
+    ]
+}
+
+/// Renders the trace as a long-format table.
+#[must_use]
+pub fn table(trace: &Trace, config: &Config) -> Table {
+    let mut columns = vec!["parallel_time".to_string()];
+    columns.extend(trace.names.iter().cloned());
+    let mut t = Table::new(
+        format!(
+            "AVC dynamics: one run at n = {}, m = {}, d = {}, eps = {}",
+            config.n, config.m, config.d, config.epsilon
+        ),
+        columns,
+    );
+    for sample in &trace.samples {
+        let mut row = vec![fmt_num(sample.parallel_time)];
+        row.extend(sample.values.iter().map(|&v| fmt_num(v)));
+        t.push_row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trajectory_witnesses_the_analysis_structure() {
+        let config = Config::quick();
+        let trace = run(&config);
+        assert!(trace.outcome.verdict.is_consensus());
+
+        let names: Vec<&str> = trace.names.iter().map(String::as_str).collect();
+        assert_eq!(names, STATISTICS);
+
+        // Invariant 4.3: the value-sum column is constant.
+        let sums = trace.series(7);
+        let first = sums[0].1;
+        assert!(sums.iter().all(|&(_, v)| v == first), "sum drifted");
+
+        // Claim A.2 shape: the max positive weight starts at m and is
+        // non-increasing along the samples.
+        let max_pos = trace.series(0);
+        assert_eq!(max_pos[0].1, config.m as f64);
+        for pair in max_pos.windows(2) {
+            assert!(pair[1].1 <= pair[0].1, "max weight increased");
+        }
+
+        // Terminal sample: no negative-sign strong or intermediate nodes.
+        let last = trace.samples.last().unwrap();
+        assert_eq!(last.values[3], 0.0, "strong_neg at convergence");
+        assert_eq!(last.values[5], 0.0, "intermediate_neg at convergence");
+    }
+
+    #[test]
+    fn table_has_one_row_per_sample() {
+        let config = Config::quick();
+        let trace = run(&config);
+        let t = table(&trace, &config);
+        assert_eq!(t.num_rows(), trace.samples.len());
+        assert_eq!(t.columns().len(), 9);
+    }
+}

@@ -1,0 +1,220 @@
+//! Figure 3: three protocols at the hardest margin `ε = 1/n`.
+//!
+//! The paper's first experiment compares, for `n ∈ {11, 101, 1001, 10001,
+//! 100001}` with the majority decided by a single agent:
+//!
+//! * the 3-state approximate protocol (fast, errs),
+//! * the 4-state exact protocol (slow, never errs),
+//! * the "n-state" AVC (fast *and* never errs),
+//!
+//! reporting the mean parallel convergence time (left panel) and the
+//! fraction of runs converging to the wrong final state (right panel) over
+//! 101 runs.
+
+use crate::harness::{run_trials, EngineKind, TrialPlan, TrialResults};
+use crate::stats::quantile;
+use crate::table::{fmt_num, Table};
+use avc_population::{ConvergenceRule, MajorityInstance};
+use avc_protocols::{Avc, FourState, ThreeState};
+
+/// Parameters for the Figure 3 reproduction.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Population sizes (odd, so `εn = 1` is expressible).
+    pub ns: Vec<u64>,
+    /// Independent runs per cell (the paper uses 101).
+    pub runs: u64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            ns: vec![11, 101, 1_001, 10_001, 100_001],
+            runs: 101,
+            seed: 2015,
+        }
+    }
+}
+
+impl Config {
+    /// A downscaled configuration for smoke tests and CI.
+    #[must_use]
+    pub fn quick() -> Config {
+        Config {
+            ns: vec![11, 101, 1_001],
+            runs: 11,
+            seed: 2015,
+        }
+    }
+}
+
+/// One cell of Figure 3.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Population size.
+    pub n: u64,
+    /// Protocol name.
+    pub protocol: String,
+    /// Number of states per agent.
+    pub states: u64,
+    /// Trial outcomes.
+    pub results: TrialResults,
+}
+
+/// Runs the full experiment and returns one cell per `(n, protocol)`.
+///
+/// The 3-state protocol is measured to its terminal all-`x`/all-`y` state
+/// ([`ConvergenceRule::StateConsensus`]); the exact protocols to output
+/// consensus, which for them is stable (Lemma A.1).
+#[must_use]
+pub fn run(config: &Config) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for (i, &n) in config.ns.iter().enumerate() {
+        let instance = MajorityInstance::one_extra(n);
+        let plan = TrialPlan::new(instance)
+            .runs(config.runs)
+            .seed(config.seed.wrapping_add(i as u64));
+
+        let three = ThreeState::new();
+        cells.push(Cell {
+            n,
+            protocol: "3-state".to_string(),
+            states: 3,
+            results: run_trials(&three, &plan, EngineKind::Jump, ConvergenceRule::StateConsensus),
+        });
+
+        cells.push(Cell {
+            n,
+            protocol: "4-state".to_string(),
+            states: 4,
+            results: run_trials(
+                &FourState,
+                &plan,
+                EngineKind::Jump,
+                ConvergenceRule::OutputConsensus,
+            ),
+        });
+
+        let avc = Avc::with_states(n).expect("n >= 11 is a valid state budget");
+        let states = avc.s();
+        // Large state spaces favor the count-based engine; the adaptive
+        // engine handles the silent tail automatically.
+        cells.push(Cell {
+            n,
+            protocol: format!("avc(s={states})"),
+            states,
+            results: run_trials(&avc, &plan, EngineKind::Auto, ConvergenceRule::OutputConsensus),
+        });
+    }
+    cells
+}
+
+/// Renders the left panel (mean parallel convergence time).
+#[must_use]
+pub fn time_table(cells: &[Cell]) -> Table {
+    let mut t = Table::new(
+        "Figure 3 (left): parallel convergence time, eps = 1/n",
+        [
+            "n",
+            "protocol",
+            "states",
+            "mean_parallel_time",
+            "std_dev",
+            "median",
+            "p10",
+            "p90",
+            "runs",
+        ],
+    );
+    for cell in cells {
+        let s = cell.results.summary();
+        let times = cell.results.converged_times();
+        t.push_row([
+            cell.n.to_string(),
+            cell.protocol.clone(),
+            cell.states.to_string(),
+            fmt_num(s.mean),
+            fmt_num(s.std_dev),
+            fmt_num(s.median),
+            fmt_num(quantile(&times, 0.1)),
+            fmt_num(quantile(&times, 0.9)),
+            s.count.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Renders the right panel (fraction of error convergence).
+#[must_use]
+pub fn error_table(cells: &[Cell]) -> Table {
+    let mut t = Table::new(
+        "Figure 3 (right): fraction of runs converging to the wrong state",
+        ["n", "protocol", "error_fraction", "runs"],
+    );
+    for cell in cells {
+        t.push_row([
+            cell.n.to_string(),
+            cell.protocol.clone(),
+            fmt_num(cell.results.error_fraction()),
+            cell.results.outcomes().len().to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_reproduces_figure3_shape() {
+        let cells = run(&Config {
+            ns: vec![101, 1_001],
+            runs: 9,
+            seed: 1,
+        });
+        assert_eq!(cells.len(), 6);
+
+        let cell = |n: u64, name: &str| {
+            cells
+                .iter()
+                .find(|c| c.n == n && c.protocol.starts_with(name))
+                .unwrap()
+        };
+
+        for &n in &[101u64, 1_001] {
+            // Exact protocols never err; 3-state errs with ~1/2 probability
+            // at eps = 1/n (not asserted — it is genuinely random — but the
+            // exactness is deterministic).
+            assert_eq!(cell(n, "4-state").results.error_fraction(), 0.0);
+            assert_eq!(cell(n, "avc").results.error_fraction(), 0.0);
+
+            // AVC is at least 5x faster than 4-state already at n = 101.
+            let speedup = cell(n, "4-state").results.mean_parallel_time()
+                / cell(n, "avc").results.mean_parallel_time();
+            assert!(speedup > 5.0, "n={n}: speedup only {speedup:.1}");
+        }
+
+        // 4-state time grows superlinearly in n at eps = 1/n...
+        let t4_small = cell(101, "4-state").results.mean_parallel_time();
+        let t4_large = cell(1_001, "4-state").results.mean_parallel_time();
+        assert!(t4_large > 5.0 * t4_small);
+        // ...while AVC's stays polylogarithmic (well under 3x here).
+        let ta_small = cell(101, "avc").results.mean_parallel_time();
+        let ta_large = cell(1_001, "avc").results.mean_parallel_time();
+        assert!(ta_large < 3.0 * ta_small, "{ta_small} -> {ta_large}");
+    }
+
+    #[test]
+    fn tables_have_one_row_per_cell() {
+        let cells = run(&Config {
+            ns: vec![11],
+            runs: 3,
+            seed: 2,
+        });
+        assert_eq!(time_table(&cells).num_rows(), 3);
+        assert_eq!(error_table(&cells).num_rows(), 3);
+    }
+}

@@ -1,0 +1,149 @@
+//! Empirical validation of the four-state lower bound (Theorem B.1).
+//!
+//! The paper proves that *any* four-state exact-majority protocol needs
+//! `Ω(1/ε)` expected parallel time. This experiment measures the four-state
+//! protocol's convergence time across a margin sweep at fixed `n` and fits
+//! the log–log slope of time against `1/ε`; the paper's bound predicts a
+//! slope of ≈ 1 for small margins.
+
+use crate::harness::{run_trials, EngineKind, TrialPlan};
+use crate::stats::{loglog_slope, Summary};
+use crate::table::{fmt_num, Table};
+use avc_population::{ConvergenceRule, MajorityInstance};
+use avc_protocols::FourState;
+
+/// Parameters for the scaling experiment.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Population size.
+    pub n: u64,
+    /// Margins to sweep (small margins are where the bound binds).
+    pub epsilons: Vec<f64>,
+    /// Runs per margin.
+    pub runs: u64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            n: 100_001,
+            epsilons: vec![1e-5, 3.16e-5, 1e-4, 3.16e-4, 1e-3, 3.16e-3, 1e-2],
+            runs: 25,
+            seed: 77,
+        }
+    }
+}
+
+impl Config {
+    /// A downscaled configuration for smoke tests and CI.
+    #[must_use]
+    pub fn quick() -> Config {
+        Config {
+            n: 2_001,
+            epsilons: vec![1e-3, 1e-2, 1e-1],
+            runs: 9,
+            seed: 77,
+        }
+    }
+}
+
+/// One margin point.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Margin realized after integer rounding.
+    pub epsilon: f64,
+    /// Parallel-time summary.
+    pub summary: Summary,
+}
+
+/// The sweep outcome: per-margin summaries plus the fitted scaling exponent
+/// of time against `1/ε`.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Per-margin measurements.
+    pub points: Vec<Point>,
+    /// Fitted log–log slope of mean time vs `1/ε` (expected ≈ 1).
+    pub slope: f64,
+}
+
+/// Runs the sweep and fits the exponent.
+#[must_use]
+pub fn run(config: &Config) -> Outcome {
+    let mut points = Vec::new();
+    for (i, &eps) in config.epsilons.iter().enumerate() {
+        let instance = MajorityInstance::with_margin(config.n, eps);
+        let plan = TrialPlan::new(instance)
+            .runs(config.runs)
+            .seed(config.seed + i as u64);
+        let results = run_trials(
+            &FourState,
+            &plan,
+            EngineKind::Jump,
+            ConvergenceRule::OutputConsensus,
+        );
+        points.push(Point {
+            epsilon: instance.margin(),
+            summary: results.summary(),
+        });
+    }
+    let inv_eps: Vec<f64> = points.iter().map(|p| 1.0 / p.epsilon).collect();
+    let times: Vec<f64> = points.iter().map(|p| p.summary.mean).collect();
+    let slope = loglog_slope(&inv_eps, &times);
+    Outcome { points, slope }
+}
+
+/// Renders the result table, with the fitted exponent in the title.
+#[must_use]
+pub fn table(outcome: &Outcome, n: u64) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Theorem B.1 check: four-state time vs margin at n = {n} (fitted exponent {:.3}, theory: 1)",
+            outcome.slope
+        ),
+        ["eps", "one_over_eps", "mean_parallel_time", "std_dev", "runs"],
+    );
+    for p in &outcome.points {
+        t.push_row([
+            fmt_num(p.epsilon),
+            fmt_num(1.0 / p.epsilon),
+            fmt_num(p.summary.mean),
+            fmt_num(p.summary.std_dev),
+            p.summary.count.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_exponent_is_near_one() {
+        let outcome = run(&Config {
+            n: 4_001,
+            epsilons: vec![1e-3, 3.16e-3, 1e-2, 3.16e-2],
+            runs: 15,
+            seed: 3,
+        });
+        // Θ(1/ε) with log corrections: generous band around 1.
+        assert!(
+            (0.6..=1.4).contains(&outcome.slope),
+            "slope {} outside Θ(1/eps) band",
+            outcome.slope
+        );
+        // Times must be monotone decreasing in eps (up to noise at ends).
+        assert!(outcome.points.first().unwrap().summary.mean
+            > outcome.points.last().unwrap().summary.mean);
+    }
+
+    #[test]
+    fn table_embeds_slope() {
+        let outcome = run(&Config::quick());
+        let t = table(&outcome, Config::quick().n);
+        assert!(t.title().contains("fitted exponent"));
+        assert_eq!(t.num_rows(), 3);
+    }
+}

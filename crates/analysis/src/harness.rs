@@ -1,0 +1,265 @@
+//! Seeded multi-trial experiment runners.
+
+use crate::stats::{fraction, Summary};
+use avc_population::engine::{AdaptiveSim, AgentSim, CountSim, JumpSim, Simulator, TauLeapSim};
+use avc_population::graph::Graph;
+use avc_population::rngutil::SeedSequence;
+use avc_population::{Config, ConvergenceRule, MajorityInstance, Opinion, Protocol};
+use avc_population::spec::RunOutcome;
+
+/// Which simulation engine to use for a batch of trials.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EngineKind {
+    /// Choose automatically: [`AdaptiveSim`], which is near-optimal across
+    /// the dense and sparse regimes.
+    #[default]
+    Auto,
+    /// Per-agent engine (`AgentSim` on the clique).
+    Agent,
+    /// Count-based engine (`CountSim`).
+    Count,
+    /// Jump-chain engine with null-step skipping (`JumpSim`).
+    Jump,
+    /// Explicit adaptive engine (`AdaptiveSim`).
+    Adaptive,
+    /// Approximate Poisson τ-leaping engine (`TauLeapSim`). Never selected
+    /// automatically; exact semantics are the default everywhere.
+    TauLeap,
+}
+
+/// A batch of trials on one majority instance.
+///
+/// Built with a fluent API; see the [crate-level example](crate).
+#[derive(Debug, Clone, Copy)]
+pub struct TrialPlan {
+    instance: MajorityInstance,
+    runs: u64,
+    seed: u64,
+    max_steps: u64,
+}
+
+impl TrialPlan {
+    /// A plan with the paper's defaults: 101 runs, unlimited steps, seed 0.
+    #[must_use]
+    pub fn new(instance: MajorityInstance) -> TrialPlan {
+        TrialPlan {
+            instance,
+            runs: 101,
+            seed: 0,
+            max_steps: u64::MAX,
+        }
+    }
+
+    /// Sets the number of independent runs.
+    #[must_use]
+    pub fn runs(mut self, runs: u64) -> TrialPlan {
+        self.runs = runs;
+        self
+    }
+
+    /// Sets the master seed; trial `i` uses stream `i` of the derived
+    /// [`SeedSequence`], so results are independent of execution order.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> TrialPlan {
+        self.seed = seed;
+        self
+    }
+
+    /// Caps each run at `max_steps` scheduler steps.
+    #[must_use]
+    pub fn max_steps(mut self, max_steps: u64) -> TrialPlan {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// The majority instance under test.
+    #[must_use]
+    pub fn instance(&self) -> MajorityInstance {
+        self.instance
+    }
+}
+
+/// Outcomes of a batch of trials, with the instance's expected winner.
+#[derive(Debug, Clone)]
+pub struct TrialResults {
+    outcomes: Vec<RunOutcome>,
+    expected: Option<Opinion>,
+}
+
+impl TrialResults {
+    /// The raw per-run outcomes.
+    #[must_use]
+    pub fn outcomes(&self) -> &[RunOutcome] {
+        &self.outcomes
+    }
+
+    /// Mean parallel convergence time over runs that converged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no run converged.
+    #[must_use]
+    pub fn mean_parallel_time(&self) -> f64 {
+        self.summary().mean
+    }
+
+    /// Summary statistics of parallel convergence time over converged runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no run converged.
+    #[must_use]
+    pub fn summary(&self) -> Summary {
+        let times: Vec<f64> = self
+            .outcomes
+            .iter()
+            .filter(|o| o.verdict.is_consensus())
+            .map(|o| o.parallel_time)
+            .collect();
+        Summary::from_samples(&times)
+    }
+
+    /// Fraction of runs that converged to the *wrong* opinion (the paper's
+    /// "fraction of runs to error final state", Figure 3 right).
+    ///
+    /// Runs that did not converge count as errors; ties have no wrong
+    /// answer, so the fraction is 0 for tied instances.
+    #[must_use]
+    pub fn error_fraction(&self) -> f64 {
+        let Some(expected) = self.expected else {
+            return 0.0;
+        };
+        fraction(&self.outcomes, |o| !o.verdict.is_correct(expected))
+    }
+
+    /// Fraction of runs that converged (to either opinion).
+    #[must_use]
+    pub fn convergence_fraction(&self) -> f64 {
+        fraction(&self.outcomes, |o| o.verdict.is_consensus())
+    }
+
+    /// Parallel convergence times of the runs that converged.
+    #[must_use]
+    pub fn converged_times(&self) -> Vec<f64> {
+        self.outcomes
+            .iter()
+            .filter(|o| o.verdict.is_consensus())
+            .map(|o| o.parallel_time)
+            .collect()
+    }
+}
+
+/// Runs one simulation to convergence on the chosen engine.
+pub fn run_one<P: Protocol + Clone>(
+    protocol: &P,
+    config: Config,
+    engine: EngineKind,
+    rule: ConvergenceRule,
+    rng: &mut rand::rngs::SmallRng,
+    max_steps: u64,
+) -> RunOutcome {
+    match engine {
+        EngineKind::Agent => {
+            let n = config.population() as usize;
+            AgentSim::new(protocol.clone(), config, Graph::clique(n))
+                .run_to_consensus_with(rng, max_steps, rule)
+        }
+        EngineKind::Count => CountSim::new(protocol.clone(), config)
+            .run_to_consensus_with(rng, max_steps, rule),
+        EngineKind::Jump => JumpSim::new(protocol.clone(), config)
+            .run_to_consensus_with(rng, max_steps, rule),
+        EngineKind::TauLeap => TauLeapSim::new(protocol.clone(), config)
+            .run_to_consensus_with(rng, max_steps, rule),
+        EngineKind::Auto | EngineKind::Adaptive => AdaptiveSim::new(protocol.clone(), config)
+            .run_to_consensus_with(rng, max_steps, rule),
+    }
+}
+
+/// Runs a batch of independent trials of `protocol` on the plan's instance.
+///
+/// Trial `i` is seeded from stream `i` of `SeedSequence::new(plan.seed)`,
+/// making every batch reproducible run-for-run.
+pub fn run_trials<P: Protocol + Clone>(
+    protocol: &P,
+    plan: &TrialPlan,
+    engine: EngineKind,
+    rule: ConvergenceRule,
+) -> TrialResults {
+    let seeds = SeedSequence::new(plan.seed);
+    let instance = plan.instance;
+    let outcomes = (0..plan.runs)
+        .map(|trial| {
+            let mut rng = seeds.rng_for(trial);
+            let config = Config::from_input(protocol, instance.a(), instance.b());
+            run_one(protocol, config, engine, rule, &mut rng, plan.max_steps)
+        })
+        .collect();
+    TrialResults {
+        outcomes,
+        expected: instance.winner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avc_protocols::{FourState, ThreeState, Voter};
+
+    #[test]
+    fn trials_are_reproducible() {
+        let plan = TrialPlan::new(MajorityInstance::new(8, 5)).runs(10).seed(3);
+        let a = run_trials(&FourState, &plan, EngineKind::Jump, ConvergenceRule::OutputConsensus);
+        let b = run_trials(&FourState, &plan, EngineKind::Jump, ConvergenceRule::OutputConsensus);
+        assert_eq!(a.outcomes(), b.outcomes());
+    }
+
+    #[test]
+    fn four_state_never_errs() {
+        let plan = TrialPlan::new(MajorityInstance::one_extra(21)).runs(30);
+        for engine in [
+            EngineKind::Agent,
+            EngineKind::Count,
+            EngineKind::Jump,
+            EngineKind::Adaptive,
+        ] {
+            let r = run_trials(&FourState, &plan, engine, ConvergenceRule::OutputConsensus);
+            assert_eq!(r.error_fraction(), 0.0, "engine {engine:?}");
+            assert_eq!(r.convergence_fraction(), 1.0);
+        }
+    }
+
+    #[test]
+    fn voter_errs_roughly_at_minority_fraction() {
+        // P[error] = b/n = 5/20.
+        let plan = TrialPlan::new(MajorityInstance::new(15, 5)).runs(300).seed(1);
+        let r = run_trials(&Voter, &plan, EngineKind::Count, ConvergenceRule::OutputConsensus);
+        assert!((r.error_fraction() - 0.25).abs() < 0.08, "{}", r.error_fraction());
+    }
+
+    #[test]
+    fn tie_instances_have_zero_error_fraction() {
+        let plan = TrialPlan::new(MajorityInstance::new(5, 5)).runs(5);
+        let r = run_trials(&Voter, &plan, EngineKind::Count, ConvergenceRule::OutputConsensus);
+        assert_eq!(r.error_fraction(), 0.0);
+    }
+
+    #[test]
+    fn max_steps_shows_up_as_non_convergence() {
+        let plan = TrialPlan::new(MajorityInstance::new(50, 50)).runs(5).max_steps(3);
+        let r = run_trials(&Voter, &plan, EngineKind::Count, ConvergenceRule::OutputConsensus);
+        assert!(r.convergence_fraction() < 1.0);
+    }
+
+    #[test]
+    fn three_state_runs_under_state_consensus() {
+        let plan = TrialPlan::new(MajorityInstance::new(40, 20)).runs(20);
+        let r = run_trials(
+            &ThreeState::new(),
+            &plan,
+            EngineKind::Auto,
+            ConvergenceRule::StateConsensus,
+        );
+        assert_eq!(r.convergence_fraction(), 1.0);
+        assert!(r.summary().mean > 0.0);
+    }
+}

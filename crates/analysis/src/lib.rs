@@ -1,0 +1,41 @@
+//! Experiment harness and statistics for the paper's evaluation.
+//!
+//! This crate turns the protocols and engines of the workspace into the
+//! tables behind every figure of *Fast and Exact Majority in Population
+//! Protocols*:
+//!
+//! * [`stats`] — summary statistics and log–log scaling fits;
+//! * [`plot`] — dependency-free ASCII log–log plots for the terminal;
+//! * [`mean_field`] — the ODE limit of the three-state protocol \[PVV09];
+//! * [`table`] — plain CSV / markdown table rendering (no serde);
+//! * [`harness`] — seeded multi-trial runners with automatic engine choice;
+//! * [`experiments`] — one module per figure/experiment of the paper
+//!   (Figure 3, Figure 4, the lower-bound scaling experiments, and the
+//!   ablations discussed in §6);
+//! * [`cli`] — a tiny argument parser shared by the experiment binaries.
+//!
+//! # Example: one Figure-3 cell
+//!
+//! ```
+//! use avc_analysis::harness::{run_trials, EngineKind, TrialPlan};
+//! use avc_population::{ConvergenceRule, MajorityInstance};
+//! use avc_protocols::FourState;
+//!
+//! let plan = TrialPlan::new(MajorityInstance::one_extra(101))
+//!     .runs(20)
+//!     .seed(7);
+//! let results = run_trials(&FourState, &plan, EngineKind::Jump, ConvergenceRule::OutputConsensus);
+//! assert_eq!(results.error_fraction(), 0.0); // the four-state protocol is exact
+//! assert!(results.mean_parallel_time() > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod experiments;
+pub mod harness;
+pub mod mean_field;
+pub mod plot;
+pub mod stats;
+pub mod table;

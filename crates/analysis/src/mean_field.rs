@@ -1,0 +1,154 @@
+//! The mean-field (ODE) limit of the three-state protocol.
+//!
+//! \[PVV09] analyze the three-state protocol through its large-`n` limit: as
+//! `n → ∞` the state *fractions* `(x, y, b)` concentrate on the solution of
+//!
+//! ```text
+//! ẋ = x·b − x·y
+//! ẏ = y·b − x·y
+//! ḃ = 2·x·y − b·(x + y)
+//! ```
+//!
+//! (time in parallel-time units; the derivation counts, per scheduler step,
+//! the four productive ordered-pair types of the protocol). The margin
+//! `x − y` satisfies `d(x−y)/dt = b·(x−y)`, so it grows exponentially once
+//! blanks exist — the mechanism behind the protocol's
+//! `O(log(1/ε) + log n)` convergence. This module integrates the system
+//! with a classical RK4 scheme and is validated against large-`n`
+//! simulations in `tests/mean_field_vs_simulation.rs`.
+
+/// A point of the three-state mean-field trajectory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FieldPoint {
+    /// Parallel time.
+    pub time: f64,
+    /// Fraction of agents in state `x` (opinion `A`).
+    pub x: f64,
+    /// Fraction of agents in state `y` (opinion `B`).
+    pub y: f64,
+    /// Fraction of blank agents.
+    pub blank: f64,
+}
+
+/// The vector field of the three-state dynamics.
+#[must_use]
+pub fn three_state_field(x: f64, y: f64, b: f64) -> (f64, f64, f64) {
+    (
+        x * b - x * y,
+        y * b - x * y,
+        2.0 * x * y - b * (x + y),
+    )
+}
+
+/// Integrates the three-state mean-field ODE with RK4 from fractions
+/// `(x0, y0)` (blanks start at `1 − x0 − y0`), recording every step.
+///
+/// # Panics
+///
+/// Panics if the initial fractions are not a sub-distribution, or `dt` is
+/// not positive.
+#[must_use]
+pub fn three_state_limit(x0: f64, y0: f64, dt: f64, t_max: f64) -> Vec<FieldPoint> {
+    assert!(dt > 0.0, "dt must be positive");
+    assert!(
+        x0 >= 0.0 && y0 >= 0.0 && x0 + y0 <= 1.0 + 1e-12,
+        "fractions must form a sub-distribution"
+    );
+    let mut x = x0;
+    let mut y = y0;
+    let mut b = (1.0 - x0 - y0).max(0.0);
+    let mut t = 0.0;
+    let mut out = vec![FieldPoint {
+        time: t,
+        x,
+        y,
+        blank: b,
+    }];
+    while t < t_max {
+        let (k1x, k1y, k1b) = three_state_field(x, y, b);
+        let (k2x, k2y, k2b) =
+            three_state_field(x + 0.5 * dt * k1x, y + 0.5 * dt * k1y, b + 0.5 * dt * k1b);
+        let (k3x, k3y, k3b) =
+            three_state_field(x + 0.5 * dt * k2x, y + 0.5 * dt * k2y, b + 0.5 * dt * k2b);
+        let (k4x, k4y, k4b) = three_state_field(x + dt * k3x, y + dt * k3y, b + dt * k3b);
+        x += dt / 6.0 * (k1x + 2.0 * k2x + 2.0 * k3x + k4x);
+        y += dt / 6.0 * (k1y + 2.0 * k2y + 2.0 * k3y + k4y);
+        b += dt / 6.0 * (k1b + 2.0 * k2b + 2.0 * k3b + k4b);
+        t += dt;
+        out.push(FieldPoint {
+            time: t,
+            x,
+            y,
+            blank: b,
+        });
+    }
+    out
+}
+
+/// First time at which the minority mass `y + blank` drops below
+/// `threshold` along a trajectory, if it does.
+#[must_use]
+pub fn limit_convergence_time(trajectory: &[FieldPoint], threshold: f64) -> Option<f64> {
+    trajectory
+        .iter()
+        .find(|p| p.y + p.blank < threshold)
+        .map(|p| p.time)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_conserves_total_mass() {
+        for (x, y, b) in [(0.5, 0.4, 0.1), (0.9, 0.05, 0.05), (0.1, 0.1, 0.8)] {
+            let (dx, dy, db) = three_state_field(x, y, b);
+            assert!((dx + dy + db).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn margin_grows_exponentially_with_blanks() {
+        // d(x−y)/dt = b(x−y): with constant-ish b ≈ 0.5 the margin should
+        // roughly double every ln(2)/0.5 ≈ 1.39 time units.
+        let traj = three_state_limit(0.3, 0.25, 1e-3, 2.0);
+        let m0 = traj[0].x - traj[0].y;
+        let m_end = traj.last().unwrap().x - traj.last().unwrap().y;
+        assert!(m_end > 1.8 * m0, "margin {m0} -> {m_end}");
+    }
+
+    #[test]
+    fn trajectory_stays_a_distribution() {
+        let traj = three_state_limit(0.55, 0.45, 1e-3, 30.0);
+        for p in &traj {
+            assert!((p.x + p.y + p.blank - 1.0).abs() < 1e-9);
+            assert!(p.x >= -1e-9 && p.y >= -1e-9 && p.blank >= -1e-9);
+        }
+    }
+
+    #[test]
+    fn majority_wins_in_the_limit() {
+        let traj = three_state_limit(0.52, 0.48, 1e-3, 60.0);
+        let last = traj.last().unwrap();
+        assert!(last.x > 0.999, "x should absorb: {last:?}");
+        assert!(last.y < 1e-3 && last.blank < 1e-3);
+    }
+
+    #[test]
+    fn convergence_time_scales_with_log_margin() {
+        // O(log(1/ε) + log n) shape: halving the margin adds ≈ ln 2 / 1
+        // time units once the dynamics is in its exponential phase.
+        let t1 = limit_convergence_time(&three_state_limit(0.52, 0.48, 1e-3, 100.0), 1e-6)
+            .expect("converges");
+        let t2 = limit_convergence_time(&three_state_limit(0.51, 0.49, 1e-3, 100.0), 1e-6)
+            .expect("converges");
+        assert!(t2 > t1, "smaller margin must be slower");
+        assert!(t2 - t1 < 5.0, "but only additively: {t1} vs {t2}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sub-distribution")]
+    fn rejects_overfull_input() {
+        let _ = three_state_limit(0.8, 0.4, 0.1, 1.0);
+    }
+}

@@ -1,0 +1,229 @@
+//! Terminal (ASCII) scatter/line plots.
+//!
+//! The paper's figures are log–log plots; the experiment binaries render a
+//! terminal approximation next to each table so the *shape* of the result —
+//! who wins, where curves cross, what the slope is — is visible without
+//! leaving the shell. Dependency-free by design.
+
+use std::fmt::Write as _;
+
+/// Marker characters assigned to series in order.
+const MARKERS: [char; 8] = ['o', '+', 'x', '*', '#', '@', '%', '&'];
+
+/// A scatter plot of one or more named series.
+///
+/// # Example
+///
+/// ```
+/// use avc_analysis::plot::ScatterPlot;
+///
+/// let mut plot = ScatterPlot::new("demo", 40, 10).log_log();
+/// plot.add_series("linear", (1..=100).map(|i| (i as f64, i as f64)));
+/// let text = plot.render();
+/// assert!(text.contains("demo"));
+/// assert!(text.contains("o linear"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScatterPlot {
+    title: String,
+    width: usize,
+    height: usize,
+    log_x: bool,
+    log_y: bool,
+    series: Vec<(String, Vec<(f64, f64)>)>,
+}
+
+impl ScatterPlot {
+    /// Creates an empty plot with the given interior grid size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is below 2.
+    pub fn new(title: impl Into<String>, width: usize, height: usize) -> ScatterPlot {
+        assert!(width >= 2 && height >= 2, "plot grid too small");
+        ScatterPlot {
+            title: title.into(),
+            width,
+            height,
+            log_x: false,
+            log_y: false,
+            series: Vec::new(),
+        }
+    }
+
+    /// Uses logarithmic scales on both axes (points must be positive).
+    #[must_use]
+    pub fn log_log(mut self) -> ScatterPlot {
+        self.log_x = true;
+        self.log_y = true;
+        self
+    }
+
+    /// Uses a logarithmic x-axis only.
+    #[must_use]
+    pub fn log_x(mut self) -> ScatterPlot {
+        self.log_x = true;
+        self
+    }
+
+    /// Adds a named series of `(x, y)` points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a coordinate is non-positive while its axis is logarithmic,
+    /// or non-finite.
+    pub fn add_series(
+        &mut self,
+        name: impl Into<String>,
+        points: impl IntoIterator<Item = (f64, f64)>,
+    ) {
+        let points: Vec<(f64, f64)> = points.into_iter().collect();
+        for &(x, y) in &points {
+            assert!(x.is_finite() && y.is_finite(), "non-finite point");
+            assert!(!self.log_x || x > 0.0, "log x-axis needs positive x, got {x}");
+            assert!(!self.log_y || y > 0.0, "log y-axis needs positive y, got {y}");
+        }
+        self.series.push((name.into(), points));
+    }
+
+    /// Renders the plot as multi-line text (trailing newline included).
+    ///
+    /// Overlapping points from different series show the marker of the
+    /// later-added series.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        let all: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|(_, pts)| pts.iter().copied())
+            .collect();
+        if all.is_empty() {
+            out.push_str("(no data)\n");
+            return out;
+        }
+        let tx = |x: f64| if self.log_x { x.log10() } else { x };
+        let ty = |y: f64| if self.log_y { y.log10() } else { y };
+        let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in &all {
+            x_min = x_min.min(tx(x));
+            x_max = x_max.max(tx(x));
+            y_min = y_min.min(ty(y));
+            y_max = y_max.max(ty(y));
+        }
+        if x_max == x_min {
+            x_max = x_min + 1.0;
+        }
+        if y_max == y_min {
+            y_max = y_min + 1.0;
+        }
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for (si, (_, pts)) in self.series.iter().enumerate() {
+            let marker = MARKERS[si % MARKERS.len()];
+            for &(x, y) in pts {
+                let cx = ((tx(x) - x_min) / (x_max - x_min) * (self.width - 1) as f64).round()
+                    as usize;
+                let cy = ((ty(y) - y_min) / (y_max - y_min) * (self.height - 1) as f64).round()
+                    as usize;
+                grid[self.height - 1 - cy][cx] = marker;
+            }
+        }
+
+        let y_label = |v: f64| {
+            let raw = if self.log_y { 10f64.powf(v) } else { v };
+            format!("{raw:9.3e}")
+        };
+        for (row_idx, row) in grid.iter().enumerate() {
+            let label = if row_idx == 0 {
+                y_label(y_max)
+            } else if row_idx == self.height - 1 {
+                y_label(y_min)
+            } else {
+                " ".repeat(9)
+            };
+            let _ = writeln!(out, "{label} |{}", row.iter().collect::<String>());
+        }
+        let _ = writeln!(out, "{} +{}", " ".repeat(9), "-".repeat(self.width));
+        let x_lo = if self.log_x { 10f64.powf(x_min) } else { x_min };
+        let x_hi = if self.log_x { 10f64.powf(x_max) } else { x_max };
+        let left = format!("{x_lo:.3e}");
+        let right = format!("{x_hi:.3e}");
+        let pad = (self.width + 1).saturating_sub(left.len() + right.len());
+        let _ = writeln!(out, "{}{left}{}{right}", " ".repeat(10), " ".repeat(pad));
+        for (si, (name, _)) in self.series.iter().enumerate() {
+            let _ = writeln!(out, "{}{} {name}", " ".repeat(10), MARKERS[si % MARKERS.len()]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_title_axes_and_legend() {
+        let mut plot = ScatterPlot::new("curve", 20, 6);
+        plot.add_series("s1", vec![(0.0, 0.0), (1.0, 1.0)]);
+        plot.add_series("s2", vec![(0.5, 0.5)]);
+        let text = plot.render();
+        assert!(text.starts_with("curve\n"));
+        assert!(text.contains("o s1"));
+        assert!(text.contains("+ s2"));
+        assert!(text.contains('|'));
+        assert!(text.contains('+'));
+    }
+
+    #[test]
+    fn corners_map_to_extremes() {
+        let mut plot = ScatterPlot::new("t", 10, 4);
+        plot.add_series("s", vec![(0.0, 0.0), (9.0, 3.0)]);
+        let text = plot.render();
+        let lines: Vec<&str> = text.lines().collect();
+        // First grid row holds the max-y point at the right edge.
+        assert!(lines[1].ends_with('o'), "{text}");
+        // Last grid row holds the min-y point at the left edge.
+        assert_eq!(lines[4].chars().nth(11), Some('o'), "{text}");
+    }
+
+    #[test]
+    fn log_log_positions_by_decade() {
+        let mut plot = ScatterPlot::new("t", 21, 5).log_log();
+        // Three decades in x: 1, 10, 100 land at columns 0, 10, 20.
+        plot.add_series("s", vec![(1.0, 1.0), (10.0, 10.0), (100.0, 100.0)]);
+        let text = plot.render();
+        let lines: Vec<&str> = text.lines().collect();
+        let row_of = |needle: usize| {
+            lines[1..=5]
+                .iter()
+                .position(|l| l.chars().nth(11 + needle) == Some('o'))
+        };
+        assert_eq!(row_of(0), Some(4)); // (1,1) bottom-left
+        assert_eq!(row_of(10), Some(2)); // (10,10) center
+        assert_eq!(row_of(20), Some(0)); // (100,100) top-right
+    }
+
+    #[test]
+    fn empty_plot_reports_no_data() {
+        let plot = ScatterPlot::new("t", 10, 4);
+        assert!(plot.render().contains("(no data)"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn log_axis_rejects_nonpositive() {
+        let mut plot = ScatterPlot::new("t", 10, 4).log_log();
+        plot.add_series("s", vec![(0.0, 1.0)]);
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let mut plot = ScatterPlot::new("t", 10, 4);
+        plot.add_series("s", vec![(1.0, 2.0), (1.0, 2.0)]);
+        let text = plot.render();
+        assert!(text.contains('o'));
+    }
+}

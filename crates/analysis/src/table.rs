@@ -1,0 +1,250 @@
+//! Plain-text result tables (CSV and markdown).
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A rectangular result table with named columns.
+///
+/// The experiment binaries emit every figure of the paper as one of these,
+/// both to stdout (markdown) and to `results/*.csv`.
+///
+/// # Example
+///
+/// ```
+/// use avc_analysis::table::Table;
+///
+/// let mut t = Table::new("demo", ["n", "time"]);
+/// t.push_row(["11", "1.5"]);
+/// assert!(t.to_csv().starts_with("n,time\n11,1.5"));
+/// assert!(t.to_markdown().contains("| 11 | 1.5"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with a title and column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no columns are given.
+    pub fn new<C: Into<String>>(title: impl Into<String>, columns: impl IntoIterator<Item = C>) -> Table {
+        let columns: Vec<String> = columns.into_iter().map(Into::into).collect();
+        assert!(!columns.is_empty(), "a table needs at least one column");
+        Table {
+            title: title.into(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the number of columns.
+    pub fn push_row<C: Into<String>>(&mut self, row: impl IntoIterator<Item = C>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "row width {} != column count {}",
+            row.len(),
+            self.columns.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// The table title.
+    #[must_use]
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Column headers.
+    #[must_use]
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Data rows.
+    #[must_use]
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Renders as CSV (RFC-4180-style quoting for commas/quotes/newlines).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let emit = |out: &mut String, cells: &[String]| {
+            let line: Vec<String> = cells.iter().map(|c| csv_quote(c)).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        };
+        emit(&mut out, &self.columns);
+        for row in &self.rows {
+            emit(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders as a GitHub-flavored markdown table with a title line.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}", self.title);
+        out.push('\n');
+        let emit_row = |out: &mut String, cells: &[String]| {
+            out.push('|');
+            for (cell, w) in cells.iter().zip(&widths) {
+                let _ = write!(out, " {cell:<w$} |");
+            }
+            out.push('\n');
+        };
+        emit_row(&mut out, &self.columns);
+        out.push('|');
+        for w in &widths {
+            let _ = write!(out, "{}|", "-".repeat(w + 2));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            emit_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Writes the CSV rendering to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from directory creation or the write.
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_csv())
+    }
+}
+
+fn csv_quote(cell: &str) -> String {
+    if cell.contains([',', '"', '\n']) {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+/// Formats a float for tables: integers print bare, other values keep four
+/// significant digits (scientific notation below `10⁻⁴`).
+///
+/// # Example
+///
+/// ```
+/// use avc_analysis::table::fmt_num;
+/// assert_eq!(fmt_num(42.0), "42");
+/// assert_eq!(fmt_num(0.001234), "0.001234");
+/// assert_eq!(fmt_num(1234.567), "1234.57");
+/// ```
+#[must_use]
+pub fn fmt_num(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else if x.abs() >= 1.0 {
+        format!("{x:.2}")
+    } else if x.abs() >= 1e-4 {
+        // Four significant digits for sub-unit values, trailing zeros trimmed.
+        let decimals = (3 - x.abs().log10().floor() as i32) as usize;
+        let s = format!("{x:.decimals$}");
+        s.trim_end_matches('0').trim_end_matches('.').to_string()
+    } else {
+        format!("{x:.3e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_roundtrip_simple() {
+        let mut t = Table::new("t", ["a", "b"]);
+        t.push_row(["1", "2"]);
+        t.push_row(["3", "4"]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n3,4\n");
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn csv_quotes_special_cells() {
+        let mut t = Table::new("t", ["a"]);
+        t.push_row(["x,y"]);
+        t.push_row(["say \"hi\""]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn markdown_aligns_columns() {
+        let mut t = Table::new("demo title", ["name", "v"]);
+        t.push_row(["long-name", "1"]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("### demo title"));
+        assert!(md.contains("| name      | v |"));
+        assert!(md.contains("| long-name | 1 |"));
+        assert!(md.contains("|-----------|---|"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("t", ["a", "b"]);
+        t.push_row(["only-one"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn rejects_empty_schema() {
+        let _ = Table::new("t", Vec::<String>::new());
+    }
+
+    #[test]
+    fn write_csv_creates_directories() {
+        let dir = std::env::temp_dir().join("avc-table-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut t = Table::new("t", ["a"]);
+        t.push_row(["1"]);
+        let path = dir.join("nested").join("out.csv");
+        t.write_csv(&path).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "a\n1\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fmt_num_styles() {
+        assert_eq!(fmt_num(0.0), "0");
+        assert_eq!(fmt_num(10.0), "10");
+        assert_eq!(fmt_num(0.25), "0.25");
+        assert_eq!(fmt_num(3.14159), "3.14");
+        assert_eq!(fmt_num(0.001234), "0.001234");
+        assert_eq!(fmt_num(0.00001), "1.000e-5");
+    }
+}

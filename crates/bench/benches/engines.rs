@@ -1,0 +1,118 @@
+//! Criterion microbenchmarks of the three engines (Abl-2): per-step and
+//! per-run cost on matched workloads, quantifying the null-step-skipping
+//! speedup that makes the paper-scale Figure 3 runs feasible.
+
+use avc_population::engine::{AdaptiveSim, AgentSim, CountSim, JumpSim, Simulator};
+use avc_population::{Config, MajorityInstance};
+use avc_protocols::{Avc, FourState};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Raw per-step cost: 10 000 scheduler steps of the four-state protocol on
+/// a balanced instance (dense regime, no skipping advantage).
+fn bench_step_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("step_cost_four_state_n1001");
+    let inst = MajorityInstance::one_extra(1_001);
+
+    group.bench_function("agent", |b| {
+        b.iter(|| {
+            let config = Config::from_input(&FourState, inst.a(), inst.b());
+            let mut sim = AgentSim::on_clique(FourState, config);
+            let mut rng = SmallRng::seed_from_u64(1);
+            for _ in 0..10_000 {
+                sim.advance(&mut rng);
+            }
+            sim.steps()
+        })
+    });
+    group.bench_function("count", |b| {
+        b.iter(|| {
+            let config = Config::from_input(&FourState, inst.a(), inst.b());
+            let mut sim = CountSim::new(FourState, config);
+            let mut rng = SmallRng::seed_from_u64(1);
+            for _ in 0..10_000 {
+                sim.advance(&mut rng);
+            }
+            sim.steps()
+        })
+    });
+    group.finish();
+}
+
+/// End-to-end convergence of the four-state protocol at `ε = 1/n`: the
+/// regime where JumpSim's skipping pays off by orders of magnitude.
+fn bench_four_state_convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("four_state_to_consensus");
+    group.sample_size(10);
+    for n in [101u64, 1_001] {
+        let inst = MajorityInstance::one_extra(n);
+        group.bench_with_input(BenchmarkId::new("jump", n), &n, |b, _| {
+            b.iter(|| {
+                let config = Config::from_input(&FourState, inst.a(), inst.b());
+                let mut sim = JumpSim::new(FourState, config);
+                let mut rng = SmallRng::seed_from_u64(2);
+                sim.run_to_consensus(&mut rng, u64::MAX).steps
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("count", n), &n, |b, _| {
+            b.iter(|| {
+                let config = Config::from_input(&FourState, inst.a(), inst.b());
+                let mut sim = CountSim::new(FourState, config);
+                let mut rng = SmallRng::seed_from_u64(2);
+                sim.run_to_consensus(&mut rng, u64::MAX).steps
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("adaptive", n), &n, |b, _| {
+            b.iter(|| {
+                let config = Config::from_input(&FourState, inst.a(), inst.b());
+                let mut sim = AdaptiveSim::new(FourState, config);
+                let mut rng = SmallRng::seed_from_u64(2);
+                sim.run_to_consensus(&mut rng, u64::MAX).steps
+            })
+        });
+    }
+    group.finish();
+}
+
+/// AVC end-to-end at a moderate scale across engines.
+fn bench_avc_convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("avc_s66_to_consensus_n10001");
+    group.sample_size(10);
+    let inst = MajorityInstance::one_extra(10_001);
+    let avc = Avc::with_states(66).expect("valid budget");
+
+    group.bench_function("count", |b| {
+        b.iter(|| {
+            let config = Config::from_input(&avc, inst.a(), inst.b());
+            let mut sim = CountSim::new(avc.clone(), config);
+            let mut rng = SmallRng::seed_from_u64(3);
+            sim.run_to_consensus(&mut rng, u64::MAX).steps
+        })
+    });
+    group.bench_function("jump", |b| {
+        b.iter(|| {
+            let config = Config::from_input(&avc, inst.a(), inst.b());
+            let mut sim = JumpSim::new(avc.clone(), config);
+            let mut rng = SmallRng::seed_from_u64(3);
+            sim.run_to_consensus(&mut rng, u64::MAX).steps
+        })
+    });
+    group.bench_function("adaptive", |b| {
+        b.iter(|| {
+            let config = Config::from_input(&avc, inst.a(), inst.b());
+            let mut sim = AdaptiveSim::new(avc.clone(), config);
+            let mut rng = SmallRng::seed_from_u64(3);
+            sim.run_to_consensus(&mut rng, u64::MAX).steps
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_step_cost,
+    bench_four_state_convergence,
+    bench_avc_convergence
+);
+criterion_main!(benches);

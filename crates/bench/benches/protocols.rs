@@ -1,0 +1,61 @@
+//! Criterion microbenchmarks of the protocol transition functions — the
+//! inner loop of every engine.
+
+use avc_population::Protocol;
+use avc_protocols::{Avc, FourState, ThreeState};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_transitions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transition_full_table");
+
+    group.bench_function("four_state", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for a in 0..4 {
+                for bb in 0..4 {
+                    let (x, y) = FourState.transition(black_box(a), black_box(bb));
+                    acc = acc.wrapping_add(x + y);
+                }
+            }
+            acc
+        })
+    });
+
+    group.bench_function("three_state", |b| {
+        let p = ThreeState::new();
+        b.iter(|| {
+            let mut acc = 0u32;
+            for a in 0..3 {
+                for bb in 0..3 {
+                    let (x, y) = p.transition(black_box(a), black_box(bb));
+                    acc = acc.wrapping_add(x + y);
+                }
+            }
+            acc
+        })
+    });
+
+    for m in [15u64, 255, 4_095] {
+        let avc = Avc::new(m, 1).expect("odd m");
+        let s = avc.num_states();
+        group.bench_with_input(BenchmarkId::new("avc_full_table", m), &m, |b, _| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                // Sample a diagonal band instead of the full s^2 table to
+                // keep iteration counts comparable across m.
+                for a in (0..s).step_by((s as usize / 64).max(1)) {
+                    for bb in (0..s).step_by((s as usize / 64).max(1)) {
+                        let (x, y) = avc.transition(black_box(a), black_box(bb));
+                        acc = acc.wrapping_add(x + y);
+                    }
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transitions);
+criterion_main!(benches);

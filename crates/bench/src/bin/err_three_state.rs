@@ -1,0 +1,32 @@
+//! Regenerates the **three-state error law** behind Figure 3 (right):
+//! empirical error fraction vs the \[PVV09] bound `exp(−D((1+ε)/2‖1/2)·n)`.
+//!
+//! Usage: `cargo run --release -p avc-bench --bin err_three_state [--quick]
+//! [--runs N] [--seed N] [--out DIR]`
+
+use avc_analysis::cli::Args;
+use avc_analysis::experiments::{report, three_state_error};
+
+fn main() {
+    let args = Args::from_env();
+    let mut config = if args.flag("quick") {
+        three_state_error::Config::quick()
+    } else {
+        three_state_error::Config::default()
+    };
+    config.runs = args.get_u64("runs", config.runs);
+    config.seed = args.get_u64("seed", config.seed);
+    config.ns = args.get_u64_list("ns", &config.ns);
+
+    avc_bench::banner(
+        "Ablation Abl-3 (three-state error probability)",
+        &format!(
+            "error fraction vs KL bound, n in {:?}, {} runs per point",
+            config.ns, config.runs
+        ),
+    );
+
+    let points = three_state_error::run(&config);
+    let out = avc_bench::out_dir(&args);
+    report(&three_state_error::table(&points), &out, "err_three_state");
+}

@@ -1,0 +1,33 @@
+//! Regenerates the **graph-expansion study** (\[DV12]): four-state
+//! convergence time against the interaction graph's spectral gap across
+//! five topologies.
+//!
+//! Usage: `cargo run --release -p avc-bench --bin graph_gap [--quick]
+//! [--n N] [--runs N] [--seed N] [--out DIR]`
+
+use avc_analysis::cli::Args;
+use avc_analysis::experiments::{graph_gap, report};
+
+fn main() {
+    let args = Args::from_env();
+    let mut config = if args.flag("quick") {
+        graph_gap::Config::quick()
+    } else {
+        graph_gap::Config::default()
+    };
+    config.n = args.get_u64("n", config.n as u64) as usize;
+    config.runs = args.get_u64("runs", config.runs);
+    config.seed = args.get_u64("seed", config.seed);
+
+    avc_bench::banner(
+        "Graph expansion (DV12 spectral bound)",
+        &format!(
+            "four-state protocol across topologies, n ≈ {}, eps = {}, {} runs",
+            config.n, config.epsilon, config.runs
+        ),
+    );
+
+    let points = graph_gap::run(&config);
+    let out = avc_bench::out_dir(&args);
+    report(&graph_gap::table(&points, &config), &out, "graph_gap");
+}

@@ -1,0 +1,27 @@
+//! Shared plumbing for the experiment binaries.
+//!
+//! Every binary regenerates one paper artifact (see `DESIGN.md` §5 for the
+//! index) and accepts:
+//!
+//! * `--quick` — a downscaled configuration for smoke runs;
+//! * `--runs N` — override the number of trials per point;
+//! * `--seed N` — override the master seed;
+//! * `--out DIR` — output directory for CSVs (default `results`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use avc_analysis::cli::Args;
+
+/// Resolves the output directory from `--out` (default `results`).
+#[must_use]
+pub fn out_dir(args: &Args) -> String {
+    args.get("out").unwrap_or("results").to_string()
+}
+
+/// Prints a standard experiment banner.
+pub fn banner(name: &str, detail: &str) {
+    println!("== {name} ==");
+    println!("{detail}");
+    println!();
+}

@@ -1,0 +1,159 @@
+//! A transition-table cache wrapper for hot simulation loops.
+
+use crate::protocol::{Opinion, Protocol, StateId};
+
+/// Wraps a protocol with a dense, precomputed transition table.
+///
+/// Protocols like AVC compute each transition arithmetically
+/// (decode → update → encode). Inside an engine's inner loop that work is
+/// repeated billions of times; `Cached` trades `O(s²)` memory for flat
+/// array lookups. Worth it for small-to-medium state counts (the table for
+/// `s` states holds `s²` entries of 8 bytes).
+///
+/// Outputs and input encodings are also precomputed.
+///
+/// # Example
+///
+/// ```
+/// use avc_population::cached::Cached;
+/// use avc_population::protocol::tests_support::Voter;
+/// use avc_population::Protocol;
+///
+/// let cached = Cached::new(Voter);
+/// assert_eq!(cached.transition(0, 1), Voter.transition(0, 1));
+/// assert_eq!(cached.output(1), Voter.output(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cached<P> {
+    inner: P,
+    num_states: u32,
+    table: Vec<(StateId, StateId)>,
+    outputs: Vec<Opinion>,
+    inputs: (StateId, StateId),
+}
+
+/// Keep tables at or below this many entries (`s ≤ 4096`).
+const MAX_TABLE_ENTRIES: u64 = 4_096 * 4_096;
+
+impl<P: Protocol> Cached<P> {
+    /// Precomputes the full transition table of `inner`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the protocol has more than 4 096 states (the table would
+    /// exceed 128 MiB; at that size the arithmetic transition is cheaper
+    /// than the cache misses anyway).
+    pub fn new(inner: P) -> Cached<P> {
+        let s = inner.num_states();
+        assert!(
+            (s as u64) * (s as u64) <= MAX_TABLE_ENTRIES,
+            "state space too large to cache: {s} states"
+        );
+        let mut table = Vec::with_capacity((s as usize) * (s as usize));
+        for a in 0..s {
+            for b in 0..s {
+                table.push(inner.transition(a, b));
+            }
+        }
+        let outputs = (0..s).map(|q| inner.output(q)).collect();
+        let inputs = (inner.input(Opinion::A), inner.input(Opinion::B));
+        Cached {
+            inner,
+            num_states: s,
+            table,
+            outputs,
+            inputs,
+        }
+    }
+
+    /// The wrapped protocol.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// Consumes the wrapper and returns the protocol.
+    pub fn into_inner(self) -> P {
+        self.inner
+    }
+}
+
+impl<P: Protocol> Protocol for Cached<P> {
+    fn num_states(&self) -> u32 {
+        self.num_states
+    }
+
+    fn transition(&self, initiator: StateId, responder: StateId) -> (StateId, StateId) {
+        self.table[(initiator * self.num_states + responder) as usize]
+    }
+
+    fn output(&self, state: StateId) -> Opinion {
+        self.outputs[state as usize]
+    }
+
+    fn input(&self, opinion: Opinion) -> StateId {
+        match opinion {
+            Opinion::A => self.inputs.0,
+            Opinion::B => self.inputs.1,
+        }
+    }
+
+    fn state_label(&self, state: StateId) -> String {
+        self.inner.state_label(state)
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::tests_support::{Annihilate, Voter};
+
+    #[test]
+    fn cached_matches_inner_everywhere() {
+        let cached = Cached::new(Annihilate);
+        for a in 0..3 {
+            for b in 0..3 {
+                assert_eq!(cached.transition(a, b), Annihilate.transition(a, b));
+                assert_eq!(cached.is_silent(a, b), Annihilate.is_silent(a, b));
+            }
+        }
+        for q in 0..3 {
+            assert_eq!(cached.output(q), Annihilate.output(q));
+            assert_eq!(cached.state_label(q), Annihilate.state_label(q));
+        }
+        assert_eq!(cached.input(Opinion::A), Annihilate.input(Opinion::A));
+        assert_eq!(cached.input(Opinion::B), Annihilate.input(Opinion::B));
+        assert_eq!(cached.name(), Annihilate.name());
+    }
+
+    #[test]
+    fn accessors_expose_the_inner_protocol() {
+        let cached = Cached::new(Voter);
+        assert_eq!(cached.inner().num_states(), 2);
+        let inner = cached.into_inner();
+        assert_eq!(inner.num_states(), 2);
+    }
+
+    #[test]
+    fn simulation_results_are_identical_under_caching() {
+        use crate::engine::{CountSim, Simulator};
+        use crate::Config;
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+
+        // Same seed → identical trajectory with and without the cache.
+        let mut plain = CountSim::new(Voter, Config::from_input(&Voter, 12, 8));
+        let mut cached = CountSim::new(
+            Cached::new(Voter),
+            Config::from_input(&Cached::new(Voter), 12, 8),
+        );
+        let mut rng1 = SmallRng::seed_from_u64(9);
+        let mut rng2 = SmallRng::seed_from_u64(9);
+        let a = plain.run_to_consensus(&mut rng1, u64::MAX);
+        let b = cached.run_to_consensus(&mut rng2, u64::MAX);
+        assert_eq!(a, b);
+    }
+}

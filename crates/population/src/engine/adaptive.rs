@@ -1,0 +1,201 @@
+//! Adaptive engine: starts as [`CountSim`], switches to [`JumpSim`] once
+//! silent steps dominate.
+
+use crate::config::Config;
+use crate::engine::{CountSim, JumpSim, Simulator};
+use crate::protocol::{Opinion, Protocol, StateId};
+use rand::RngCore;
+
+/// Window length over which the productive fraction is estimated.
+const WINDOW: u64 = 4_096;
+/// Switch to [`JumpSim`] once fewer than `WINDOW / SWITCH_DIVISOR`
+/// interactions in a window were productive.
+const SWITCH_DIVISOR: u64 = 16;
+
+/// A one-way adaptive engine.
+///
+/// For protocols with many states, the early dynamics are dense — nearly
+/// every interaction is productive — so [`CountSim`]'s `O(log s)` steps are
+/// optimal. The late dynamics are sparse: the bulk of steps are silent,
+/// which is exactly where [`JumpSim`] shines (its per-*event* cost pays off
+/// once events are rare). `AdaptiveSim` runs `CountSim` until the productive
+/// fraction over a step window drops below `1/16`, then transplants the
+/// configuration into a `JumpSim` and continues there.
+///
+/// The switch does not perturb the trajectory distribution: both engines
+/// simulate the same chain, and the handoff copies the exact configuration.
+///
+/// # Example
+///
+/// ```
+/// use avc_population::engine::{AdaptiveSim, Simulator};
+/// use avc_population::protocol::tests_support::Voter;
+/// use avc_population::Config;
+/// use rand::SeedableRng;
+///
+/// let mut sim = AdaptiveSim::new(Voter, Config::from_input(&Voter, 500, 100));
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(11);
+/// assert!(sim.run_to_consensus(&mut rng, u64::MAX).verdict.is_consensus());
+/// ```
+#[derive(Debug)]
+pub struct AdaptiveSim<P: Protocol + Clone> {
+    inner: Inner<P>,
+    window_start_steps: u64,
+    window_start_events: u64,
+}
+
+#[derive(Debug)]
+enum Inner<P: Protocol + Clone> {
+    Dense(CountSim<P>),
+    Sparse(JumpSim<P>),
+    /// Transient state during the handoff; never observable.
+    Switching,
+}
+
+impl<P: Protocol + Clone> AdaptiveSim<P> {
+    /// Creates an engine from an initial configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`CountSim::new`].
+    pub fn new(protocol: P, config: Config) -> AdaptiveSim<P> {
+        AdaptiveSim {
+            inner: Inner::Dense(CountSim::new(protocol, config)),
+            window_start_steps: 0,
+            window_start_events: 0,
+        }
+    }
+
+    /// Whether the engine has switched to the jump-chain phase.
+    #[must_use]
+    pub fn is_sparse_phase(&self) -> bool {
+        matches!(self.inner, Inner::Sparse(_))
+    }
+
+    fn dispatch(&self) -> &dyn Simulator {
+        match &self.inner {
+            Inner::Dense(sim) => sim,
+            Inner::Sparse(sim) => sim,
+            Inner::Switching => unreachable!("observed mid-handoff"),
+        }
+    }
+
+    fn maybe_switch(&mut self) {
+        let (steps, events) = (self.dispatch().steps(), self.dispatch().events());
+        if steps - self.window_start_steps < WINDOW {
+            return;
+        }
+        let productive = events - self.window_start_events;
+        self.window_start_steps = steps;
+        self.window_start_events = events;
+        if productive < WINDOW / SWITCH_DIVISOR {
+            let inner = std::mem::replace(&mut self.inner, Inner::Switching);
+            if let Inner::Dense(sim) = inner {
+                let steps = sim.steps();
+                let events = sim.events();
+                let config = sim.config();
+                let protocol = sim.protocol().clone();
+                let mut jump = JumpSim::new(protocol, config);
+                jump.set_counters(steps, events);
+                self.inner = Inner::Sparse(jump);
+            } else {
+                self.inner = inner;
+            }
+        }
+    }
+}
+
+impl<P: Protocol + Clone> Simulator for AdaptiveSim<P> {
+    fn population(&self) -> u64 {
+        self.dispatch().population()
+    }
+
+    fn steps(&self) -> u64 {
+        self.dispatch().steps()
+    }
+
+    fn events(&self) -> u64 {
+        self.dispatch().events()
+    }
+
+    fn counts(&self) -> &[u64] {
+        match &self.inner {
+            Inner::Dense(sim) => sim.counts(),
+            Inner::Sparse(sim) => sim.counts(),
+            Inner::Switching => unreachable!("observed mid-handoff"),
+        }
+    }
+
+    fn count_a(&self) -> u64 {
+        self.dispatch().count_a()
+    }
+
+    fn unanimous_state(&self) -> Option<StateId> {
+        self.dispatch().unanimous_state()
+    }
+
+    fn state_output(&self, state: StateId) -> Opinion {
+        self.dispatch().state_output(state)
+    }
+
+    fn config_is_silent(&self) -> bool {
+        self.dispatch().config_is_silent()
+    }
+
+    fn advance(&mut self, rng: &mut dyn RngCore) -> u64 {
+        let advanced = match &mut self.inner {
+            Inner::Dense(sim) => sim.advance(rng),
+            Inner::Sparse(sim) => return sim.advance(rng),
+            Inner::Switching => unreachable!("observed mid-handoff"),
+        };
+        self.maybe_switch();
+        advanced
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::tests_support::{Annihilate, Voter};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn switches_on_sparse_dynamics() {
+        // Annihilation with a huge imbalance is quiet from the start: only
+        // 50 of 5050 agents can ever react, so the productive fraction is
+        // ≈2% and the engine must switch within the first window.
+        let config = Config::from_input(&Annihilate, 5_000, 50);
+        let mut sim = AdaptiveSim::new(Annihilate, config);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let out = sim.run_to_consensus(&mut rng, u64::MAX);
+        assert!(out.verdict.is_consensus());
+        assert!(sim.is_sparse_phase(), "expected a switch to JumpSim");
+        // Counters carried over the handoff.
+        assert_eq!(out.steps, sim.steps());
+        assert!(sim.events() <= sim.steps());
+    }
+
+    #[test]
+    fn stays_dense_on_dense_dynamics() {
+        // The voter model on a balanced small instance is productive roughly
+        // half the time; no switch should occur before consensus.
+        let config = Config::from_input(&Voter, 60, 60);
+        let mut sim = AdaptiveSim::new(Voter, config);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let out = sim.run_to_consensus(&mut rng, u64::MAX);
+        assert!(out.verdict.is_consensus());
+    }
+
+    #[test]
+    fn trait_accessors_delegate() {
+        let config = Config::from_input(&Voter, 3, 2);
+        let sim = AdaptiveSim::new(Voter, config);
+        assert_eq!(sim.population(), 5);
+        assert_eq!(sim.count_a(), 3);
+        assert_eq!(sim.counts(), &[3, 2]);
+        assert_eq!(sim.steps(), 0);
+        assert_eq!(sim.unanimous_state(), None);
+        assert!(!sim.config_is_silent());
+    }
+}

@@ -1,0 +1,310 @@
+//! Per-agent simulation engine.
+
+use crate::config::Config;
+use crate::engine::Simulator;
+use crate::graph::Graph;
+use crate::protocol::{Opinion, Protocol, StateId};
+use rand::RngCore;
+
+/// A per-agent engine supporting arbitrary interaction graphs.
+///
+/// Keeps one state per agent (`O(n)` memory) and performs one interaction
+/// per [`advance`](Simulator::advance) in `O(1)`. This is the reference
+/// engine the count-based engines are validated against, and the only one
+/// that supports non-complete interaction graphs.
+///
+/// # Example
+///
+/// ```
+/// use avc_population::engine::{AgentSim, Simulator};
+/// use avc_population::graph::Graph;
+/// use avc_population::protocol::tests_support::Voter;
+/// use avc_population::Config;
+/// use rand::SeedableRng;
+///
+/// let config = Config::from_input(&Voter, 10, 1);
+/// let mut sim = AgentSim::new(Voter, config, Graph::cycle(11));
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+/// let out = sim.run_to_consensus(&mut rng, 1_000_000);
+/// assert!(out.verdict.is_consensus());
+/// ```
+#[derive(Debug, Clone)]
+pub struct AgentSim<P> {
+    protocol: P,
+    graph: Graph,
+    states: Vec<StateId>,
+    counts: Vec<u64>,
+    output_a: Vec<bool>,
+    count_a: u64,
+    unanimous: Option<StateId>,
+    steps: u64,
+    events: u64,
+}
+
+impl<P: Protocol> AgentSim<P> {
+    /// Creates an engine on the complete graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration size and state count are inconsistent
+    /// with the protocol, or the population has fewer than two agents.
+    pub fn on_clique(protocol: P, config: Config) -> AgentSim<P> {
+        let n = config.population() as usize;
+        AgentSim::new(protocol, config, Graph::clique(n))
+    }
+
+    /// Creates an engine on an explicit interaction graph.
+    ///
+    /// Agents are assigned states in state order: the first `config.count(0)`
+    /// agents get state 0, and so on. Callers that need a different
+    /// state-to-vertex placement can use [`AgentSim::from_states`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph size differs from the population or the
+    /// configuration is inconsistent with the protocol.
+    pub fn new(protocol: P, config: Config, graph: Graph) -> AgentSim<P> {
+        assert_eq!(
+            graph.num_agents() as u64,
+            config.population(),
+            "graph size must match population"
+        );
+        let mut states = Vec::with_capacity(config.population() as usize);
+        for s in 0..config.num_states() {
+            states.extend(std::iter::repeat(s).take(config.count(s) as usize));
+        }
+        AgentSim::from_states(protocol, states, graph)
+    }
+
+    /// Creates an engine with an explicit state per vertex of the graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any state is out of range, the graph size differs from the
+    /// number of agents, or there are fewer than two agents.
+    pub fn from_states(protocol: P, states: Vec<StateId>, graph: Graph) -> AgentSim<P> {
+        assert!(states.len() >= 2, "need at least two agents");
+        assert_eq!(
+            graph.num_agents(),
+            states.len(),
+            "graph size must match number of agents"
+        );
+        let s = protocol.num_states();
+        let mut counts = vec![0u64; s as usize];
+        for &st in &states {
+            assert!(st < s, "state {st} out of range for protocol with {s} states");
+            counts[st as usize] += 1;
+        }
+        let output_a: Vec<bool> = (0..s).map(|q| protocol.output(q) == Opinion::A).collect();
+        let count_a = counts
+            .iter()
+            .zip(&output_a)
+            .filter(|(_, &is_a)| is_a)
+            .map(|(&c, _)| c)
+            .sum();
+        let n = states.len() as u64;
+        let unanimous = counts
+            .iter()
+            .position(|&c| c == n)
+            .map(|i| i as StateId);
+        AgentSim {
+            protocol,
+            graph,
+            states,
+            counts,
+            output_a,
+            count_a,
+            unanimous,
+            steps: 0,
+            events: 0,
+        }
+    }
+
+    /// The interaction graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The protocol being executed.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// The state of agent `agent`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `agent` is out of range.
+    pub fn state_of(&self, agent: usize) -> StateId {
+        self.states[agent]
+    }
+
+    fn set_state(&mut self, agent: usize, to: StateId) {
+        let from = self.states[agent];
+        if from == to {
+            return;
+        }
+        self.states[agent] = to;
+        self.counts[from as usize] -= 1;
+        self.counts[to as usize] += 1;
+        match (self.output_a[from as usize], self.output_a[to as usize]) {
+            (true, false) => self.count_a -= 1,
+            (false, true) => self.count_a += 1,
+            _ => {}
+        }
+        if self.counts[to as usize] == self.states.len() as u64 {
+            self.unanimous = Some(to);
+        } else {
+            self.unanimous = None;
+        }
+    }
+}
+
+impl<P: Protocol> Simulator for AgentSim<P> {
+    fn population(&self) -> u64 {
+        self.states.len() as u64
+    }
+
+    fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    fn events(&self) -> u64 {
+        self.events
+    }
+
+    fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    fn count_a(&self) -> u64 {
+        self.count_a
+    }
+
+    fn unanimous_state(&self) -> Option<StateId> {
+        self.unanimous
+    }
+
+    fn state_output(&self, state: StateId) -> Opinion {
+        self.protocol.output(state)
+    }
+
+    fn config_is_silent(&self) -> bool {
+        // On a clique, silence is exactly a property of the count multiset.
+        // On a general graph this check is sound but incomplete: if no
+        // species pair is productive then certainly no edge is, but a
+        // configuration whose only productive species pairs sit on
+        // non-adjacent agents is silent yet reported as live. The run loop
+        // still terminates in that case via its step bound.
+        crate::engine::brute_force_silent(&self.protocol, &self.counts)
+    }
+
+    fn advance(&mut self, rng: &mut dyn RngCore) -> u64 {
+        let (u, v) = self.graph.sample_pair(rng);
+        self.steps += 1;
+        let (su, sv) = (self.states[u], self.states[v]);
+        let (nu, nv) = self.protocol.transition(su, sv);
+        debug_assert!(
+            nu < self.protocol.num_states() && nv < self.protocol.num_states(),
+            "transition left the state space"
+        );
+        if !((nu == su && nv == sv) || (nu == sv && nv == su)) {
+            self.events += 1;
+        }
+        self.set_state(u, nu);
+        self.set_state(v, nv);
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::tests_support::{Annihilate, Voter};
+    use crate::spec::Verdict;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn voter_reaches_consensus_on_clique() {
+        let config = Config::from_input(&Voter, 30, 10);
+        let mut sim = AgentSim::on_clique(Voter, config);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let out = sim.run_to_consensus(&mut rng, 10_000_000);
+        assert!(out.verdict.is_consensus());
+        assert_eq!(out.steps, sim.steps());
+        // All agents in one state.
+        assert!(sim.unanimous_state().is_some());
+    }
+
+    #[test]
+    fn annihilate_preserves_population_and_reaches_silence() {
+        let config = Config::from_input(&Annihilate, 6, 4);
+        let mut sim = AgentSim::on_clique(Annihilate, config);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let out = sim.run_to_consensus_with(
+            &mut rng,
+            10_000_000,
+            crate::spec::ConvergenceRule::Silence,
+        );
+        // 4 annihilations leave 2 in +1 and 8 dead; all output A.
+        assert_eq!(out.verdict, Verdict::Consensus(Opinion::A));
+        assert_eq!(sim.counts(), &[2, 0, 8]);
+        assert_eq!(sim.population(), 10);
+    }
+
+    #[test]
+    fn counts_track_states() {
+        let config = Config::from_input(&Voter, 3, 2);
+        let mut sim = AgentSim::on_clique(Voter, config);
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..100 {
+            sim.advance(&mut rng);
+            let mut recount = vec![0u64; 2];
+            for agent in 0..5 {
+                recount[sim.state_of(agent) as usize] += 1;
+            }
+            assert_eq!(sim.counts(), recount.as_slice());
+            assert_eq!(sim.count_a(), recount[0]);
+        }
+    }
+
+    #[test]
+    fn consensus_on_cycle_matches_clique_semantics() {
+        let config = Config::from_input(&Voter, 9, 0);
+        let mut sim = AgentSim::new(Voter, config, Graph::cycle(9));
+        let mut rng = SmallRng::seed_from_u64(4);
+        // Already unanimous: converges without any step.
+        let out = sim.run_to_consensus(&mut rng, 10);
+        assert_eq!(out.steps, 0);
+        assert_eq!(out.verdict, Verdict::Consensus(Opinion::A));
+    }
+
+    #[test]
+    fn max_steps_is_respected() {
+        let config = Config::from_input(&Voter, 500, 500);
+        let mut sim = AgentSim::on_clique(Voter, config);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let out = sim.run_to_consensus(&mut rng, 50);
+        assert!(matches!(out.verdict, Verdict::MaxSteps | Verdict::Consensus(_)));
+        if out.verdict == Verdict::MaxSteps {
+            assert!(out.steps >= 50);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "graph size")]
+    fn rejects_mismatched_graph() {
+        let config = Config::from_input(&Voter, 3, 2);
+        let _ = AgentSim::new(Voter, config, Graph::clique(4));
+    }
+
+    #[test]
+    fn parallel_time_is_steps_over_population() {
+        let config = Config::from_input(&Voter, 20, 1);
+        let mut sim = AgentSim::on_clique(Voter, config);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let out = sim.run_to_consensus(&mut rng, u64::MAX);
+        assert!((out.parallel_time - out.steps as f64 / 21.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,248 @@
+//! Species-count simulation engine for the complete graph.
+
+use crate::config::Config;
+use crate::engine::Simulator;
+use crate::protocol::{Opinion, Protocol, StateId};
+use crate::sampler::FenwickSampler;
+use rand::{Rng, RngCore};
+
+/// A count-based engine: `O(log s)` per step, `O(s)` memory.
+///
+/// On a clique all agents in the same state are interchangeable, so the
+/// engine stores only the number of agents per state and samples the ordered
+/// interacting pair by species, using a [`FenwickSampler`] (first agent
+/// proportional to counts; second proportional to counts with the first
+/// agent removed). This is the work-horse engine for AVC with large state
+/// counts (the "n-state" instances of Figure 3 and the large-`s` curves of
+/// Figure 4).
+///
+/// # Example
+///
+/// ```
+/// use avc_population::engine::{CountSim, Simulator};
+/// use avc_population::protocol::tests_support::Voter;
+/// use avc_population::Config;
+/// use rand::SeedableRng;
+///
+/// let mut sim = CountSim::new(Voter, Config::from_input(&Voter, 40, 9));
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+/// let out = sim.run_to_consensus(&mut rng, u64::MAX);
+/// assert!(out.verdict.is_consensus());
+/// ```
+#[derive(Debug, Clone)]
+pub struct CountSim<P> {
+    protocol: P,
+    counts: Vec<u64>,
+    sampler: FenwickSampler,
+    output_a: Vec<bool>,
+    count_a: u64,
+    unanimous: Option<StateId>,
+    n: u64,
+    steps: u64,
+    events: u64,
+}
+
+impl<P: Protocol> CountSim<P> {
+    /// Creates an engine from an initial configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration's state count differs from the
+    /// protocol's, or the population has fewer than two agents.
+    pub fn new(protocol: P, config: Config) -> CountSim<P> {
+        assert_eq!(
+            config.num_states(),
+            protocol.num_states(),
+            "configuration does not match protocol state space"
+        );
+        let n = config.population();
+        assert!(n >= 2, "need at least two agents, got {n}");
+        let counts = config.into_counts();
+        let sampler = FenwickSampler::from_weights(&counts);
+        let output_a: Vec<bool> = (0..counts.len())
+            .map(|q| protocol.output(q as StateId) == Opinion::A)
+            .collect();
+        let count_a = counts
+            .iter()
+            .zip(&output_a)
+            .filter(|(_, &is_a)| is_a)
+            .map(|(&c, _)| c)
+            .sum();
+        let unanimous = counts.iter().position(|&c| c == n).map(|i| i as StateId);
+        CountSim {
+            protocol,
+            counts,
+            sampler,
+            output_a,
+            count_a,
+            unanimous,
+            n,
+            steps: 0,
+            events: 0,
+        }
+    }
+
+    /// The protocol being executed.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// The current configuration as an owned [`Config`].
+    pub fn config(&self) -> Config {
+        Config::from_counts(self.counts.clone())
+    }
+
+    fn bump(&mut self, state: StateId, delta: i64) {
+        let idx = state as usize;
+        let new = self.counts[idx] as i64 + delta;
+        debug_assert!(new >= 0, "count underflow at state {state}");
+        self.counts[idx] = new as u64;
+        self.sampler.add(idx, delta);
+        if self.output_a[idx] {
+            self.count_a = (self.count_a as i64 + delta) as u64;
+        }
+        if self.counts[idx] == self.n {
+            self.unanimous = Some(state);
+        }
+    }
+}
+
+impl<P: Protocol> Simulator for CountSim<P> {
+    fn population(&self) -> u64 {
+        self.n
+    }
+
+    fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    fn events(&self) -> u64 {
+        self.events
+    }
+
+    fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    fn count_a(&self) -> u64 {
+        self.count_a
+    }
+
+    fn unanimous_state(&self) -> Option<StateId> {
+        self.unanimous
+    }
+
+    fn state_output(&self, state: StateId) -> Opinion {
+        self.protocol.output(state)
+    }
+
+    fn config_is_silent(&self) -> bool {
+        crate::engine::brute_force_silent(&self.protocol, &self.counts)
+    }
+
+    fn advance(&mut self, rng: &mut dyn RngCore) -> u64 {
+        self.steps += 1;
+        // First agent by species, proportional to counts.
+        let i = self
+            .sampler
+            .select(rng.gen_range(0..self.sampler.total())) as StateId;
+        // Second agent among the remaining n−1, proportional to counts with
+        // one agent of species i removed.
+        self.sampler.add(i as usize, -1);
+        let j = self
+            .sampler
+            .select(rng.gen_range(0..self.sampler.total())) as StateId;
+        self.sampler.add(i as usize, 1);
+
+        let (x, y) = self.protocol.transition(i, j);
+        debug_assert!(
+            x < self.protocol.num_states() && y < self.protocol.num_states(),
+            "transition left the state space"
+        );
+        if (x == i && y == j) || (x == j && y == i) {
+            return 1; // configuration unchanged
+        }
+        self.events += 1;
+        self.unanimous = None;
+        self.bump(i, -1);
+        self.bump(j, -1);
+        self.bump(x, 1);
+        self.bump(y, 1);
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::tests_support::{Annihilate, Voter};
+    use crate::spec::{ConvergenceRule, Verdict};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn voter_consensus_preserves_population() {
+        let mut sim = CountSim::new(Voter, Config::from_input(&Voter, 25, 15));
+        let mut rng = SmallRng::seed_from_u64(1);
+        let out = sim.run_to_consensus(&mut rng, u64::MAX);
+        assert!(out.verdict.is_consensus());
+        assert_eq!(sim.counts().iter().sum::<u64>(), 40);
+        assert!(sim.unanimous_state().is_some());
+    }
+
+    #[test]
+    fn annihilate_is_exactly_min_ab_productive_events() {
+        let mut sim = CountSim::new(Annihilate, Config::from_input(&Annihilate, 7, 5));
+        let mut rng = SmallRng::seed_from_u64(2);
+        let out =
+            sim.run_to_consensus_with(&mut rng, u64::MAX, ConvergenceRule::Silence);
+        assert_eq!(out.verdict, Verdict::Consensus(Opinion::A));
+        assert_eq!(sim.counts(), &[2, 0, 10]);
+    }
+
+    #[test]
+    fn sampler_and_counts_stay_consistent() {
+        let mut sim = CountSim::new(Voter, Config::from_input(&Voter, 10, 10));
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..500 {
+            sim.advance(&mut rng);
+            for (idx, &c) in sim.counts().iter().enumerate() {
+                assert_eq!(sim.sampler.weight(idx), c);
+            }
+            assert_eq!(sim.sampler.total(), 20);
+        }
+    }
+
+    #[test]
+    fn unanimity_flag_matches_counts() {
+        let mut sim = CountSim::new(Voter, Config::from_input(&Voter, 5, 2));
+        let mut rng = SmallRng::seed_from_u64(4);
+        loop {
+            let expected = sim
+                .counts()
+                .iter()
+                .position(|&c| c == 7)
+                .map(|i| i as StateId);
+            assert_eq!(sim.unanimous_state(), expected);
+            if expected.is_some() {
+                break;
+            }
+            sim.advance(&mut rng);
+        }
+    }
+
+    #[test]
+    fn already_unanimous_input_converges_instantly() {
+        let mut sim = CountSim::new(Voter, Config::from_input(&Voter, 0, 9));
+        let mut rng = SmallRng::seed_from_u64(5);
+        let out = sim.run_to_consensus(&mut rng, 100);
+        assert_eq!(out.steps, 0);
+        assert_eq!(out.verdict, Verdict::Consensus(Opinion::B));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match protocol")]
+    fn rejects_wrong_state_space() {
+        let _ = CountSim::new(Voter, Config::from_counts(vec![1, 2, 3]));
+    }
+}

@@ -1,0 +1,193 @@
+//! Simulation engines.
+//!
+//! Five engines execute the same discrete-time scheduler (uniform random
+//! ordered pair per step) with different cost models (the first four
+//! exactly, τ-leaping approximately):
+//!
+//! | Engine | Per-step cost | Sweet spot |
+//! |---|---|---|
+//! | [`AgentSim`] | `O(1)` | arbitrary interaction graphs, ground truth |
+//! | [`CountSim`] | `O(log s)` | cliques with many states (large-`s` AVC) |
+//! | [`JumpSim`]  | `O(live states)` *per productive step* | long runs dominated by silent interactions (small-`s` protocols at small margins) |
+//! | [`TauLeapSim`] | `O(live states²)` *per leap* | **approximate** accelerated runs (Poisson τ-leaping, as in chemical-reaction-network simulation) |
+//!
+//! All engines implement [`Simulator`]; the exact ones produce
+//! identically-distributed trajectories of the configuration process
+//! (tested in `tests/engine_equivalence.rs`).
+
+mod adaptive;
+mod agent;
+mod count;
+mod jump;
+mod tau_leap;
+
+pub use adaptive::AdaptiveSim;
+pub use agent::AgentSim;
+pub use count::CountSim;
+pub use jump::JumpSim;
+pub use tau_leap::TauLeapSim;
+
+use crate::protocol::Opinion;
+use crate::spec::{ConvergenceRule, RunOutcome, Verdict};
+use rand::RngCore;
+
+/// A population-protocol simulation in progress.
+///
+/// The trait is object safe so heterogeneous engines can be driven by the
+/// same experiment harness; randomness is injected as `&mut dyn RngCore`.
+pub trait Simulator {
+    /// Number of agents `n`.
+    fn population(&self) -> u64;
+
+    /// Scheduler steps elapsed so far (including skipped silent steps).
+    fn steps(&self) -> u64;
+
+    /// Configuration-changing (productive) interactions executed so far.
+    ///
+    /// `events() ≤ steps()`; the gap is the work saved by engines that skip
+    /// silent steps.
+    fn events(&self) -> u64;
+
+    /// Current species counts, indexed by state.
+    fn counts(&self) -> &[u64];
+
+    /// Number of agents whose output is [`Opinion::A`].
+    fn count_a(&self) -> u64;
+
+    /// The state all agents currently share, if the configuration is
+    /// unanimous. Maintained in `O(1)` per step.
+    fn unanimous_state(&self) -> Option<crate::StateId>;
+
+    /// Output of the given state under the protocol's `γ`.
+    fn state_output(&self, state: crate::StateId) -> Opinion;
+
+    /// Whether no productive ordered pair remains.
+    ///
+    /// May cost `O(live states²)`; the generic run loop only consults it
+    /// under [`ConvergenceRule::Silence`] or when `advance` reports a
+    /// terminal configuration.
+    fn config_is_silent(&self) -> bool;
+
+    /// Advances the simulation by at least one scheduler step.
+    ///
+    /// Returns the number of steps advanced; `0` means the configuration is
+    /// silent (terminal) and the simulation cannot progress.
+    fn advance(&mut self, rng: &mut dyn RngCore) -> u64;
+
+    /// Runs until the convergence rule holds or `max_steps` is exceeded.
+    ///
+    /// Note that engines that skip silent steps in batches may overshoot
+    /// `max_steps`; the reported [`RunOutcome::steps`] is always the true
+    /// step count at the moment the run stopped.
+    fn run_to_consensus_with(
+        &mut self,
+        rng: &mut dyn RngCore,
+        max_steps: u64,
+        rule: ConvergenceRule,
+    ) -> RunOutcome {
+        let n = self.population();
+        // Cadence for the (expensive) explicit silence check.
+        let mut next_silence_check = self.steps();
+        let verdict = loop {
+            match rule {
+                ConvergenceRule::OutputConsensus => {
+                    let a = self.count_a();
+                    if a == n {
+                        break Verdict::Consensus(Opinion::A);
+                    }
+                    if a == 0 {
+                        break Verdict::Consensus(Opinion::B);
+                    }
+                }
+                ConvergenceRule::StateConsensus => {
+                    if let Some(state) = self.unanimous_state() {
+                        break Verdict::Consensus(self.state_output(state));
+                    }
+                }
+                ConvergenceRule::Silence => {
+                    if self.steps() >= next_silence_check {
+                        if self.config_is_silent() {
+                            break silent_verdict(self, n);
+                        }
+                        next_silence_check = self.steps().saturating_add(n);
+                    }
+                }
+                ConvergenceRule::OutputCount { opinion, count } => {
+                    let with_opinion = match opinion {
+                        Opinion::A => self.count_a(),
+                        Opinion::B => n - self.count_a(),
+                    };
+                    if with_opinion == count {
+                        break Verdict::Consensus(opinion);
+                    }
+                }
+            }
+            if self.steps() >= max_steps {
+                break Verdict::MaxSteps;
+            }
+            if self.advance(rng) == 0 {
+                // Terminal (silent) configuration.
+                break match rule {
+                    ConvergenceRule::Silence => silent_verdict(self, n),
+                    _ => {
+                        // The rule was checked above and did not hold, and it
+                        // never will: the configuration can no longer change.
+                        Verdict::Stuck
+                    }
+                };
+            }
+        };
+        RunOutcome {
+            steps: self.steps(),
+            parallel_time: crate::time::parallel_time(self.steps(), n),
+            verdict,
+        }
+    }
+
+    /// Runs under [`ConvergenceRule::OutputConsensus`] (the paper's
+    /// convergence notion for AVC and the four-state protocol).
+    fn run_to_consensus(&mut self, rng: &mut dyn RngCore, max_steps: u64) -> RunOutcome {
+        self.run_to_consensus_with(rng, max_steps, ConvergenceRule::OutputConsensus)
+    }
+}
+
+fn silent_verdict<S: Simulator + ?Sized>(sim: &S, n: u64) -> Verdict {
+    let a = sim.count_a();
+    if a == n {
+        Verdict::Consensus(Opinion::A)
+    } else if a == 0 {
+        Verdict::Consensus(Opinion::B)
+    } else {
+        Verdict::Stuck
+    }
+}
+
+/// Whether a configuration (given as species counts) is silent under
+/// `protocol`: no ordered pair of distinct agents can change it.
+///
+/// Brute force over live species pairs — `O(live²)` — intended for
+/// analysis and verification tools, not hot loops.
+pub fn config_silent<P: crate::Protocol>(protocol: &P, counts: &[u64]) -> bool {
+    brute_force_silent(protocol, counts)
+}
+
+/// Computes the silence of a configuration by brute force over live pairs.
+pub(crate) fn brute_force_silent<P: crate::Protocol>(protocol: &P, counts: &[u64]) -> bool {
+    let live: Vec<u32> = counts
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(i, _)| i as u32)
+        .collect();
+    for &i in &live {
+        for &j in &live {
+            if i == j && counts[i as usize] < 2 {
+                continue;
+            }
+            if !protocol.is_silent(i, j) {
+                return false;
+            }
+        }
+    }
+    true
+}

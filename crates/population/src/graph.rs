@@ -1,0 +1,465 @@
+//! Interaction graphs.
+//!
+//! The scheduler draws interacting pairs from the edge set of an
+//! *interaction graph* `G` over the agents. The paper (like most of the
+//! population-protocol literature) focuses on the complete graph, but the
+//! four-state protocol was originally analyzed on arbitrary connected graphs
+//! \[DV12], so the agent-level engine supports them too.
+
+use rand::Rng;
+
+/// An undirected interaction graph over agents `0..n`.
+///
+/// Sampling draws an *ordered* pair: an undirected edge uniformly at random,
+/// then a uniformly random orientation. On the complete graph this is exactly
+/// the uniform ordered pair of distinct agents used in the discrete-time
+/// population model.
+///
+/// # Example
+///
+/// ```
+/// use avc_population::graph::Graph;
+/// use rand::SeedableRng;
+///
+/// let g = Graph::cycle(5);
+/// assert_eq!(g.num_agents(), 5);
+/// assert_eq!(g.num_edges(), 5);
+/// assert!(g.is_connected());
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(0);
+/// let (u, v) = g.sample_pair(&mut rng);
+/// assert!(u != v && u < 5 && v < 5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Graph {
+    n: usize,
+    topology: Topology,
+}
+
+#[derive(Debug, Clone)]
+enum Topology {
+    /// Complete graph; pairs are sampled directly without an edge list.
+    Clique,
+    /// Explicit undirected edge list.
+    Explicit { edges: Vec<(u32, u32)> },
+}
+
+impl Graph {
+    /// The complete graph on `n` agents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    #[must_use]
+    pub fn clique(n: usize) -> Graph {
+        assert!(n >= 2, "need at least two agents, got {n}");
+        Graph {
+            n,
+            topology: Topology::Clique,
+        }
+    }
+
+    /// The cycle `0 — 1 — … — (n−1) — 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3`.
+    #[must_use]
+    pub fn cycle(n: usize) -> Graph {
+        assert!(n >= 3, "a cycle needs at least three agents, got {n}");
+        let edges = (0..n as u32)
+            .map(|i| (i, (i + 1) % n as u32))
+            .collect();
+        Graph::from_edges(n, edges)
+    }
+
+    /// The path `0 — 1 — … — (n−1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    #[must_use]
+    pub fn path(n: usize) -> Graph {
+        assert!(n >= 2, "a path needs at least two agents, got {n}");
+        let edges = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        Graph::from_edges(n, edges)
+    }
+
+    /// The star with center `0` and leaves `1..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    #[must_use]
+    pub fn star(n: usize) -> Graph {
+        assert!(n >= 2, "a star needs at least two agents, got {n}");
+        let edges = (1..n as u32).map(|i| (0, i)).collect();
+        Graph::from_edges(n, edges)
+    }
+
+    /// The `rows × cols` grid (4-neighborhood).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid has fewer than two agents.
+    #[must_use]
+    pub fn grid(rows: usize, cols: usize) -> Graph {
+        let n = rows * cols;
+        assert!(n >= 2, "a grid needs at least two agents, got {rows}x{cols}");
+        let mut edges = Vec::new();
+        for r in 0..rows {
+            for c in 0..cols {
+                let id = (r * cols + c) as u32;
+                if c + 1 < cols {
+                    edges.push((id, id + 1));
+                }
+                if r + 1 < rows {
+                    edges.push((id, id + cols as u32));
+                }
+            }
+        }
+        Graph::from_edges(n, edges)
+    }
+
+    /// The complete bipartite graph on parts of size `left` and `right`
+    /// (agents `0..left` vs `left..left+right`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either part is empty.
+    #[must_use]
+    pub fn complete_bipartite(left: usize, right: usize) -> Graph {
+        assert!(left >= 1 && right >= 1, "both parts must be nonempty");
+        let mut edges = Vec::with_capacity(left * right);
+        for u in 0..left as u32 {
+            for v in 0..right as u32 {
+                edges.push((u, left as u32 + v));
+            }
+        }
+        Graph::from_edges(left + right, edges)
+    }
+
+    /// An Erdős–Rényi `G(n, p)` sample. Not guaranteed to be connected;
+    /// check with [`Graph::is_connected`] and resample if needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `p` is not in `[0, 1]`.
+    pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
+        assert!(n >= 2, "need at least two agents, got {n}");
+        assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+        let mut edges = Vec::new();
+        for u in 0..n as u32 {
+            for v in u + 1..n as u32 {
+                if rng.gen_bool(p) {
+                    edges.push((u, v));
+                }
+            }
+        }
+        Graph::from_edges(n, edges)
+    }
+
+    /// A graph from an explicit undirected edge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is out of range or an edge is a self-loop.
+    #[must_use]
+    pub fn from_edges(n: usize, edges: Vec<(u32, u32)>) -> Graph {
+        for &(u, v) in &edges {
+            assert!(u != v, "self-loop at agent {u}");
+            assert!(
+                (u as usize) < n && (v as usize) < n,
+                "edge ({u},{v}) out of range for {n} agents"
+            );
+        }
+        Graph {
+            n,
+            topology: Topology::Explicit { edges },
+        }
+    }
+
+    /// Number of agents.
+    #[must_use]
+    pub fn num_agents(&self) -> usize {
+        self.n
+    }
+
+    /// Number of undirected edges.
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        match &self.topology {
+            Topology::Clique => self.n * (self.n - 1) / 2,
+            Topology::Explicit { edges } => edges.len(),
+        }
+    }
+
+    /// Whether this graph is the complete graph (dedicated fast path).
+    #[must_use]
+    pub fn is_clique(&self) -> bool {
+        matches!(self.topology, Topology::Clique)
+    }
+
+    /// Iterator over undirected edges as `(u, v)` pairs.
+    ///
+    /// For the clique the pairs are generated on the fly (`n(n−1)/2` of
+    /// them), so prefer structural fast paths for very large cliques.
+    pub fn edge_pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let (clique_n, edges): (usize, &[(u32, u32)]) = match &self.topology {
+            Topology::Clique => (self.n, &[]),
+            Topology::Explicit { edges } => (0, edges.as_slice()),
+        };
+        (0..clique_n)
+            .flat_map(move |u| (u + 1..clique_n).map(move |v| (u, v)))
+            .chain(edges.iter().map(|&(u, v)| (u as usize, v as usize)))
+    }
+
+    /// A random simple `k`-regular graph, generated from a `k`-regular
+    /// circulant graph randomized by `10·|E|` double-edge swaps (the
+    /// standard Markov-chain construction; unlike configuration-model
+    /// rejection it succeeds for any feasible `(n, k)`). The result is not
+    /// guaranteed connected — check [`Graph::is_connected`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n·k` is odd, `k ≥ n`, or `k = 0`.
+    pub fn random_regular<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Graph {
+        assert!(k >= 1, "degree must be positive");
+        assert!(k < n, "degree {k} must be below n = {n}");
+        assert!(n * k % 2 == 0, "n·k must be even, got {n}·{k}");
+
+        // Start from the circulant graph: i ~ i ± 1, …, i ± ⌊k/2⌋, plus the
+        // antipodal matching when k is odd (n is then even by the parity
+        // assertion above).
+        let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n * k / 2);
+        let mut present = std::collections::HashSet::with_capacity(n * k / 2);
+        let add = |edges: &mut Vec<(u32, u32)>,
+                       present: &mut std::collections::HashSet<(u32, u32)>,
+                       u: u32,
+                       v: u32| {
+            let key = (u.min(v), u.max(v));
+            if present.insert(key) {
+                edges.push(key);
+            }
+        };
+        for j in 1..=(k / 2) as u32 {
+            for i in 0..n as u32 {
+                add(&mut edges, &mut present, i, (i + j) % n as u32);
+            }
+        }
+        if k % 2 == 1 {
+            for i in 0..(n / 2) as u32 {
+                add(&mut edges, &mut present, i, i + (n / 2) as u32);
+            }
+        }
+        debug_assert_eq!(edges.len(), n * k / 2);
+
+        // Randomize by double-edge swaps: pick edges (a,b), (c,d) and
+        // rewire to (a,d), (c,b) when the result stays simple.
+        let swaps = 10 * edges.len();
+        for _ in 0..swaps {
+            let i = rng.gen_range(0..edges.len());
+            let j = rng.gen_range(0..edges.len());
+            if i == j {
+                continue;
+            }
+            let (a, b) = edges[i];
+            let (c, d) = edges[j];
+            // Randomize orientation of the second edge.
+            let (c, d) = if rng.gen_bool(0.5) { (c, d) } else { (d, c) };
+            if a == d || c == b || a == c || b == d {
+                continue; // would create a self-loop or is a shared vertex
+            }
+            let new1 = (a.min(d), a.max(d));
+            let new2 = (c.min(b), c.max(b));
+            if present.contains(&new1) || present.contains(&new2) {
+                continue; // would create a parallel edge
+            }
+            present.remove(&(a.min(b), a.max(b)));
+            present.remove(&(c.min(d), c.max(d)));
+            present.insert(new1);
+            present.insert(new2);
+            edges[i] = new1;
+            edges[j] = new2;
+        }
+        Graph::from_edges(n, edges)
+    }
+
+    /// Draws a uniformly random ordered pair of adjacent agents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has no edges.
+    pub fn sample_pair<R: Rng + ?Sized>(&self, rng: &mut R) -> (usize, usize) {
+        match &self.topology {
+            Topology::Clique => {
+                let u = rng.gen_range(0..self.n);
+                let mut v = rng.gen_range(0..self.n - 1);
+                if v >= u {
+                    v += 1;
+                }
+                (u, v)
+            }
+            Topology::Explicit { edges } => {
+                assert!(!edges.is_empty(), "graph has no edges to sample");
+                let (u, v) = edges[rng.gen_range(0..edges.len())];
+                if rng.gen_bool(0.5) {
+                    (u as usize, v as usize)
+                } else {
+                    (v as usize, u as usize)
+                }
+            }
+        }
+    }
+
+    /// Whether every agent can reach every other agent.
+    ///
+    /// Population protocols can only compute global predicates on connected
+    /// interaction graphs.
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        match &self.topology {
+            Topology::Clique => true,
+            Topology::Explicit { edges } => {
+                if self.n == 0 {
+                    return true;
+                }
+                let mut adj = vec![Vec::new(); self.n];
+                for &(u, v) in edges {
+                    adj[u as usize].push(v as usize);
+                    adj[v as usize].push(u as usize);
+                }
+                let mut seen = vec![false; self.n];
+                let mut stack = vec![0usize];
+                seen[0] = true;
+                let mut visited = 1;
+                while let Some(u) = stack.pop() {
+                    for &v in &adj[u] {
+                        if !seen[v] {
+                            seen[v] = true;
+                            visited += 1;
+                            stack.push(v);
+                        }
+                    }
+                }
+                visited == self.n
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn clique_pairs_are_distinct_and_uniformish() {
+        let g = Graph::clique(4);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut hits = [[0u32; 4]; 4];
+        for _ in 0..120_000 {
+            let (u, v) = g.sample_pair(&mut rng);
+            assert_ne!(u, v);
+            hits[u][v] += 1;
+        }
+        // 12 ordered pairs, each expected 10_000 times.
+        for u in 0..4 {
+            for v in 0..4 {
+                if u != v {
+                    assert!((hits[u][v] as i64 - 10_000).abs() < 1_000, "pair ({u},{v})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn edge_counts() {
+        assert_eq!(Graph::clique(10).num_edges(), 45);
+        assert_eq!(Graph::cycle(7).num_edges(), 7);
+        assert_eq!(Graph::path(7).num_edges(), 6);
+        assert_eq!(Graph::star(7).num_edges(), 6);
+        assert_eq!(Graph::grid(3, 4).num_edges(), 3 * 3 + 2 * 4);
+        assert_eq!(Graph::complete_bipartite(3, 4).num_edges(), 12);
+    }
+
+    #[test]
+    fn standard_topologies_are_connected() {
+        assert!(Graph::clique(5).is_connected());
+        assert!(Graph::cycle(5).is_connected());
+        assert!(Graph::path(5).is_connected());
+        assert!(Graph::star(5).is_connected());
+        assert!(Graph::grid(4, 4).is_connected());
+        assert!(Graph::complete_bipartite(2, 3).is_connected());
+    }
+
+    #[test]
+    fn disconnected_graph_detected() {
+        let g = Graph::from_edges(4, vec![(0, 1), (2, 3)]);
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let empty = Graph::erdos_renyi(5, 0.0, &mut rng);
+        assert_eq!(empty.num_edges(), 0);
+        let full = Graph::erdos_renyi(5, 1.0, &mut rng);
+        assert_eq!(full.num_edges(), 10);
+        assert!(full.is_connected());
+    }
+
+    #[test]
+    fn explicit_pair_sampling_respects_edges() {
+        let g = Graph::path(3); // edges (0,1), (1,2)
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..1000 {
+            let (u, v) = g.sample_pair(&mut rng);
+            assert!(matches!((u, v), (0, 1) | (1, 0) | (1, 2) | (2, 1)));
+        }
+    }
+
+    #[test]
+    fn edge_pairs_enumerates_all_edges() {
+        let g = Graph::cycle(5);
+        let edges: Vec<_> = g.edge_pairs().collect();
+        assert_eq!(edges.len(), 5);
+        assert!(edges.contains(&(0, 1)) && edges.contains(&(4, 0)) || edges.contains(&(0, 4)));
+
+        let clique: Vec<_> = Graph::clique(4).edge_pairs().collect();
+        assert_eq!(clique.len(), 6);
+        assert!(clique.iter().all(|&(u, v)| u < v && v < 4));
+    }
+
+    #[test]
+    fn random_regular_has_uniform_degree() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let g = Graph::random_regular(30, 4, &mut rng);
+        assert_eq!(g.num_edges(), 30 * 4 / 2);
+        let mut degree = [0u32; 30];
+        for (u, v) in g.edge_pairs() {
+            degree[u] += 1;
+            degree[v] += 1;
+        }
+        assert!(degree.iter().all(|&d| d == 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn random_regular_rejects_odd_stub_count() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let _ = Graph::random_regular(5, 3, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loops() {
+        let _ = Graph::from_edges(3, vec![(1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_edges() {
+        let _ = Graph::from_edges(3, vec![(0, 3)]);
+    }
+}

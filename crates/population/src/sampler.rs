@@ -1,0 +1,276 @@
+//! Weighted categorical sampling backed by a Fenwick (binary indexed) tree.
+//!
+//! The count-based engines need to repeatedly draw a state index with
+//! probability proportional to its agent count, under counts that change by
+//! ±1 after every interaction. A Fenwick tree supports both the point update
+//! and the inverse-CDF draw in `O(log s)`.
+
+use rand::Rng;
+
+/// A dynamic categorical distribution over `0..len` with `u64` weights.
+///
+/// # Example
+///
+/// ```
+/// use avc_population::sampler::FenwickSampler;
+/// use rand::SeedableRng;
+///
+/// let mut sampler = FenwickSampler::from_weights(&[2, 0, 3]);
+/// assert_eq!(sampler.total(), 5);
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+/// let i = sampler.sample(&mut rng).unwrap();
+/// assert!(i == 0 || i == 2);
+/// sampler.add(0, -2);
+/// assert_eq!(sampler.weight(0), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FenwickSampler {
+    /// `tree[i]` holds the sum of a block of weights ending at index `i`
+    /// (1-based Fenwick layout; `tree[0]` is unused).
+    tree: Vec<u64>,
+    len: usize,
+    total: u64,
+    /// Largest power of two `≤ len`, used for the O(log s) inverse-CDF walk.
+    top_bit: usize,
+}
+
+impl FenwickSampler {
+    /// Creates a sampler over `len` categories, all with weight zero.
+    #[must_use]
+    pub fn new(len: usize) -> FenwickSampler {
+        let top_bit = if len == 0 {
+            0
+        } else {
+            usize::BITS as usize - 1 - len.leading_zeros() as usize
+        };
+        FenwickSampler {
+            tree: vec![0; len + 1],
+            len,
+            total: 0,
+            top_bit: 1 << top_bit,
+        }
+    }
+
+    /// Creates a sampler initialized with the given weights.
+    #[must_use]
+    pub fn from_weights(weights: &[u64]) -> FenwickSampler {
+        let mut sampler = FenwickSampler::new(weights.len());
+        // O(len) bulk build: accumulate each leaf into its parent block.
+        for (i, &w) in weights.iter().enumerate() {
+            sampler.tree[i + 1] += w;
+            let parent = (i + 1) + ((i + 1) & (i + 1).wrapping_neg());
+            if parent <= weights.len() {
+                let v = sampler.tree[i + 1];
+                sampler.tree[parent] += v;
+            }
+            sampler.total += w;
+        }
+        sampler
+    }
+
+    /// Number of categories.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the sampler has zero categories.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sum of all weights.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Adds `delta` to the weight of category `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range or the weight would underflow.
+    pub fn add(&mut self, index: usize, delta: i64) {
+        assert!(index < self.len, "index {index} out of range {}", self.len);
+        if delta >= 0 {
+            let d = delta as u64;
+            self.total += d;
+            let mut i = index + 1;
+            while i <= self.len {
+                self.tree[i] += d;
+                i += i & i.wrapping_neg();
+            }
+        } else {
+            let d = delta.unsigned_abs();
+            assert!(
+                self.weight(index) >= d,
+                "weight underflow at index {index}"
+            );
+            self.total -= d;
+            let mut i = index + 1;
+            while i <= self.len {
+                self.tree[i] -= d;
+                i += i & i.wrapping_neg();
+            }
+        }
+    }
+
+    /// Current weight of category `index`.
+    #[must_use]
+    pub fn weight(&self, index: usize) -> u64 {
+        self.prefix_sum(index + 1) - self.prefix_sum(index)
+    }
+
+    /// Sum of weights of categories `0..end`.
+    #[must_use]
+    pub fn prefix_sum(&self, end: usize) -> u64 {
+        let mut i = end.min(self.len);
+        let mut sum = 0;
+        while i > 0 {
+            sum += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        sum
+    }
+
+    /// Finds the smallest index whose prefix-inclusive cumulative weight
+    /// exceeds `target` (i.e. the inverse CDF at `target`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target >= total()`.
+    #[must_use]
+    pub fn select(&self, mut target: u64) -> usize {
+        assert!(target < self.total, "select target beyond total weight");
+        let mut pos = 0;
+        let mut step = self.top_bit;
+        while step > 0 {
+            let next = pos + step;
+            if next <= self.len && self.tree[next] <= target {
+                target -= self.tree[next];
+                pos = next;
+            }
+            step >>= 1;
+        }
+        pos // 0-based index of the selected category
+    }
+
+    /// Draws a category with probability proportional to its weight.
+    ///
+    /// Returns `None` if the total weight is zero.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<usize> {
+        if self.total == 0 {
+            return None;
+        }
+        Some(self.select(rng.gen_range(0..self.total)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn build_matches_incremental() {
+        let weights = [3u64, 0, 7, 1, 0, 0, 5, 2, 9];
+        let bulk = FenwickSampler::from_weights(&weights);
+        let mut inc = FenwickSampler::new(weights.len());
+        for (i, &w) in weights.iter().enumerate() {
+            inc.add(i, w as i64);
+        }
+        assert_eq!(bulk.total(), inc.total());
+        for i in 0..weights.len() {
+            assert_eq!(bulk.weight(i), weights[i]);
+            assert_eq!(inc.weight(i), weights[i]);
+            assert_eq!(bulk.prefix_sum(i), inc.prefix_sum(i));
+        }
+    }
+
+    #[test]
+    fn select_walks_cdf_boundaries() {
+        let s = FenwickSampler::from_weights(&[2, 0, 3, 1]);
+        assert_eq!(s.select(0), 0);
+        assert_eq!(s.select(1), 0);
+        assert_eq!(s.select(2), 2);
+        assert_eq!(s.select(4), 2);
+        assert_eq!(s.select(5), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond total")]
+    fn select_rejects_out_of_range_target() {
+        let s = FenwickSampler::from_weights(&[1, 1]);
+        let _ = s.select(2);
+    }
+
+    #[test]
+    fn add_and_remove_roundtrips() {
+        let mut s = FenwickSampler::from_weights(&[5, 5, 5]);
+        s.add(1, -5);
+        assert_eq!(s.weight(1), 0);
+        assert_eq!(s.total(), 10);
+        s.add(1, 2);
+        assert_eq!(s.weight(1), 2);
+        assert_eq!(s.total(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn add_rejects_underflow() {
+        let mut s = FenwickSampler::from_weights(&[1]);
+        s.add(0, -2);
+    }
+
+    #[test]
+    fn sample_respects_zero_weights() {
+        let s = FenwickSampler::from_weights(&[0, 4, 0]);
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(s.sample(&mut rng), Some(1));
+        }
+    }
+
+    #[test]
+    fn sample_none_when_empty_weight() {
+        let s = FenwickSampler::from_weights(&[0, 0]);
+        let mut rng = SmallRng::seed_from_u64(42);
+        assert_eq!(s.sample(&mut rng), None);
+    }
+
+    #[test]
+    fn sample_frequencies_roughly_proportional() {
+        let s = FenwickSampler::from_weights(&[1, 3, 6]);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut hits = [0u64; 3];
+        let trials = 100_000;
+        for _ in 0..trials {
+            hits[s.sample(&mut rng).unwrap()] += 1;
+        }
+        // Expected proportions 0.1 / 0.3 / 0.6 with ±2% slack.
+        assert!((hits[0] as f64 / trials as f64 - 0.1).abs() < 0.02);
+        assert!((hits[1] as f64 / trials as f64 - 0.3).abs() < 0.02);
+        assert!((hits[2] as f64 / trials as f64 - 0.6).abs() < 0.02);
+    }
+
+    #[test]
+    fn works_at_non_power_of_two_lengths() {
+        for len in [1usize, 2, 3, 5, 13, 100, 1000] {
+            let weights: Vec<u64> = (0..len as u64).map(|i| i % 7).collect();
+            let s = FenwickSampler::from_weights(&weights);
+            let total: u64 = weights.iter().sum();
+            assert_eq!(s.total(), total);
+            // Every boundary target selects the right category.
+            let mut acc = 0;
+            for (i, &w) in weights.iter().enumerate() {
+                if w > 0 {
+                    assert_eq!(s.select(acc), i);
+                    assert_eq!(s.select(acc + w - 1), i);
+                }
+                acc += w;
+            }
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! The majority-problem specification and convergence criteria.
+
+use crate::protocol::Opinion;
+use std::fmt;
+
+/// An instance of the majority problem: `a` agents start with opinion `A`
+/// and `b` agents with opinion `B`.
+///
+/// The *margin* is `ε = |a − b| / n`; the paper parameterizes running times
+/// by `ε` and frequently uses the hardest setting `εn = 1` (a single-agent
+/// advantage).
+///
+/// # Example
+///
+/// ```
+/// use avc_population::{MajorityInstance, Opinion};
+///
+/// let inst = MajorityInstance::new(6, 5);
+/// assert_eq!(inst.population(), 11);
+/// assert_eq!(inst.winner(), Some(Opinion::A));
+/// assert!((inst.margin() - 1.0 / 11.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MajorityInstance {
+    a: u64,
+    b: u64,
+}
+
+impl MajorityInstance {
+    /// Creates an instance with `a` agents of opinion `A` and `b` of `B`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population is smaller than two agents.
+    #[must_use]
+    pub fn new(a: u64, b: u64) -> MajorityInstance {
+        assert!(a + b >= 2, "population must have at least two agents");
+        MajorityInstance { a, b }
+    }
+
+    /// The hardest instance on `n` agents: the majority holds by exactly one
+    /// agent (`εn = 1`), with `A` the majority. Used throughout Figure 3.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3` or `n` is even (a one-agent advantage needs odd `n`).
+    #[must_use]
+    pub fn one_extra(n: u64) -> MajorityInstance {
+        assert!(n >= 3, "need at least three agents, got {n}");
+        assert!(n % 2 == 1, "a one-agent advantage requires odd n, got {n}");
+        MajorityInstance::new(n / 2 + 1, n / 2)
+    }
+
+    /// An instance on `n` agents with relative advantage (margin) at least
+    /// `epsilon` in favor of `A`, i.e. `a − b = max(1, round(εn))` rounded to
+    /// match parity with `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `epsilon` is not in `(0, 1]`.
+    #[must_use]
+    pub fn with_margin(n: u64, epsilon: f64) -> MajorityInstance {
+        assert!(n >= 2, "need at least two agents, got {n}");
+        assert!(
+            epsilon > 0.0 && epsilon <= 1.0,
+            "margin must be in (0,1], got {epsilon}"
+        );
+        let mut gap = ((epsilon * n as f64).round() as u64).max(1);
+        if gap % 2 != n % 2 {
+            gap += 1; // a and b must be integers with a+b = n
+        }
+        let gap = gap.min(n);
+        MajorityInstance::new((n + gap) / 2, (n - gap) / 2)
+    }
+
+    /// Number of agents starting with opinion `A`.
+    #[must_use]
+    pub fn a(&self) -> u64 {
+        self.a
+    }
+
+    /// Number of agents starting with opinion `B`.
+    #[must_use]
+    pub fn b(&self) -> u64 {
+        self.b
+    }
+
+    /// Total population `n = a + b`.
+    #[must_use]
+    pub fn population(&self) -> u64 {
+        self.a + self.b
+    }
+
+    /// The relative advantage `ε = |a − b| / n`.
+    #[must_use]
+    pub fn margin(&self) -> f64 {
+        self.a.abs_diff(self.b) as f64 / self.population() as f64
+    }
+
+    /// The correct output, or `None` for a tie.
+    #[must_use]
+    pub fn winner(&self) -> Option<Opinion> {
+        match self.a.cmp(&self.b) {
+            std::cmp::Ordering::Greater => Some(Opinion::A),
+            std::cmp::Ordering::Less => Some(Opinion::B),
+            std::cmp::Ordering::Equal => None,
+        }
+    }
+}
+
+impl fmt::Display for MajorityInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "majority(a={}, b={})", self.a, self.b)
+    }
+}
+
+/// When a run is considered converged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ConvergenceRule {
+    /// All agents report the same output under `γ`.
+    ///
+    /// This matches the paper's convergence definition for protocols where
+    /// output consensus is stable (AVC — Lemma A.1; the four-state protocol;
+    /// the voter model).
+    #[default]
+    OutputConsensus,
+    /// All agents occupy one identical state.
+    ///
+    /// Used for the three-state protocol, whose output-consensus
+    /// configurations still contain blank agents; the literature \[PVV09]
+    /// measures hitting times of the all-`x`/all-`y` terminal states.
+    StateConsensus,
+    /// No productive ordered pair remains (the configuration is silent).
+    Silence,
+    /// Exactly `count` agents output `opinion`.
+    ///
+    /// Used for predicates beyond majority — e.g. leader election converges
+    /// when exactly one agent outputs the leader opinion. The run's verdict
+    /// is `Consensus(opinion)` when the count is hit; stability is the
+    /// protocol designer's obligation (for leader election, the leader
+    /// count is non-increasing and never reaches zero).
+    OutputCount {
+        /// The opinion whose population is counted.
+        opinion: Opinion,
+        /// The target number of agents with that opinion.
+        count: u64,
+    },
+}
+
+/// The result of running a simulation until convergence (or a step bound).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunOutcome {
+    /// Total scheduler steps elapsed, including skipped silent steps.
+    pub steps: u64,
+    /// `steps / n` — the paper's parallel-time metric.
+    pub parallel_time: f64,
+    /// How the run ended.
+    pub verdict: Verdict,
+}
+
+/// How a simulation run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// The convergence rule was met; the population agreed on this opinion.
+    Consensus(Opinion),
+    /// The step bound was exhausted before convergence.
+    MaxSteps,
+    /// The configuration became silent without meeting the convergence rule
+    /// (possible only for protocols that can get stuck, e.g. under
+    /// `ConvergenceRule::StateConsensus`).
+    Stuck,
+}
+
+impl Verdict {
+    /// Whether the run converged.
+    #[must_use]
+    pub fn is_consensus(&self) -> bool {
+        matches!(self, Verdict::Consensus(_))
+    }
+
+    /// The agreed opinion, if the run converged.
+    #[must_use]
+    pub fn opinion(&self) -> Option<Opinion> {
+        match self {
+            Verdict::Consensus(op) => Some(*op),
+            _ => None,
+        }
+    }
+
+    /// Whether the run converged to `expected`.
+    #[must_use]
+    pub fn is_correct(&self, expected: Opinion) -> bool {
+        self.opinion() == Some(expected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_extra_gives_unit_advantage() {
+        let inst = MajorityInstance::one_extra(101);
+        assert_eq!(inst.a(), 51);
+        assert_eq!(inst.b(), 50);
+        assert_eq!(inst.winner(), Some(Opinion::A));
+        assert!((inst.margin() - 1.0 / 101.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd n")]
+    fn one_extra_rejects_even_population() {
+        let _ = MajorityInstance::one_extra(10);
+    }
+
+    #[test]
+    fn with_margin_respects_parity() {
+        for n in [10u64, 11, 100, 101, 1000] {
+            for eps in [0.001, 0.01, 0.1, 0.5] {
+                let inst = MajorityInstance::with_margin(n, eps);
+                assert_eq!(inst.population(), n);
+                assert!(inst.a() > inst.b());
+                // Achieved margin is at least the requested one (up to the
+                // integrality minimum) and within 2/n of it.
+                let achieved = inst.margin();
+                assert!(achieved >= eps.min(1.0) - 1e-12 || inst.a() - inst.b() <= 2);
+                assert!(achieved <= eps + 2.0 / n as f64 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn with_margin_full_margin_is_unanimous() {
+        let inst = MajorityInstance::with_margin(10, 1.0);
+        assert_eq!(inst.a(), 10);
+        assert_eq!(inst.b(), 0);
+    }
+
+    #[test]
+    fn tie_has_no_winner() {
+        assert_eq!(MajorityInstance::new(5, 5).winner(), None);
+    }
+
+    #[test]
+    fn verdict_accessors() {
+        let v = Verdict::Consensus(Opinion::B);
+        assert!(v.is_consensus());
+        assert_eq!(v.opinion(), Some(Opinion::B));
+        assert!(v.is_correct(Opinion::B));
+        assert!(!v.is_correct(Opinion::A));
+        assert!(!Verdict::MaxSteps.is_consensus());
+        assert_eq!(Verdict::Stuck.opinion(), None);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(MajorityInstance::new(3, 2).to_string(), "majority(a=3, b=2)");
+    }
+}

@@ -1,0 +1,154 @@
+//! Discrete steps, parallel time, and the continuous-time model.
+//!
+//! The paper's discrete model draws one interacting pair per step and
+//! defines one unit of *parallel time* as `n` steps. The continuous-time
+//! model instead lets each agent (or each ordered pair) interact at
+//! instances of a Poisson process; the two are "essentially equivalent"
+//! (§1): conditioned on the jump sequence, the continuous model is the
+//! discrete chain with i.i.d. `Exponential(n)` holding times between steps
+//! (time scaled so each agent initiates at rate 1), so continuous time
+//! concentrates around parallel time.
+
+use rand::Rng;
+use rand_distr::{Distribution, Exp};
+
+/// Converts a discrete step count into parallel time for population `n`.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+///
+/// # Example
+///
+/// ```
+/// use avc_population::time::parallel_time;
+/// assert_eq!(parallel_time(5_000, 1_000), 5.0);
+/// ```
+#[must_use]
+pub fn parallel_time(steps: u64, n: u64) -> f64 {
+    assert!(n > 0, "population must be nonzero");
+    steps as f64 / n as f64
+}
+
+/// A continuous-time clock for the Poisson interaction model.
+///
+/// Each of the `n` agents initiates interactions at rate 1, so global
+/// events form a Poisson process of rate `n`: inter-event times are
+/// `Exponential(n)`. Layering this clock over a discrete-step engine yields
+/// the continuous-time model exactly.
+///
+/// # Example
+///
+/// ```
+/// use avc_population::time::ContinuousClock;
+/// use rand::SeedableRng;
+///
+/// let mut clock = ContinuousClock::new(100);
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+/// for _ in 0..100 {
+///     clock.tick(&mut rng);
+/// }
+/// // After 100 events at rate 100, elapsed time concentrates near 1.0.
+/// assert!(clock.elapsed() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ContinuousClock {
+    rate: f64,
+    elapsed: f64,
+}
+
+impl ContinuousClock {
+    /// A clock for a population of `n` agents (event rate `n`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn new(n: u64) -> ContinuousClock {
+        assert!(n > 0, "population must be nonzero");
+        ContinuousClock {
+            rate: n as f64,
+            elapsed: 0.0,
+        }
+    }
+
+    /// Advances past one interaction event; returns the holding time.
+    pub fn tick<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        let dt = Exp::new(self.rate)
+            .expect("rate is positive")
+            .sample(rng);
+        self.elapsed += dt;
+        dt
+    }
+
+    /// Advances past `k` consecutive events in one draw (an `Erlang(k, n)`
+    /// holding time, sampled as a sum). Used when the discrete engine skips
+    /// silent steps in batches.
+    pub fn tick_many<R: Rng + ?Sized>(&mut self, rng: &mut R, k: u64) -> f64 {
+        // Sum of k exponentials; for very large k this is effectively
+        // deterministic (k/rate ± O(√k)/rate), but we keep exact sampling
+        // below a threshold and use a normal approximation above it.
+        const EXACT_LIMIT: u64 = 4_096;
+        let dt = if k <= EXACT_LIMIT {
+            let exp = Exp::new(self.rate).expect("rate is positive");
+            (0..k).map(|_| exp.sample(rng)).sum()
+        } else {
+            let mean = k as f64 / self.rate;
+            let std = (k as f64).sqrt() / self.rate;
+            let gauss = rand_distr::Normal::new(mean, std).expect("finite parameters");
+            gauss.sample(rng).max(0.0)
+        };
+        self.elapsed += dt;
+        dt
+    }
+
+    /// Total continuous time elapsed.
+    #[must_use]
+    pub fn elapsed(&self) -> f64 {
+        self.elapsed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn parallel_time_is_steps_over_n() {
+        assert_eq!(parallel_time(0, 10), 0.0);
+        assert_eq!(parallel_time(25, 10), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn parallel_time_rejects_zero_population() {
+        let _ = parallel_time(1, 0);
+    }
+
+    #[test]
+    fn clock_concentrates_on_parallel_time() {
+        let n = 1_000u64;
+        let mut clock = ContinuousClock::new(n);
+        let mut rng = SmallRng::seed_from_u64(17);
+        for _ in 0..10 * n {
+            clock.tick(&mut rng);
+        }
+        // 10n events at rate n: elapsed ≈ 10 with relative sd 1/√(10n) ≈ 1%.
+        assert!((clock.elapsed() - 10.0).abs() < 0.5, "{}", clock.elapsed());
+    }
+
+    #[test]
+    fn tick_many_matches_tick_in_expectation() {
+        let n = 100u64;
+        let mut rng = SmallRng::seed_from_u64(23);
+        let mut a = ContinuousClock::new(n);
+        a.tick_many(&mut rng, 50_000); // normal-approximation path
+        assert!((a.elapsed() - 500.0).abs() < 10.0, "{}", a.elapsed());
+
+        let mut b = ContinuousClock::new(n);
+        b.tick_many(&mut rng, 1_000); // exact path
+        assert!((b.elapsed() - 10.0).abs() < 1.5, "{}", b.elapsed());
+    }
+}

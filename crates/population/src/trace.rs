@@ -1,0 +1,246 @@
+//! Trajectory recording: sampled time series of configuration statistics.
+//!
+//! The paper's analysis (§4) reasons about the *trajectory* of derived
+//! quantities — the maximum weight per sign, the number of strong /
+//! intermediate / weak nodes — not just the convergence time. This module
+//! drives any [`Simulator`] while sampling a user probe at a fixed step
+//! cadence, producing the data behind the dynamics experiments.
+
+use crate::engine::Simulator;
+use crate::protocol::Opinion;
+use crate::spec::{ConvergenceRule, RunOutcome, Verdict};
+use rand::RngCore;
+
+/// One sampled point of a trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Scheduler steps elapsed at the sample.
+    pub steps: u64,
+    /// `steps / n`.
+    pub parallel_time: f64,
+    /// Values returned by the probe, one per probed statistic.
+    pub values: Vec<f64>,
+}
+
+/// A recorded trajectory: the probe's statistic names plus the samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// Names of the probed statistics (column headers).
+    pub names: Vec<String>,
+    /// Samples in step order (first sample at step 0).
+    pub samples: Vec<Sample>,
+    /// How the underlying run ended.
+    pub outcome: RunOutcome,
+}
+
+impl Trace {
+    /// The time series of statistic `index` as `(parallel_time, value)`
+    /// pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn series(&self, index: usize) -> Vec<(f64, f64)> {
+        assert!(index < self.names.len(), "statistic index out of range");
+        self.samples
+            .iter()
+            .map(|s| (s.parallel_time, s.values[index]))
+            .collect()
+    }
+}
+
+/// Drives `sim` to convergence under `rule`, sampling `probe(counts)` every
+/// `cadence` steps (and at step 0 and at the final configuration).
+///
+/// The probe receives the species counts and returns one value per
+/// statistic named in `names`.
+///
+/// # Panics
+///
+/// Panics if `cadence` is zero or the probe returns a vector of the wrong
+/// length.
+pub fn record<S: Simulator + ?Sized>(
+    sim: &mut S,
+    rng: &mut dyn RngCore,
+    cadence: u64,
+    max_steps: u64,
+    rule: ConvergenceRule,
+    names: Vec<String>,
+    mut probe: impl FnMut(&[u64]) -> Vec<f64>,
+) -> Trace {
+    assert!(cadence > 0, "cadence must be positive");
+    let n = sim.population();
+    let mut samples = Vec::new();
+    let mut next_sample = sim.steps();
+
+    let mut take = |sim: &S, samples: &mut Vec<Sample>| {
+        let values = probe(sim.counts());
+        assert_eq!(values.len(), names.len(), "probe arity mismatch");
+        samples.push(Sample {
+            steps: sim.steps(),
+            parallel_time: sim.steps() as f64 / n as f64,
+            values,
+        });
+    };
+
+    let verdict = loop {
+        if sim.steps() >= next_sample {
+            take(sim, &mut samples);
+            next_sample = sim.steps().saturating_add(cadence);
+        }
+        let converged = match rule {
+            ConvergenceRule::OutputConsensus => {
+                let a = sim.count_a();
+                if a == n {
+                    Some(Verdict::Consensus(Opinion::A))
+                } else if a == 0 {
+                    Some(Verdict::Consensus(Opinion::B))
+                } else {
+                    None
+                }
+            }
+            ConvergenceRule::StateConsensus => sim
+                .unanimous_state()
+                .map(|s| Verdict::Consensus(sim.state_output(s))),
+            ConvergenceRule::Silence => {
+                if sim.config_is_silent() {
+                    let a = sim.count_a();
+                    Some(if a == n {
+                        Verdict::Consensus(Opinion::A)
+                    } else if a == 0 {
+                        Verdict::Consensus(Opinion::B)
+                    } else {
+                        Verdict::Stuck
+                    })
+                } else {
+                    None
+                }
+            }
+            ConvergenceRule::OutputCount { opinion, count } => {
+                let with_opinion = match opinion {
+                    Opinion::A => sim.count_a(),
+                    Opinion::B => n - sim.count_a(),
+                };
+                (with_opinion == count).then_some(Verdict::Consensus(opinion))
+            }
+        };
+        if let Some(v) = converged {
+            break v;
+        }
+        if sim.steps() >= max_steps {
+            break Verdict::MaxSteps;
+        }
+        if sim.advance(rng) == 0 {
+            break Verdict::Stuck;
+        }
+    };
+
+    // Always include the terminal configuration.
+    if samples.last().map(|s| s.steps) != Some(sim.steps()) {
+        take(sim, &mut samples);
+    }
+
+    Trace {
+        names,
+        samples,
+        outcome: RunOutcome {
+            steps: sim.steps(),
+            parallel_time: sim.steps() as f64 / n as f64,
+            verdict,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::engine::CountSim;
+    use crate::protocol::tests_support::Voter;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn record_voter(cadence: u64) -> Trace {
+        let mut sim = CountSim::new(Voter, Config::from_input(&Voter, 30, 10));
+        let mut rng = SmallRng::seed_from_u64(4);
+        record(
+            &mut sim,
+            &mut rng,
+            cadence,
+            u64::MAX,
+            ConvergenceRule::OutputConsensus,
+            vec!["count_a".to_string()],
+            |counts| vec![counts[0] as f64],
+        )
+    }
+
+    #[test]
+    fn trace_starts_at_zero_and_ends_at_terminal() {
+        let trace = record_voter(10);
+        assert_eq!(trace.samples.first().unwrap().steps, 0);
+        assert_eq!(
+            trace.samples.last().unwrap().steps,
+            trace.outcome.steps,
+            "last sample must be the terminal configuration"
+        );
+        assert!(trace.outcome.verdict.is_consensus());
+        // First sample sees the initial counts.
+        assert_eq!(trace.samples[0].values[0], 30.0);
+        // Terminal sample is absorbed: all 40 or none.
+        let last = trace.samples.last().unwrap().values[0];
+        assert!(last == 40.0 || last == 0.0);
+    }
+
+    #[test]
+    fn cadence_controls_sample_density() {
+        let sparse = record_voter(1_000_000);
+        assert!(sparse.samples.len() <= 3);
+        let dense = record_voter(5);
+        assert!(dense.samples.len() >= sparse.samples.len());
+        // Samples are strictly increasing in steps.
+        for pair in dense.samples.windows(2) {
+            assert!(pair[0].steps < pair[1].steps);
+        }
+    }
+
+    #[test]
+    fn series_extracts_columns() {
+        let trace = record_voter(10);
+        let series = trace.series(0);
+        assert_eq!(series.len(), trace.samples.len());
+        assert_eq!(series[0], (0.0, 30.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "cadence")]
+    fn rejects_zero_cadence() {
+        let mut sim = CountSim::new(Voter, Config::from_input(&Voter, 3, 2));
+        let mut rng = SmallRng::seed_from_u64(1);
+        let _ = record(
+            &mut sim,
+            &mut rng,
+            0,
+            10,
+            ConvergenceRule::OutputConsensus,
+            vec![],
+            |_| vec![],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn rejects_probe_arity_mismatch() {
+        let mut sim = CountSim::new(Voter, Config::from_input(&Voter, 3, 2));
+        let mut rng = SmallRng::seed_from_u64(1);
+        let _ = record(
+            &mut sim,
+            &mut rng,
+            1,
+            10,
+            ConvergenceRule::OutputConsensus,
+            vec!["a".into(), "b".into()],
+            |_| vec![1.0],
+        );
+    }
+}

@@ -1,0 +1,236 @@
+//! Parallel composition of population protocols.
+//!
+//! The product construction is the standard way population protocols are
+//! combined (it underlies, e.g., the register-machine simulations of
+//! \[AAE08] that motivate fast majority as a primitive): agents carry a
+//! state from each component and every interaction updates both components
+//! independently. The composite state space is the product, so the
+//! composite of an `s₁`- and an `s₂`-state protocol has `s₁·s₂` states.
+
+use avc_population::{Opinion, Protocol, StateId};
+
+/// Which component of a [`Parallel`] composition provides outputs and
+/// input encodings for the composite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Lead {
+    /// The first component drives `output`/`input`.
+    First,
+    /// The second component drives `output`/`input`.
+    Second,
+}
+
+/// The parallel composition `P × Q`: both components run independently on
+/// the same interaction schedule.
+///
+/// Outputs and input encodings are delegated to the *lead* component; the
+/// other component's input encoding is still applied, so an agent's initial
+/// composite state encodes its opinion in both components.
+///
+/// # Example: decide majority while measuring broadcast
+///
+/// ```
+/// use avc_population::engine::{CountSim, Simulator};
+/// use avc_population::{Config, Opinion, Protocol};
+/// use avc_protocols::{compose::{Lead, Parallel}, Epidemic, FourState};
+/// use rand::SeedableRng;
+///
+/// let composite = Parallel::new(FourState, Epidemic, Lead::First);
+/// assert_eq!(composite.num_states(), 4 * 2);
+/// let config = Config::from_input(&composite, 7, 4);
+/// let mut sim = CountSim::new(composite, config);
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+/// let out = sim.run_to_consensus(&mut rng, u64::MAX);
+/// assert_eq!(out.verdict.opinion(), Some(Opinion::A)); // majority decided
+/// ```
+#[derive(Debug, Clone)]
+pub struct Parallel<P, Q> {
+    first: P,
+    second: Q,
+    lead: Lead,
+    name: String,
+}
+
+impl<P: Protocol, Q: Protocol> Parallel<P, Q> {
+    /// Composes two protocols.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the product state count overflows `u32`.
+    pub fn new(first: P, second: Q, lead: Lead) -> Parallel<P, Q> {
+        let product = (first.num_states() as u64) * (second.num_states() as u64);
+        assert!(
+            u32::try_from(product).is_ok(),
+            "composite state space too large: {product}"
+        );
+        let name = format!("{} x {}", first.name(), second.name());
+        Parallel {
+            first,
+            second,
+            lead,
+            name,
+        }
+    }
+
+    /// The first component.
+    pub fn first(&self) -> &P {
+        &self.first
+    }
+
+    /// The second component.
+    pub fn second(&self) -> &Q {
+        &self.second
+    }
+
+    /// Packs component states into a composite state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either component state is out of range.
+    #[must_use]
+    pub fn pack(&self, first: StateId, second: StateId) -> StateId {
+        assert!(first < self.first.num_states(), "first state out of range");
+        assert!(
+            second < self.second.num_states(),
+            "second state out of range"
+        );
+        first * self.second.num_states() + second
+    }
+
+    /// Unpacks a composite state into its components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    #[must_use]
+    pub fn unpack(&self, state: StateId) -> (StateId, StateId) {
+        assert!(state < self.num_states(), "composite state out of range");
+        (
+            state / self.second.num_states(),
+            state % self.second.num_states(),
+        )
+    }
+}
+
+impl<P: Protocol, Q: Protocol> Protocol for Parallel<P, Q> {
+    fn num_states(&self) -> u32 {
+        self.first.num_states() * self.second.num_states()
+    }
+
+    fn transition(&self, initiator: StateId, responder: StateId) -> (StateId, StateId) {
+        let (i1, i2) = self.unpack(initiator);
+        let (r1, r2) = self.unpack(responder);
+        let (i1n, r1n) = self.first.transition(i1, r1);
+        let (i2n, r2n) = self.second.transition(i2, r2);
+        (self.pack(i1n, i2n), self.pack(r1n, r2n))
+    }
+
+    fn output(&self, state: StateId) -> Opinion {
+        let (s1, s2) = self.unpack(state);
+        match self.lead {
+            Lead::First => self.first.output(s1),
+            Lead::Second => self.second.output(s2),
+        }
+    }
+
+    fn input(&self, opinion: Opinion) -> StateId {
+        self.pack(self.first.input(opinion), self.second.input(opinion))
+    }
+
+    fn state_label(&self, state: StateId) -> String {
+        let (s1, s2) = self.unpack(state);
+        format!(
+            "({}, {})",
+            self.first.state_label(s1),
+            self.second.state_label(s2)
+        )
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Avc, Epidemic, FourState, Voter};
+    use avc_population::engine::{CountSim, Simulator};
+    use avc_population::Config;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let c = Parallel::new(FourState, Epidemic, Lead::First);
+        for s in 0..c.num_states() {
+            let (a, b) = c.unpack(s);
+            assert_eq!(c.pack(a, b), s);
+        }
+    }
+
+    #[test]
+    fn components_evolve_independently() {
+        let c = Parallel::new(FourState, Voter, Lead::First);
+        for i in 0..c.num_states() {
+            for r in 0..c.num_states() {
+                let (i1, i2) = c.unpack(i);
+                let (r1, r2) = c.unpack(r);
+                let (xi, xr) = c.transition(i, r);
+                let (x1, x2) = c.unpack(xi);
+                let (y1, y2) = c.unpack(xr);
+                assert_eq!((x1, y1), c.first().transition(i1, r1));
+                assert_eq!((x2, y2), c.second().transition(i2, r2));
+            }
+        }
+    }
+
+    #[test]
+    fn majority_times_epidemic_decides_and_infects() {
+        // Agents decide majority with the four-state component while the
+        // epidemic component records whether the initial-A information has
+        // reached them. Both must complete.
+        let c = Parallel::new(FourState, Epidemic, Lead::First);
+        let config = Config::from_input(&c, 13, 8);
+        let mut sim = CountSim::new(c, config);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let out = sim.run_to_consensus(&mut rng, u64::MAX);
+        assert!(out.verdict.is_consensus());
+    }
+
+    #[test]
+    fn lead_selects_output_component() {
+        let first_led = Parallel::new(FourState, Epidemic, Lead::First);
+        let second_led = Parallel::new(FourState, Epidemic, Lead::Second);
+        // Composite state (−1, infected): output B under First, A under
+        // Second (infected maps to A).
+        let s = first_led.pack(1, 0);
+        assert_eq!(first_led.output(s), avc_population::Opinion::B);
+        assert_eq!(second_led.output(s), avc_population::Opinion::A);
+    }
+
+    #[test]
+    fn composition_with_avc_preserves_exactness() {
+        let c = Parallel::new(Avc::new(3, 1).unwrap(), Voter, Lead::First);
+        let config = Config::from_input(&c, 4, 7);
+        let mut sim = CountSim::new(c, config);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let out = sim.run_to_consensus(&mut rng, u64::MAX);
+        assert_eq!(out.verdict.opinion(), Some(avc_population::Opinion::B));
+    }
+
+    #[test]
+    fn labels_show_both_components() {
+        let c = Parallel::new(FourState, Epidemic, Lead::First);
+        let s = c.pack(0, 1);
+        assert_eq!(c.state_label(s), "(+1, susceptible)");
+        assert!(c.name().contains("four-state"));
+        assert!(c.name().contains("epidemic"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn pack_validates_ranges() {
+        let c = Parallel::new(Voter, Voter, Lead::First);
+        let _ = c.pack(2, 0);
+    }
+}

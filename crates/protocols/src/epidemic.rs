@@ -1,0 +1,167 @@
+//! One-way epidemic (broadcast) — the executable form of the `Ω(log n)`
+//! lower bound's information-propagation process.
+//!
+//! Theorem C.1 lower-bounds majority by the time information needs to reach
+//! every agent. The *epidemic* protocol is that process as an actual
+//! protocol: infected initiators infect susceptible responders, nothing
+//! else happens. Its completion time is the classical `Θ(log n)` parallel
+//! rumor-spreading time, giving a protocol-level witness that the
+//! `Ω(log n)` bound is tight for information propagation itself.
+
+use avc_population::{Opinion, Protocol, StateId};
+
+const INFECTED: StateId = 0;
+const SUSCEPTIBLE: StateId = 1;
+
+/// The one-way epidemic: `(infected, susceptible) → (infected, infected)`;
+/// every other interaction is silent.
+///
+/// Outputs: infected agents report [`Opinion::A`], susceptible ones
+/// [`Opinion::B`]; `input(A)` seeds an infection. The expected number of
+/// steps from `k` infected to full infection is exactly
+/// `Σ_{j=k}^{n−1} n(n−1)/(j(n−j))` ([`Epidemic::expected_completion_steps`]),
+/// i.e. `≈ 2·n·ln n` from a single seed — `Θ(log n)` parallel time.
+///
+/// # Example
+///
+/// ```
+/// use avc_population::engine::{CountSim, Simulator};
+/// use avc_population::Config;
+/// use avc_protocols::Epidemic;
+/// use rand::SeedableRng;
+///
+/// let config = Config::from_input(&Epidemic, 1, 999); // one seed
+/// let mut sim = CountSim::new(Epidemic, config);
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(6);
+/// let out = sim.run_to_consensus(&mut rng, u64::MAX);
+/// assert!(out.verdict.is_consensus()); // everyone infected
+/// assert!(out.parallel_time < 60.0); // ≈ 2 ln 1000 ≈ 14, w.h.p. well below 60
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Epidemic;
+
+impl Epidemic {
+    /// Exact expected steps until all `n` agents are infected, starting
+    /// from `k ≥ 1` infected: `Σ_{j=k}^{n−1} n(n−1)/(j(n−j))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero (the epidemic can never complete) or exceeds
+    /// `n`.
+    #[must_use]
+    pub fn expected_completion_steps(&self, n: u64, k: u64) -> f64 {
+        assert!(k >= 1, "need at least one infected agent");
+        assert!(k <= n, "cannot have more infected than agents");
+        let nn = (n * (n - 1)) as f64;
+        (k..n).map(|j| nn / ((j * (n - j)) as f64)).sum()
+    }
+}
+
+impl Protocol for Epidemic {
+    fn num_states(&self) -> u32 {
+        2
+    }
+
+    fn transition(&self, initiator: StateId, responder: StateId) -> (StateId, StateId) {
+        if initiator == INFECTED && responder == SUSCEPTIBLE {
+            (INFECTED, INFECTED)
+        } else {
+            (initiator, responder)
+        }
+    }
+
+    fn output(&self, state: StateId) -> Opinion {
+        if state == INFECTED {
+            Opinion::A
+        } else {
+            Opinion::B
+        }
+    }
+
+    fn input(&self, opinion: Opinion) -> StateId {
+        match opinion {
+            Opinion::A => INFECTED,
+            Opinion::B => SUSCEPTIBLE,
+        }
+    }
+
+    fn state_label(&self, state: StateId) -> String {
+        if state == INFECTED {
+            "infected".to_string()
+        } else {
+            "susceptible".to_string()
+        }
+    }
+
+    fn name(&self) -> &str {
+        "epidemic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avc_population::engine::{JumpSim, Simulator};
+    use avc_population::rngutil::SeedSequence;
+    use avc_population::Config;
+
+    #[test]
+    fn infection_is_one_way() {
+        let p = Epidemic;
+        assert_eq!(p.transition(INFECTED, SUSCEPTIBLE), (INFECTED, INFECTED));
+        assert!(p.is_silent(SUSCEPTIBLE, INFECTED), "responder cannot pull");
+        assert!(p.is_silent(INFECTED, INFECTED));
+        assert!(p.is_silent(SUSCEPTIBLE, SUSCEPTIBLE));
+    }
+
+    #[test]
+    fn simulated_completion_matches_closed_form() {
+        let n = 400u64;
+        let seeds = SeedSequence::new(8);
+        let trials = 120;
+        let mut total = 0.0;
+        for t in 0..trials {
+            let mut rng = seeds.rng_for(t);
+            let config = Config::from_input(&Epidemic, 1, n - 1);
+            let mut sim = JumpSim::new(Epidemic, config);
+            let out = sim.run_to_consensus(&mut rng, u64::MAX);
+            assert!(out.verdict.is_consensus());
+            total += out.steps as f64;
+        }
+        let mean = total / trials as f64;
+        let expected = Epidemic.expected_completion_steps(n, 1);
+        assert!(
+            (mean - expected).abs() / expected < 0.1,
+            "mean {mean} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn completion_is_logarithmic_parallel_time() {
+        // E[T]/n ≈ 2 ln n.
+        for n in [100u64, 1_000, 10_000] {
+            let parallel = Epidemic.expected_completion_steps(n, 1) / n as f64;
+            let ln_n = (n as f64).ln();
+            assert!(
+                parallel > 1.5 * ln_n && parallel < 3.0 * ln_n,
+                "n={n}: {parallel} vs 2 ln n = {}",
+                2.0 * ln_n
+            );
+        }
+    }
+
+    #[test]
+    fn closed_form_boundary_cases() {
+        assert_eq!(Epidemic.expected_completion_steps(10, 10), 0.0);
+        // From n−1 infected: one susceptible, hit at rate (n−1)/(n(n−1)).
+        let n = 10u64;
+        let last = Epidemic.expected_completion_steps(n, n - 1);
+        assert!((last - (n * (n - 1)) as f64 / ((n - 1) * 1) as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one infected")]
+    fn rejects_zero_seeds() {
+        let _ = Epidemic.expected_completion_steps(10, 0);
+    }
+}

@@ -1,0 +1,274 @@
+//! The four-state exact-majority protocol [DV12, MNRS14].
+
+use avc_population::{Opinion, Protocol, StateId};
+use std::fmt;
+
+/// A state of the four-state protocol: a sign and a strong/weak flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FourStateState {
+    /// `+1` — strong opinion `A`.
+    StrongA,
+    /// `−1` — strong opinion `B`.
+    StrongB,
+    /// `+0` — weak opinion `A`.
+    WeakA,
+    /// `−0` — weak opinion `B`.
+    WeakB,
+}
+
+impl fmt::Display for FourStateState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FourStateState::StrongA => write!(f, "+1"),
+            FourStateState::StrongB => write!(f, "-1"),
+            FourStateState::WeakA => write!(f, "+0"),
+            FourStateState::WeakB => write!(f, "-0"),
+        }
+    }
+}
+
+/// The four-state exact-majority protocol of Draief–Vojnović (binary
+/// interval consensus) and Mertzios–Nikoletseas–Raptopoulos–Spirakis.
+///
+/// Agents hold a sign and a weight in `{0, 1}`:
+///
+/// * `(+1, −1) → (+0, −0)` — opposite strong states neutralize;
+/// * a weak state adopts the sign of a strong interaction partner;
+/// * everything else is silent.
+///
+/// The protocol solves majority *exactly* (the invariant `#(+1) − #(−1)` is
+/// preserved, so the minority's strong states deplete first) in expected
+/// `O(log n / ε)` parallel time on the clique — polynomial in `n` for small
+/// margins, which is the slowness AVC removes. It coincides with
+/// [`Avc`](crate::Avc) at `m = 1, d = 1` (tested in `avc.rs`).
+///
+/// # Example
+///
+/// ```
+/// use avc_population::engine::{JumpSim, Simulator};
+/// use avc_population::{Config, Opinion};
+/// use avc_protocols::FourState;
+/// use rand::SeedableRng;
+///
+/// let config = Config::from_input(&FourState, 51, 50);
+/// let mut sim = JumpSim::new(FourState, config);
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(4);
+/// let out = sim.run_to_consensus(&mut rng, u64::MAX);
+/// assert_eq!(out.verdict.opinion(), Some(Opinion::A)); // exact, always
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FourState;
+
+const STRONG_A: StateId = 0;
+const STRONG_B: StateId = 1;
+const WEAK_A: StateId = 2;
+const WEAK_B: StateId = 3;
+
+impl FourState {
+    /// The strong state carrying `opinion`.
+    #[must_use]
+    pub fn encode_strong(&self, opinion: Opinion) -> StateId {
+        match opinion {
+            Opinion::A => STRONG_A,
+            Opinion::B => STRONG_B,
+        }
+    }
+
+    /// The weak state carrying `opinion`.
+    #[must_use]
+    pub fn encode_weak(&self, opinion: Opinion) -> StateId {
+        match opinion {
+            Opinion::A => WEAK_A,
+            Opinion::B => WEAK_B,
+        }
+    }
+
+    /// Decodes a state index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    #[must_use]
+    pub fn decode(&self, state: StateId) -> FourStateState {
+        match state {
+            STRONG_A => FourStateState::StrongA,
+            STRONG_B => FourStateState::StrongB,
+            WEAK_A => FourStateState::WeakA,
+            WEAK_B => FourStateState::WeakB,
+            other => panic!("state id {other} out of range for FourState"),
+        }
+    }
+
+    /// Whether a state is strong (weight 1).
+    #[must_use]
+    pub fn is_strong(&self, state: StateId) -> bool {
+        state == STRONG_A || state == STRONG_B
+    }
+
+    /// The signed "value" of a state: `+1`, `−1`, or `0`; the quantity whose
+    /// population sum the protocol preserves.
+    #[must_use]
+    pub fn value_of(&self, state: StateId) -> i64 {
+        match state {
+            STRONG_A => 1,
+            STRONG_B => -1,
+            _ => 0,
+        }
+    }
+}
+
+impl Protocol for FourState {
+    fn num_states(&self) -> u32 {
+        4
+    }
+
+    fn transition(&self, initiator: StateId, responder: StateId) -> (StateId, StateId) {
+        match (initiator, responder) {
+            // Opposite strong states neutralize into weak states.
+            (STRONG_A, STRONG_B) => (WEAK_A, WEAK_B),
+            (STRONG_B, STRONG_A) => (WEAK_B, WEAK_A),
+            // A strong state meeting a weak state converts it to its own
+            // sign *and hops onto its vertex* (the token swap of [DV12]).
+            // On a clique the swap is invisible — the state multiset is the
+            // same either way — but on general graphs it makes the strong
+            // tokens perform random walks, without which low-conductance
+            // topologies (e.g. the star) can deadlock short of consensus.
+            (STRONG_A, WEAK_A | WEAK_B) => (WEAK_A, STRONG_A),
+            (WEAK_A | WEAK_B, STRONG_A) => (STRONG_A, WEAK_A),
+            (STRONG_B, WEAK_A | WEAK_B) => (WEAK_B, STRONG_B),
+            (WEAK_A | WEAK_B, STRONG_B) => (STRONG_B, WEAK_B),
+            // Same-sign strong and weak–weak interactions are silent.
+            other => other,
+        }
+    }
+
+    fn output(&self, state: StateId) -> Opinion {
+        match state {
+            STRONG_A | WEAK_A => Opinion::A,
+            _ => Opinion::B,
+        }
+    }
+
+    fn input(&self, opinion: Opinion) -> StateId {
+        self.encode_strong(opinion)
+    }
+
+    fn state_label(&self, state: StateId) -> String {
+        self.decode(state).to_string()
+    }
+
+    fn name(&self) -> &str {
+        "four-state"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avc_population::engine::{AgentSim, Simulator};
+    use avc_population::Config;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn neutralization_and_adoption() {
+        let p = FourState;
+        assert_eq!(p.transition(STRONG_A, STRONG_B), (WEAK_A, WEAK_B));
+        assert_eq!(p.transition(STRONG_B, STRONG_A), (WEAK_B, WEAK_A));
+        // Adoption includes the DV12 token swap: the strong state ends up
+        // on the former weak node's side.
+        assert_eq!(p.transition(STRONG_A, WEAK_B), (WEAK_A, STRONG_A));
+        assert_eq!(p.transition(WEAK_A, STRONG_B), (STRONG_B, WEAK_B));
+    }
+
+    #[test]
+    fn adoption_preserves_the_state_multiset_seen_on_cliques() {
+        // {+1, −0} → {+1, +0} regardless of which side holds the token.
+        let p = FourState;
+        let mut out: Vec<StateId> = {
+            let (x, y) = p.transition(STRONG_A, WEAK_B);
+            vec![x, y]
+        };
+        out.sort_unstable();
+        assert_eq!(out, vec![STRONG_A, WEAK_A]);
+    }
+
+    #[test]
+    fn star_topology_reaches_consensus_thanks_to_token_swap() {
+        // Without the swap, strong tokens freeze at their vertices and the
+        // star deadlocks with unconverted leaves. With it, consensus is
+        // reached from every seed.
+        use avc_population::graph::Graph;
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..5 {
+            let config = Config::from_input(&FourState, 14, 7);
+            let mut sim = AgentSim::new(FourState, config, Graph::star(21));
+            let out = sim.run_to_consensus(&mut rng, 50_000_000);
+            assert_eq!(out.verdict.opinion(), Some(Opinion::A));
+        }
+    }
+
+    #[test]
+    fn silent_pairs() {
+        let p = FourState;
+        for (a, b) in [
+            (STRONG_A, STRONG_A),
+            (STRONG_B, STRONG_B),
+            (WEAK_A, WEAK_A),
+            (WEAK_A, WEAK_B),
+            (WEAK_B, WEAK_B),
+            (STRONG_A, WEAK_A),
+            (STRONG_B, WEAK_B),
+        ] {
+            assert!(p.is_silent(a, b), "({a},{b}) should be silent");
+            assert!(p.is_silent(b, a));
+        }
+    }
+
+    #[test]
+    fn value_sum_is_invariant() {
+        let p = FourState;
+        for a in 0..4 {
+            for b in 0..4 {
+                let (x, y) = p.transition(a, b);
+                assert_eq!(
+                    p.value_of(a) + p.value_of(b),
+                    p.value_of(x) + p.value_of(y)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exactness_on_small_population() {
+        // With a one-agent advantage for B, the protocol must always output B.
+        let mut rng = SmallRng::seed_from_u64(7);
+        for trial in 0..50 {
+            let config = Config::from_input(&FourState, 5, 6);
+            let mut sim = AgentSim::on_clique(FourState, config);
+            let out = sim.run_to_consensus(&mut rng, 10_000_000);
+            assert_eq!(
+                out.verdict.opinion(),
+                Some(Opinion::B),
+                "erred on trial {trial}"
+            );
+        }
+    }
+
+    #[test]
+    fn labels_and_codec() {
+        let p = FourState;
+        assert_eq!(p.state_label(STRONG_A), "+1");
+        assert_eq!(p.state_label(WEAK_B), "-0");
+        assert_eq!(p.encode_strong(Opinion::B), STRONG_B);
+        assert_eq!(p.encode_weak(Opinion::A), WEAK_A);
+        assert!(p.is_strong(STRONG_B));
+        assert!(!p.is_strong(WEAK_B));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn decode_rejects_out_of_range() {
+        let _ = FourState.decode(4);
+    }
+}

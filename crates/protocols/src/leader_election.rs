@@ -1,0 +1,172 @@
+//! Leader election — the paper's suggested next target for the
+//! average-and-conquer technique (§6 discussion).
+//!
+//! This module provides the classical pairwise-elimination protocol as the
+//! baseline the open question is measured against.
+
+use avc_population::{Opinion, Protocol, StateId};
+
+const LEADER: StateId = 0;
+const FOLLOWER: StateId = 1;
+
+/// The classical two-state leader-election protocol: when two leaders meet,
+/// one of them (the responder) becomes a follower; all other interactions
+/// are silent.
+///
+/// From `ℓ₀` initial leaders, exactly one leader survives forever: the
+/// leader count is non-increasing and an interaction between the last two
+/// leaders leaves one. Expected convergence is `Θ(n)` parallel time
+/// (`Σ_ℓ n²/(ℓ(ℓ−1)) ≈ n²` steps), matching the classical analysis; the
+/// paper's open question asks whether averaging-style states can beat it.
+///
+/// Outputs: leaders map to [`Opinion::A`], followers to [`Opinion::B`].
+/// Convergence is detected with
+/// [`ConvergenceRule::OutputCount`](avc_population::ConvergenceRule::OutputCount)
+/// at `{opinion: A, count: 1}`.
+///
+/// # Example
+///
+/// ```
+/// use avc_population::engine::{JumpSim, Simulator};
+/// use avc_population::{Config, ConvergenceRule, Opinion};
+/// use avc_protocols::LeaderElection;
+/// use rand::SeedableRng;
+///
+/// let config = Config::from_counts(vec![100, 0]); // all agents start as leaders
+/// let mut sim = JumpSim::new(LeaderElection, config);
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+/// let out = sim.run_to_consensus_with(
+///     &mut rng,
+///     u64::MAX,
+///     ConvergenceRule::OutputCount { opinion: Opinion::A, count: 1 },
+/// );
+/// assert!(out.verdict.is_consensus());
+/// assert_eq!(sim.counts()[0], 1); // exactly one leader remains
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LeaderElection;
+
+impl LeaderElection {
+    /// The leader state.
+    #[must_use]
+    pub fn leader(&self) -> StateId {
+        LEADER
+    }
+
+    /// The follower state.
+    #[must_use]
+    pub fn follower(&self) -> StateId {
+        FOLLOWER
+    }
+}
+
+impl Protocol for LeaderElection {
+    fn num_states(&self) -> u32 {
+        2
+    }
+
+    fn transition(&self, initiator: StateId, responder: StateId) -> (StateId, StateId) {
+        if initiator == LEADER && responder == LEADER {
+            (LEADER, FOLLOWER)
+        } else {
+            (initiator, responder)
+        }
+    }
+
+    fn output(&self, state: StateId) -> Opinion {
+        if state == LEADER {
+            Opinion::A
+        } else {
+            Opinion::B
+        }
+    }
+
+    fn input(&self, opinion: Opinion) -> StateId {
+        // Inputs: `A` nodes contend for leadership, `B` nodes start passive.
+        match opinion {
+            Opinion::A => LEADER,
+            Opinion::B => FOLLOWER,
+        }
+    }
+
+    fn state_label(&self, state: StateId) -> String {
+        if state == LEADER {
+            "leader".to_string()
+        } else {
+            "follower".to_string()
+        }
+    }
+
+    fn name(&self) -> &str {
+        "leader-election"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avc_population::engine::{JumpSim, Simulator};
+    use avc_population::{Config, ConvergenceRule};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    const ONE_LEADER: ConvergenceRule = ConvergenceRule::OutputCount {
+        opinion: Opinion::A,
+        count: 1,
+    };
+
+    #[test]
+    fn leaders_only_eliminate_each_other() {
+        let p = LeaderElection;
+        assert_eq!(p.transition(LEADER, LEADER), (LEADER, FOLLOWER));
+        assert!(p.is_silent(LEADER, FOLLOWER));
+        assert!(p.is_silent(FOLLOWER, LEADER));
+        assert!(p.is_silent(FOLLOWER, FOLLOWER));
+    }
+
+    #[test]
+    fn exactly_one_leader_survives() {
+        for seed in 0..10 {
+            let config = Config::from_counts(vec![64, 36]);
+            let mut sim = JumpSim::new(LeaderElection, config);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let out = sim.run_to_consensus_with(&mut rng, u64::MAX, ONE_LEADER);
+            assert!(out.verdict.is_consensus());
+            assert_eq!(sim.counts(), &[1, 99]);
+            // Productive events = eliminations = initial leaders − 1.
+            assert_eq!(sim.events(), 63);
+        }
+    }
+
+    #[test]
+    fn convergence_is_linear_parallel_time() {
+        // E[steps] = Σ_{ℓ=2}^{n} n(n−1)/(ℓ(ℓ−1)) = n(n−1)·(1 − 1/n) ≈ n²,
+        // so parallel time ≈ n. Check within a generous band.
+        let n = 200u64;
+        let mut rng = SmallRng::seed_from_u64(3);
+        let trials = 30;
+        let mut total = 0.0;
+        for _ in 0..trials {
+            let config = Config::from_counts(vec![n, 0]);
+            let mut sim = JumpSim::new(LeaderElection, config);
+            let out = sim.run_to_consensus_with(&mut rng, u64::MAX, ONE_LEADER);
+            total += out.parallel_time;
+        }
+        let mean = total / trials as f64;
+        let expected = (n - 1) as f64 * (1.0 - 1.0 / n as f64);
+        assert!(
+            (mean - expected).abs() / expected < 0.25,
+            "mean {mean} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn single_initial_leader_is_immediately_stable() {
+        let config = Config::from_counts(vec![1, 9]);
+        let mut sim = JumpSim::new(LeaderElection, config);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let out = sim.run_to_consensus_with(&mut rng, 1_000, ONE_LEADER);
+        assert_eq!(out.steps, 0);
+        assert!(out.verdict.is_consensus());
+    }
+}

@@ -1,0 +1,59 @@
+//! Majority population protocols.
+//!
+//! This crate implements the protocols studied in *Fast and Exact Majority
+//! in Population Protocols* (Alistarh, Gelashvili, Vojnović; PODC 2015):
+//!
+//! * [`Avc`] — the paper's contribution, **Average-and-Conquer**: an exact
+//!   majority protocol with `s = m + 2d + 1` states converging in
+//!   `O(log n/(sε) + log n log s)` expected parallel time;
+//! * [`FourState`] — the four-state exact protocol of Draief–Vojnović and
+//!   Mertzios et al. (`O(log n/ε)` parallel time, zero error);
+//! * [`ThreeState`] — the three-state *approximate* protocol of
+//!   Angluin–Aspnes–Eisenstat and Perron–Vasudevan–Vojnović (`O(log n)`
+//!   parallel time w.h.p., but error probability `exp(−cε²n)`);
+//! * [`Voter`] — the classical two-state voter model of Hassin–Peleg
+//!   (`Ω(n)` parallel time, error probability `(1−ε)/2`);
+//! * [`LeaderElection`] — the classical pairwise-elimination baseline for
+//!   the paper's §6 open question;
+//! * [`Epidemic`] — one-way broadcast, the executable form of the
+//!   information-propagation process behind the `Ω(log n)` lower bound.
+//!
+//! All protocols implement [`avc_population::Protocol`] and run on any of
+//! the engines in [`avc_population::engine`].
+//!
+//! # Example: exact majority from a one-agent advantage
+//!
+//! ```
+//! use avc_population::engine::{CountSim, Simulator};
+//! use avc_population::{Config, MajorityInstance, Opinion};
+//! use avc_protocols::Avc;
+//! use rand::SeedableRng;
+//!
+//! let instance = MajorityInstance::one_extra(1001);
+//! let protocol = Avc::with_states(1000)?; // the paper's "n-state AVC"
+//! let config = Config::from_input(&protocol, instance.a(), instance.b());
+//! let mut sim = CountSim::new(protocol, config);
+//! let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+//! let out = sim.run_to_consensus(&mut rng, u64::MAX);
+//! assert_eq!(out.verdict.opinion(), Some(Opinion::A)); // never errs
+//! # Ok::<(), avc_protocols::AvcParameterError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compose;
+
+mod avc;
+mod epidemic;
+mod four_state;
+mod leader_election;
+mod three_state;
+mod voter;
+
+pub use crate::avc::{Avc, AvcParameterError, AvcState, Sign};
+pub use crate::epidemic::Epidemic;
+pub use crate::four_state::{FourState, FourStateState};
+pub use crate::leader_election::LeaderElection;
+pub use crate::three_state::ThreeState;
+pub use crate::voter::Voter;

@@ -1,0 +1,216 @@
+//! The three-state approximate-majority protocol [AAE08, PVV09].
+
+use avc_population::{Opinion, Protocol, StateId};
+
+const X: StateId = 0; // opinion A
+const Y: StateId = 1; // opinion B
+const BLANK: StateId = 2;
+
+/// The three-state *approximate* majority protocol of
+/// Angluin–Aspnes–Eisenstat (also studied by Perron–Vasudevan–Vojnović as
+/// three-state binary consensus, and by Dodd et al. as a model of epigenetic
+/// cell memory).
+///
+/// Interactions are one-way — only the responder updates:
+///
+/// * `(x, y) → (x, blank)` and `(y, x) → (y, blank)` — a responder holding
+///   the opposite opinion is knocked down to *blank*;
+/// * `(x, blank) → (x, x)` and `(y, blank) → (y, y)` — a blank responder
+///   adopts the initiator's opinion;
+/// * everything else is silent.
+///
+/// The protocol converges in `O(log n)` parallel time w.h.p., but is only
+/// approximate: starting from margin `ε` it converges to the *initial
+/// minority* with probability `exp(−Θ(ε²n))` \[PVV09] — sizable for small
+/// margins, which is what Figure 3 (right) measures.
+///
+/// Terminal configurations are all-`x` and all-`y`; configurations may pass
+/// through output consensus while blanks remain, so convergence should be
+/// measured with
+/// [`ConvergenceRule::StateConsensus`](avc_population::ConvergenceRule::StateConsensus).
+/// The output assigned to blank is a reporting convention only and is
+/// configurable via [`ThreeState::with_blank_output`].
+///
+/// # Example
+///
+/// ```
+/// use avc_population::engine::{CountSim, Simulator};
+/// use avc_population::{Config, ConvergenceRule};
+/// use avc_protocols::ThreeState;
+/// use rand::SeedableRng;
+///
+/// let p = ThreeState::new();
+/// let config = Config::from_input(&p, 600, 400);
+/// let mut sim = CountSim::new(p, config);
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(8);
+/// let out = sim.run_to_consensus_with(&mut rng, u64::MAX, ConvergenceRule::StateConsensus);
+/// assert!(out.verdict.is_consensus()); // fast — but may pick the minority!
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ThreeState {
+    blank_output: Opinion,
+}
+
+impl ThreeState {
+    /// Creates the protocol with blank reporting output `A`.
+    #[must_use]
+    pub fn new() -> ThreeState {
+        ThreeState {
+            blank_output: Opinion::A,
+        }
+    }
+
+    /// Sets the output `γ(blank)` used when reporting before termination.
+    #[must_use]
+    pub fn with_blank_output(self, opinion: Opinion) -> ThreeState {
+        ThreeState {
+            blank_output: opinion,
+        }
+    }
+
+    /// The blank (undecided) state.
+    #[must_use]
+    pub fn blank(&self) -> StateId {
+        BLANK
+    }
+}
+
+impl Default for ThreeState {
+    fn default() -> ThreeState {
+        ThreeState::new()
+    }
+}
+
+impl Protocol for ThreeState {
+    fn num_states(&self) -> u32 {
+        3
+    }
+
+    fn transition(&self, initiator: StateId, responder: StateId) -> (StateId, StateId) {
+        match (initiator, responder) {
+            (X, Y) => (X, BLANK),
+            (Y, X) => (Y, BLANK),
+            (X, BLANK) => (X, X),
+            (Y, BLANK) => (Y, Y),
+            other => other,
+        }
+    }
+
+    fn output(&self, state: StateId) -> Opinion {
+        match state {
+            X => Opinion::A,
+            Y => Opinion::B,
+            _ => self.blank_output,
+        }
+    }
+
+    fn input(&self, opinion: Opinion) -> StateId {
+        match opinion {
+            Opinion::A => X,
+            Opinion::B => Y,
+        }
+    }
+
+    fn state_label(&self, state: StateId) -> String {
+        match state {
+            X => "x".to_string(),
+            Y => "y".to_string(),
+            _ => "blank".to_string(),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "three-state"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avc_population::engine::{CountSim, Simulator};
+    use avc_population::{Config, ConvergenceRule};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn one_way_rules() {
+        let p = ThreeState::new();
+        assert_eq!(p.transition(X, Y), (X, BLANK));
+        assert_eq!(p.transition(Y, X), (Y, BLANK));
+        assert_eq!(p.transition(X, BLANK), (X, X));
+        assert_eq!(p.transition(Y, BLANK), (Y, Y));
+        // Initiator is never affected.
+        for a in 0..3 {
+            for b in 0..3 {
+                let (x, _) = p.transition(a, b);
+                assert_eq!(x, a);
+            }
+        }
+    }
+
+    #[test]
+    fn blank_initiator_is_passive() {
+        let p = ThreeState::new();
+        assert!(p.is_silent(BLANK, X));
+        assert!(p.is_silent(BLANK, Y));
+        assert!(p.is_silent(BLANK, BLANK));
+    }
+
+    #[test]
+    fn asymmetric_pairs_are_order_sensitive() {
+        let p = ThreeState::new();
+        // (x, blank) is productive but (blank, x) is silent: the initiator
+        // recruits, the responder is recruited.
+        assert!(!p.is_silent(X, BLANK));
+        assert!(p.is_silent(BLANK, X));
+    }
+
+    #[test]
+    fn terminal_states_are_unanimous() {
+        let p = ThreeState::new();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let config = Config::from_input(&p, 70, 30);
+        let mut sim = CountSim::new(p, config);
+        let out = sim.run_to_consensus_with(&mut rng, u64::MAX, ConvergenceRule::StateConsensus);
+        assert!(out.verdict.is_consensus());
+        let state = sim.unanimous_state().unwrap();
+        assert!(state == X || state == Y, "terminal state must be x or y");
+    }
+
+    #[test]
+    fn errs_with_nonzero_probability_on_balanced_inputs() {
+        // With a one-agent advantage the error probability is near 1/2; over
+        // 60 trials we should observe both outcomes.
+        let p = ThreeState::new();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut wins_a = 0;
+        let mut wins_b = 0;
+        for _ in 0..60 {
+            let config = Config::from_input(&p, 26, 25);
+            let mut sim = CountSim::new(p, config);
+            let out =
+                sim.run_to_consensus_with(&mut rng, u64::MAX, ConvergenceRule::StateConsensus);
+            match out.verdict.opinion().unwrap() {
+                Opinion::A => wins_a += 1,
+                Opinion::B => wins_b += 1,
+            }
+        }
+        assert!(wins_a > 0 && wins_b > 0, "A={wins_a}, B={wins_b}");
+    }
+
+    #[test]
+    fn blank_output_is_configurable() {
+        let p = ThreeState::new().with_blank_output(Opinion::B);
+        assert_eq!(p.output(BLANK), Opinion::B);
+        assert_eq!(ThreeState::new().output(BLANK), Opinion::A);
+    }
+
+    #[test]
+    fn labels() {
+        let p = ThreeState::new();
+        assert_eq!(p.state_label(X), "x");
+        assert_eq!(p.state_label(Y), "y");
+        assert_eq!(p.state_label(BLANK), "blank");
+        assert_eq!(p.blank(), BLANK);
+    }
+}

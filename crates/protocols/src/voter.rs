@@ -1,0 +1,104 @@
+//! The two-state voter model \[HP99].
+
+use avc_population::{Opinion, Protocol, StateId};
+
+const A: StateId = 0;
+const B: StateId = 1;
+
+/// The classical two-state voter model (distributed probabilistic polling,
+/// Hassin–Peleg; the voter model of interacting particle systems).
+///
+/// On each interaction the responder simply adopts the initiator's opinion.
+/// On the clique this is a martingale on the count of `A`-agents: it
+/// converges to consensus on `A` with probability exactly `a/n`, so the
+/// error probability from margin `ε` is `(1 − ε)/2`, and the expected
+/// convergence time is `Θ(n)` parallel time. It is included as the weakest
+/// baseline of the protocol family.
+///
+/// # Example
+///
+/// ```
+/// use avc_population::engine::{CountSim, Simulator};
+/// use avc_population::Config;
+/// use avc_protocols::Voter;
+/// use rand::SeedableRng;
+///
+/// let config = Config::from_input(&Voter, 90, 10);
+/// let mut sim = CountSim::new(Voter, config);
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(9);
+/// assert!(sim.run_to_consensus(&mut rng, u64::MAX).verdict.is_consensus());
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Voter;
+
+impl Protocol for Voter {
+    fn num_states(&self) -> u32 {
+        2
+    }
+
+    fn transition(&self, initiator: StateId, _responder: StateId) -> (StateId, StateId) {
+        (initiator, initiator)
+    }
+
+    fn output(&self, state: StateId) -> Opinion {
+        if state == A {
+            Opinion::A
+        } else {
+            Opinion::B
+        }
+    }
+
+    fn input(&self, opinion: Opinion) -> StateId {
+        match opinion {
+            Opinion::A => A,
+            Opinion::B => B,
+        }
+    }
+
+    fn state_label(&self, state: StateId) -> String {
+        if state == A {
+            "A".to_string()
+        } else {
+            "B".to_string()
+        }
+    }
+
+    fn name(&self) -> &str {
+        "voter"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avc_population::engine::{CountSim, Simulator};
+    use avc_population::Config;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn responder_adopts_initiator() {
+        assert_eq!(Voter.transition(A, B), (A, A));
+        assert_eq!(Voter.transition(B, A), (B, B));
+        assert!(Voter.is_silent(A, A));
+        assert!(Voter.is_silent(B, B));
+    }
+
+    #[test]
+    fn absorption_probability_is_initial_fraction() {
+        // Martingale: P[consensus A] = a/n. With a = 15, n = 20 expect 75%.
+        let mut rng = SmallRng::seed_from_u64(3);
+        let trials = 400;
+        let mut wins_a = 0;
+        for _ in 0..trials {
+            let config = Config::from_input(&Voter, 15, 5);
+            let mut sim = CountSim::new(Voter, config);
+            let out = sim.run_to_consensus(&mut rng, u64::MAX);
+            if out.verdict.opinion() == Some(Opinion::A) {
+                wins_a += 1;
+            }
+        }
+        let frac = wins_a as f64 / trials as f64;
+        assert!((frac - 0.75).abs() < 0.07, "absorption fraction {frac}");
+    }
+}

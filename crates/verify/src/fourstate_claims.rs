@@ -1,0 +1,134 @@
+//! Machine checks of the building-block claims in Theorem B.1's proof.
+//!
+//! * **Claim B.2**: for any correct exact-majority protocol, the forward
+//!   closures of two pure `S₀`/`S₁` configurations with different `S₀`
+//!   counts are disjoint (otherwise a `2n−1`-agent system could reach one
+//!   configuration from inputs with opposite majorities).
+//! * **Corollary B.3**: from a mixed pure configuration, the all-`S₀` and
+//!   all-`S₁` configurations are unreachable.
+//!
+//! The claims are theorems about *every correct protocol*; here we verify
+//! the concrete instances the proof manipulates on the four-state protocol
+//! (and AVC), and — equally important — show they *fail* for incorrect
+//! protocols like the voter model, demonstrating the checker has teeth.
+
+use crate::reach::{ReachabilityGraph, StateSpaceTooLarge};
+use avc_population::{Config, Protocol};
+use std::collections::HashSet;
+
+/// The forward closure of the pure configuration with `z` agents in
+/// `input(A)` and `n − z` agents in `input(B)`, as a set of count vectors.
+///
+/// # Errors
+///
+/// Returns [`StateSpaceTooLarge`] if the closure exceeds `max_configs`.
+pub fn pure_closure<P: Protocol>(
+    protocol: &P,
+    z: u64,
+    n: u64,
+    max_configs: usize,
+) -> Result<HashSet<Vec<u64>>, StateSpaceTooLarge> {
+    let initial = Config::from_input(protocol, z, n - z);
+    let graph = ReachabilityGraph::explore(protocol, &initial, max_configs)?;
+    Ok((0..graph.len()).map(|id| graph.config(id).to_vec()).collect())
+}
+
+/// Checks Claim B.2 on `protocol` for population `n`: closures from all
+/// pure configurations `z = 0..=n` are pairwise disjoint.
+///
+/// Returns the offending pair `(z, w)` when the claim fails.
+///
+/// # Errors
+///
+/// Returns [`StateSpaceTooLarge`] if any closure exceeds `max_configs`.
+pub fn claim_b2_disjoint_closures<P: Protocol>(
+    protocol: &P,
+    n: u64,
+    max_configs: usize,
+) -> Result<Result<(), (u64, u64)>, StateSpaceTooLarge> {
+    let closures: Vec<HashSet<Vec<u64>>> = (0..=n)
+        .map(|z| pure_closure(protocol, z, n, max_configs))
+        .collect::<Result<_, _>>()?;
+    for z in 0..=n {
+        for w in z + 1..=n {
+            if !closures[z as usize].is_disjoint(&closures[w as usize]) {
+                return Ok(Err((z, w)));
+            }
+        }
+    }
+    Ok(Ok(()))
+}
+
+/// Checks Corollary B.3 on `protocol` for population `n`: from every mixed
+/// pure configuration (`1 ≤ z ≤ n − 1`), neither all-`input(A)` nor
+/// all-`input(B)` is reachable.
+///
+/// Returns the offending `z` when the corollary fails.
+///
+/// # Errors
+///
+/// Returns [`StateSpaceTooLarge`] if any closure exceeds `max_configs`.
+pub fn corollary_b3_no_pure_absorption<P: Protocol>(
+    protocol: &P,
+    n: u64,
+    max_configs: usize,
+) -> Result<Result<(), u64>, StateSpaceTooLarge> {
+    let all_a = Config::from_input(protocol, n, 0).as_slice().to_vec();
+    let all_b = Config::from_input(protocol, 0, n).as_slice().to_vec();
+    for z in 1..n {
+        let closure = pure_closure(protocol, z, n, max_configs)?;
+        if closure.contains(&all_a) || closure.contains(&all_b) {
+            return Ok(Err(z));
+        }
+    }
+    Ok(Ok(()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avc_protocols::{Avc, FourState, Voter};
+
+    #[test]
+    fn four_state_satisfies_claim_b2() {
+        for n in 2..=7u64 {
+            let result = claim_b2_disjoint_closures(&FourState, n, 500_000).unwrap();
+            assert_eq!(result, Ok(()), "claim B.2 failed at n={n}");
+        }
+    }
+
+    #[test]
+    fn avc_satisfies_claim_b2() {
+        let avc = Avc::new(3, 1).expect("valid parameters");
+        for n in 2..=5u64 {
+            let result = claim_b2_disjoint_closures(&avc, n, 2_000_000).unwrap();
+            assert_eq!(result, Ok(()), "claim B.2 failed at n={n}");
+        }
+    }
+
+    #[test]
+    fn four_state_satisfies_corollary_b3() {
+        for n in 2..=7u64 {
+            let result = corollary_b3_no_pure_absorption(&FourState, n, 500_000).unwrap();
+            assert_eq!(result, Ok(()), "corollary B.3 failed at n={n}");
+        }
+    }
+
+    #[test]
+    fn voter_violates_both_claims() {
+        // The voter model is not exact, and the checker must notice: its
+        // closures overlap (every mixed z can reach every other mix) and it
+        // absorbs into pure configurations.
+        let b2 = claim_b2_disjoint_closures(&Voter, 4, 100_000).unwrap();
+        assert!(b2.is_err(), "voter closures should overlap");
+        let b3 = corollary_b3_no_pure_absorption(&Voter, 4, 100_000).unwrap();
+        assert!(b3.is_err(), "voter should absorb into pure configurations");
+    }
+
+    #[test]
+    fn pure_closure_of_unanimous_input_is_singleton_for_four_state() {
+        // All-A under the four-state protocol is silent: nothing to reach.
+        let closure = pure_closure(&FourState, 5, 5, 1_000).unwrap();
+        assert_eq!(closure.len(), 1);
+    }
+}

@@ -1,0 +1,113 @@
+//! The information-propagation process behind the `Ω(log n)` lower bound.
+//!
+//! Theorem C.1 shows any exact-majority protocol needs `Ω(log n)` expected
+//! parallel time: fix a set `T` of three nodes whose inputs decide the
+//! majority; a node that has no causal chain to `T` cannot be sure of its
+//! output. The *knowledge set* `K_t` starts as `T` and grows whenever an
+//! interaction touches exactly one member (Claim C.2). This module simulates
+//! `K_t` and provides its exact expected cover time
+//! `E[T_cover] = Σ_k n(n−1) / (2k(n−k)) ≈ n ln n`, i.e. `Θ(log n)` parallel
+//! time.
+
+use rand::Rng;
+
+/// Size of the decisive seed set `T` in the paper's construction.
+pub const SEED_SET: u64 = 3;
+
+/// Simulates the growth of the knowledge set on a clique of `n` agents and
+/// returns the number of scheduler steps until `|K_t| = n`.
+///
+/// Each step draws an ordered pair of distinct agents uniformly; if exactly
+/// one is in `K`, both end up in `K` (i.e. the outsider joins).
+///
+/// # Panics
+///
+/// Panics if `n < SEED_SET + 1`.
+pub fn cover_steps<R: Rng + ?Sized>(n: u64, rng: &mut R) -> u64 {
+    assert!(n > SEED_SET, "need more than {SEED_SET} agents, got {n}");
+    // Only the size of K matters on a clique: each step grows K with
+    // probability 2k(n−k)/(n(n−1)), so we sample the geometric waiting time
+    // per growth event instead of individual interactions.
+    let mut k = SEED_SET;
+    let mut steps: u64 = 0;
+    let total = (n * (n - 1)) as f64;
+    while k < n {
+        let p = (2 * k * (n - k)) as f64 / total;
+        // Geometric number of trials (≥ 1) until the growth interaction.
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let trials = (u.ln() / (1.0 - p).ln()).ceil().max(1.0) as u64;
+        steps = steps.saturating_add(trials);
+        k += 1;
+    }
+    steps
+}
+
+/// The exact expected number of steps until the knowledge set covers all
+/// `n` agents: `Σ_{k=3}^{n−1} n(n−1) / (2k(n−k))`.
+///
+/// Dividing by `n` gives expected parallel time `≈ ln n`, the heart of the
+/// `Ω(log n)` bound.
+///
+/// # Panics
+///
+/// Panics if `n < SEED_SET + 1`.
+#[must_use]
+pub fn expected_cover_steps(n: u64) -> f64 {
+    assert!(n > SEED_SET, "need more than {SEED_SET} agents, got {n}");
+    let nn = (n * (n - 1)) as f64;
+    (SEED_SET..n)
+        .map(|k| nn / ((2 * k * (n - k)) as f64))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn expected_cover_grows_like_n_log_n() {
+        // E[T]/n ≈ ln n (up to an additive constant): the ratio between
+        // consecutive decades should approach ln(10n)/ln(n) · 10.
+        let e100 = expected_cover_steps(100);
+        let e1000 = expected_cover_steps(1_000);
+        assert!(e100 / 100.0 > 0.8 * (100.0f64).ln());
+        assert!(e100 / 100.0 < 1.5 * (100.0f64).ln());
+        assert!(e1000 / 1_000.0 > 0.8 * (1_000.0f64).ln());
+        assert!(e1000 / 1_000.0 < 1.5 * (1_000.0f64).ln());
+    }
+
+    #[test]
+    fn simulation_matches_expectation() {
+        let n = 500u64;
+        let mut rng = SmallRng::seed_from_u64(13);
+        let trials = 200;
+        let mean = (0..trials)
+            .map(|_| cover_steps(n, &mut rng) as f64)
+            .sum::<f64>()
+            / trials as f64;
+        let expected = expected_cover_steps(n);
+        assert!(
+            (mean - expected).abs() / expected < 0.1,
+            "mean {mean} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn cover_steps_is_at_least_deterministic_minimum() {
+        // K must grow n − 3 times, so at least n − 3 steps are needed.
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = 50;
+        for _ in 0..50 {
+            assert!(cover_steps(n, &mut rng) >= n - SEED_SET);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "more than")]
+    fn rejects_tiny_population() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let _ = cover_steps(3, &mut rng);
+    }
+}

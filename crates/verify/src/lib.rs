@@ -1,0 +1,51 @@
+//! Exhaustive verification tools for population protocols.
+//!
+//! The paper's lower-bound section (§5, Appendices B–C) argues about *all*
+//! protocols with a given number of states via reachability arguments. This
+//! crate mechanizes the building blocks:
+//!
+//! * [`reach`] — exact reachability analysis over configuration space
+//!   (multisets of states) for small populations, and the three correctness
+//!   properties of Theorem B.1 as machine-checkable predicates;
+//! * [`enumerate`] — exhaustive enumeration of all symmetric three-state
+//!   protocols, reproducing the impossibility of exact three-state majority
+//!   \[MNRS14] cited in §1, plus mutation analysis of the four-state
+//!   protocol (Claim B.5: the correct behaviour is essentially forced);
+//! * [`fourstate_claims`] — machine checks of Claim B.2 and Corollary B.3,
+//!   the reachability building blocks of Theorem B.1's proof;
+//! * [`witness`] — extraction and replay of explicit interaction schedules
+//!   (counterexample traces, constructive convergence certificates);
+//! * [`exact_time`] — exact expected hitting times from the absorbing-chain
+//!   linear system, used to validate the Monte-Carlo engines;
+//! * [`knowledge`] — the information-propagation process `K_t` of
+//!   Theorem C.1/Claim C.2, with its exact expected cover time, supporting
+//!   the `Ω(log n)` lower bound;
+//! * [`table_protocol`] — a table-driven [`Protocol`] used to represent
+//!   enumerated protocols.
+//!
+//! [`Protocol`]: avc_population::Protocol
+//!
+//! # Example: the four-state protocol is exactly correct for small `n`
+//!
+//! ```
+//! use avc_verify::reach::check_exact_majority;
+//! use avc_protocols::FourState;
+//!
+//! for n in 2..=7u64 {
+//!     for a in 0..=n {
+//!         let verdict = check_exact_majority(&FourState, a, n - a, 100_000).unwrap();
+//!         assert!(verdict.is_correct(), "violated at a={a}, b={}", n - a);
+//!     }
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod enumerate;
+pub mod exact_time;
+pub mod fourstate_claims;
+pub mod knowledge;
+pub mod reach;
+pub mod table_protocol;
+pub mod witness;

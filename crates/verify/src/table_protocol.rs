@@ -1,0 +1,169 @@
+//! A table-driven protocol, used to represent enumerated candidates.
+
+use avc_population::{Opinion, Protocol, StateId};
+
+/// A protocol given by an explicit transition table and output map.
+///
+/// Used by the [`enumerate`](crate::enumerate) module to materialize every
+/// candidate protocol in a family, and handy for constructing ad-hoc
+/// protocols in tests.
+///
+/// # Example
+///
+/// ```
+/// use avc_verify::table_protocol::TableProtocol;
+/// use avc_population::{Opinion, Protocol};
+///
+/// // A two-state protocol where the responder adopts the initiator's state.
+/// let voter = TableProtocol::new(
+///     2,
+///     vec![(0, 0), (0, 0), (1, 1), (1, 1)], // row-major δ
+///     vec![Opinion::A, Opinion::B],
+///     (0, 1),
+/// );
+/// assert_eq!(voter.transition(0, 1), (0, 0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableProtocol {
+    num_states: u32,
+    /// Row-major `δ`: entry `a * num_states + b` is `δ(a, b)`.
+    delta: Vec<(StateId, StateId)>,
+    outputs: Vec<Opinion>,
+    inputs: (StateId, StateId),
+    name: String,
+}
+
+impl TableProtocol {
+    /// Creates a protocol from its transition table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table dimensions are inconsistent, a transition leaves
+    /// the state space, or an input state is out of range.
+    #[must_use]
+    pub fn new(
+        num_states: u32,
+        delta: Vec<(StateId, StateId)>,
+        outputs: Vec<Opinion>,
+        inputs: (StateId, StateId),
+    ) -> TableProtocol {
+        let q = num_states as usize;
+        assert_eq!(delta.len(), q * q, "transition table must be {q}x{q}");
+        assert_eq!(outputs.len(), q, "output map must cover {q} states");
+        assert!(
+            delta.iter().all(|&(x, y)| x < num_states && y < num_states),
+            "transition leaves the state space"
+        );
+        assert!(
+            inputs.0 < num_states && inputs.1 < num_states,
+            "input states out of range"
+        );
+        TableProtocol {
+            num_states,
+            delta,
+            outputs,
+            inputs,
+            name: format!("table({num_states} states)"),
+        }
+    }
+
+    /// Builds a *symmetric* protocol from transitions on unordered pairs.
+    ///
+    /// `rule(a, b)` is consulted once per unordered pair with `a ≤ b`; both
+    /// orders of the pair produce the same unordered result.
+    #[must_use]
+    pub fn symmetric(
+        num_states: u32,
+        outputs: Vec<Opinion>,
+        inputs: (StateId, StateId),
+        rule: impl Fn(StateId, StateId) -> (StateId, StateId),
+    ) -> TableProtocol {
+        let q = num_states;
+        let mut delta = vec![(0, 0); (q * q) as usize];
+        for a in 0..q {
+            for b in a..q {
+                let (x, y) = rule(a, b);
+                delta[(a * q + b) as usize] = (x, y);
+                delta[(b * q + a) as usize] = (y, x);
+            }
+        }
+        TableProtocol::new(num_states, delta, outputs, inputs)
+    }
+}
+
+impl Protocol for TableProtocol {
+    fn num_states(&self) -> u32 {
+        self.num_states
+    }
+
+    fn transition(&self, initiator: StateId, responder: StateId) -> (StateId, StateId) {
+        self.delta[(initiator * self.num_states + responder) as usize]
+    }
+
+    fn output(&self, state: StateId) -> Opinion {
+        self.outputs[state as usize]
+    }
+
+    fn input(&self, opinion: Opinion) -> StateId {
+        match opinion {
+            Opinion::A => self.inputs.0,
+            Opinion::B => self.inputs.1,
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_builder_mirrors_pairs() {
+        // Annihilation on unordered pairs: (0,1) -> (2,2).
+        let p = TableProtocol::symmetric(
+            3,
+            vec![Opinion::A, Opinion::B, Opinion::A],
+            (0, 1),
+            |a, b| if (a, b) == (0, 1) { (2, 2) } else { (a, b) },
+        );
+        assert_eq!(p.transition(0, 1), (2, 2));
+        assert_eq!(p.transition(1, 0), (2, 2));
+        assert!(p.is_silent(0, 2));
+        assert!(p.is_silent(2, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be 2x2")]
+    fn rejects_ragged_table() {
+        let _ = TableProtocol::new(2, vec![(0, 0)], vec![Opinion::A, Opinion::B], (0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "leaves the state space")]
+    fn rejects_out_of_range_transition() {
+        let _ = TableProtocol::new(
+            1,
+            vec![(1, 0)],
+            vec![Opinion::A],
+            (0, 0),
+        );
+    }
+
+    #[test]
+    fn accessors() {
+        let p = TableProtocol::new(
+            2,
+            vec![(0, 0), (0, 1), (1, 0), (1, 1)],
+            vec![Opinion::A, Opinion::B],
+            (0, 1),
+        );
+        assert_eq!(p.num_states(), 2);
+        assert_eq!(p.input(Opinion::A), 0);
+        assert_eq!(p.input(Opinion::B), 1);
+        assert_eq!(p.output(1), Opinion::B);
+        assert!(p.name().contains("table"));
+    }
+}

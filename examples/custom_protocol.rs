@@ -1,0 +1,92 @@
+//! Implementing your own population protocol against the [`Protocol`]
+//! trait: a parity-insensitive "undecided state dynamics" variant, run on
+//! every engine plus a non-complete interaction graph.
+//!
+//! Run with: `cargo run --release --example custom_protocol`
+//!
+//! [`Protocol`]: avc::population::Protocol
+
+use avc::population::engine::{AgentSim, CountSim, JumpSim, Simulator};
+use avc::population::graph::Graph;
+use avc::population::{Config, Opinion, Protocol, StateId};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Undecided-state dynamics: like the three-state protocol but *two-way* —
+/// both participants react. Opposite opinions knock **both** agents into
+/// the undecided state; an undecided agent adopts any decided partner.
+#[derive(Debug, Clone, Copy)]
+struct UndecidedDynamics;
+
+const OPINION_A: StateId = 0;
+const OPINION_B: StateId = 1;
+const UNDECIDED: StateId = 2;
+
+impl Protocol for UndecidedDynamics {
+    fn num_states(&self) -> u32 {
+        3
+    }
+
+    fn transition(&self, a: StateId, b: StateId) -> (StateId, StateId) {
+        match (a, b) {
+            (OPINION_A, OPINION_B) | (OPINION_B, OPINION_A) => (UNDECIDED, UNDECIDED),
+            (UNDECIDED, x) if x != UNDECIDED => (x, x),
+            (x, UNDECIDED) if x != UNDECIDED => (x, x),
+            other => other,
+        }
+    }
+
+    fn output(&self, state: StateId) -> Opinion {
+        if state == OPINION_B {
+            Opinion::B
+        } else {
+            Opinion::A
+        }
+    }
+
+    fn input(&self, opinion: Opinion) -> StateId {
+        match opinion {
+            Opinion::A => OPINION_A,
+            Opinion::B => OPINION_B,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "undecided-dynamics"
+    }
+}
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(99);
+    let (a, b) = (700u64, 300u64);
+    let n = (a + b) as usize;
+
+    // The same protocol runs unchanged on all engines…
+    let config = Config::from_input(&UndecidedDynamics, a, b);
+    let out_count = CountSim::new(UndecidedDynamics, config.clone())
+        .run_to_consensus(&mut rng, u64::MAX);
+    let out_jump =
+        JumpSim::new(UndecidedDynamics, config.clone()).run_to_consensus(&mut rng, u64::MAX);
+    println!(
+        "clique, count engine: {:?} in {:.1} parallel time",
+        out_count.verdict, out_count.parallel_time
+    );
+    println!(
+        "clique, jump engine:  {:?} in {:.1} parallel time",
+        out_jump.verdict, out_jump.parallel_time
+    );
+
+    // …and on arbitrary connected interaction graphs via the agent engine.
+    for (label, graph) in [
+        ("cycle", Graph::cycle(n)),
+        ("star", Graph::star(n)),
+        ("20x50 grid", Graph::grid(20, 50)),
+    ] {
+        let mut sim = AgentSim::new(UndecidedDynamics, config.clone(), graph);
+        let out = sim.run_to_consensus(&mut rng, 500_000_000);
+        println!(
+            "{label}: {:?} in {:.1} parallel time",
+            out.verdict, out.parallel_time
+        );
+    }
+}

@@ -1,0 +1,54 @@
+//! Exact (not sampled) expected convergence times from the absorbing-chain
+//! linear system, at model-checking scale: the four-state protocol vs AVC
+//! across every margin of a small population — the precision/speed picture
+//! of the paper with zero Monte-Carlo noise.
+//!
+//! Run with: `cargo run --release --example exact_analysis`
+
+use avc::analysis::table::{fmt_num, Table};
+use avc::population::{Config, ConvergenceRule};
+use avc::protocols::{Avc, FourState};
+use avc::verify::exact_time::expected_steps_to_convergence;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 10u64;
+    let avc = Avc::new(5, 1)?;
+
+    let mut table = Table::new(
+        format!("exact E[steps to consensus] on n = {n} (linear-system solution)"),
+        ["a", "b", "four_state", "avc(m=5)", "speedup"],
+    );
+
+    for a in 6..=10u64 {
+        let b = n - a;
+        let four = expected_steps_to_convergence(
+            &FourState,
+            &Config::from_input(&FourState, a, b),
+            ConvergenceRule::OutputConsensus,
+            2_000_000,
+        )?
+        .expect("four-state always converges");
+        let avc_time = expected_steps_to_convergence(
+            &avc,
+            &Config::from_input(&avc, a, b),
+            ConvergenceRule::OutputConsensus,
+            2_000_000,
+        )?
+        .expect("AVC always converges");
+        table.push_row([
+            a.to_string(),
+            b.to_string(),
+            fmt_num(four),
+            fmt_num(avc_time),
+            format!("{:.2}x", four / avc_time),
+        ]);
+    }
+
+    println!("{}", table.to_markdown());
+    println!(
+        "Even at n = {n}, the exact expectations show AVC ahead at the hard margins\n\
+         (a = 6 vs b = 4) and the gap closing as the margin widens — the same\n\
+         crossover structure Figure 4 shows at n = 100 001."
+    );
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! The four-state protocol beyond the clique: [DV12] analyzed it on
+//! arbitrary connected interaction graphs, with convergence governed by the
+//! graph's spectral gap. This example measures its slowdown across
+//! topologies at a fixed margin.
+//!
+//! Run with: `cargo run --release --example interaction_graphs`
+
+use avc::analysis::stats::Summary;
+use avc::analysis::table::{fmt_num, Table};
+use avc::population::engine::{AgentSim, Simulator};
+use avc::population::graph::Graph;
+use avc::population::rngutil::SeedSequence;
+use avc::population::{Config, MajorityInstance};
+use avc::protocols::FourState;
+
+fn main() {
+    let n = 501usize;
+    let instance = MajorityInstance::with_margin(n as u64, 0.2);
+    let runs = 25u64;
+    let seeds = SeedSequence::new(42);
+
+    let mut table = Table::new(
+        format!(
+            "four-state protocol across interaction graphs (n = {n}, eps = {:.2}, {runs} runs)",
+            instance.margin()
+        ),
+        ["graph", "edges", "mean_parallel_time", "std_dev", "errors"],
+    );
+
+    let topologies: Vec<(&str, Box<dyn Fn() -> Graph>)> = vec![
+        ("clique", Box::new(move || Graph::clique(n))),
+        ("star", Box::new(move || Graph::star(n))),
+        ("grid ~22x23", Box::new(move || Graph::grid(22, 23))),
+        ("cycle", Box::new(move || Graph::cycle(n))),
+    ];
+
+    for (gi, (label, make_graph)) in topologies.iter().enumerate() {
+        let mut times = Vec::new();
+        let mut errors = 0u64;
+        for trial in 0..runs {
+            let mut rng = seeds.child(gi as u64).rng_for(trial);
+            let config = Config::from_input(&FourState, instance.a(), instance.b());
+            let mut sim = AgentSim::new(FourState, config, make_graph());
+            let out = sim.run_to_consensus(&mut rng, 2_000_000_000);
+            match out.verdict.opinion() {
+                Some(op) if Some(op) == instance.winner() => times.push(out.parallel_time),
+                _ => errors += 1,
+            }
+        }
+        let summary = Summary::from_samples(&times);
+        table.push_row([
+            label.to_string(),
+            make_graph().num_edges().to_string(),
+            fmt_num(summary.mean),
+            fmt_num(summary.std_dev),
+            errors.to_string(),
+        ]);
+    }
+
+    println!("{}", table.to_markdown());
+    println!("Exactness holds on every connected graph; only the speed changes.");
+}

@@ -1,0 +1,52 @@
+//! Leader election — the paper's §6 open question asks whether the
+//! average-and-conquer technique extends to it. This example runs the
+//! classical pairwise-elimination baseline and measures its Θ(n) parallel
+//! time, the mark any averaging-style improvement would have to beat.
+//!
+//! Run with: `cargo run --release --example leader_election`
+
+use avc::analysis::stats::Summary;
+use avc::analysis::table::{fmt_num, Table};
+use avc::population::engine::{JumpSim, Simulator};
+use avc::population::rngutil::SeedSequence;
+use avc::population::{Config, ConvergenceRule, Opinion};
+use avc::protocols::LeaderElection;
+
+fn main() {
+    let one_leader = ConvergenceRule::OutputCount {
+        opinion: Opinion::A,
+        count: 1,
+    };
+    let runs = 40u64;
+    let seeds = SeedSequence::new(1);
+
+    let mut table = Table::new(
+        format!("classical leader election, {runs} runs per n"),
+        ["n", "mean_parallel_time", "std_dev", "time / n"],
+    );
+    for (i, n) in [100u64, 300, 1_000, 3_000].into_iter().enumerate() {
+        let mut times = Vec::new();
+        for trial in 0..runs {
+            let mut rng = seeds.child(i as u64).rng_for(trial);
+            let config = Config::from_counts(vec![n, 0]); // everyone contends
+            let mut sim = JumpSim::new(LeaderElection, config);
+            let out = sim.run_to_consensus_with(&mut rng, u64::MAX, one_leader);
+            assert!(out.verdict.is_consensus());
+            assert_eq!(sim.counts()[0], 1, "exactly one leader must remain");
+            times.push(out.parallel_time);
+        }
+        let summary = Summary::from_samples(&times);
+        table.push_row([
+            n.to_string(),
+            fmt_num(summary.mean),
+            fmt_num(summary.std_dev),
+            fmt_num(summary.mean / n as f64),
+        ]);
+    }
+
+    println!("{}", table.to_markdown());
+    println!(
+        "time/n is flat: the classical protocol is Θ(n) — the paper asks whether\n\
+         average-and-conquer states can elect a leader polylogarithmically."
+    );
+}

@@ -1,0 +1,109 @@
+//! Model-checking your own protocol: is it *exact*?
+//!
+//! The "undecided-state dynamics" (two-way three-state majority) looks a
+//! lot like an exact protocol — opposite opinions cancel into an undecided
+//! state, undecided agents adopt decided neighbors. This example runs the
+//! repository's verification stack on it: the Theorem-B.1 correctness
+//! properties, a concrete counterexample *schedule* you can replay, and the
+//! exact expected hitting time of its (sometimes wrong) consensus.
+//!
+//! Run with: `cargo run --release --example verify_protocol`
+
+use avc::population::{Config, ConvergenceRule, Opinion, Protocol, StateId};
+use avc::verify::exact_time::expected_steps_to_convergence;
+use avc::verify::reach::check_exact_majority;
+use avc::verify::witness::{find_schedule, replay_schedule};
+
+/// Two-way undecided-state dynamics: `(A, B) → (U, U)`; undecided agents
+/// adopt any decided partner.
+#[derive(Debug, Clone, Copy)]
+struct UndecidedDynamics;
+
+const A: StateId = 0;
+const B: StateId = 1;
+const U: StateId = 2;
+
+impl Protocol for UndecidedDynamics {
+    fn num_states(&self) -> u32 {
+        3
+    }
+    fn transition(&self, x: StateId, y: StateId) -> (StateId, StateId) {
+        match (x, y) {
+            (A, B) | (B, A) => (U, U),
+            (U, s) if s != U => (s, s),
+            (s, U) if s != U => (s, s),
+            other => other,
+        }
+    }
+    fn output(&self, state: StateId) -> Opinion {
+        if state == B {
+            Opinion::B
+        } else {
+            Opinion::A
+        }
+    }
+    fn input(&self, opinion: Opinion) -> StateId {
+        match opinion {
+            Opinion::A => A,
+            Opinion::B => B,
+        }
+    }
+    fn name(&self) -> &str {
+        "undecided-dynamics"
+    }
+}
+
+fn main() {
+    let p = UndecidedDynamics;
+
+    // 1. The three exact-majority correctness properties, exhaustively.
+    println!("checking exact-majority properties for n = 3..7:");
+    let mut first_violation = None;
+    for n in 3..=7u64 {
+        for a in 1..n {
+            let v = check_exact_majority(&p, a, n - a, 500_000).expect("small state space");
+            if !v.is_correct() && first_violation.is_none() {
+                first_violation = Some((a, n - a, v));
+            }
+        }
+    }
+    let (a, b, verdict) = first_violation.expect("undecided dynamics is not exact");
+    println!(
+        "  violated at a = {a}, b = {b}: never_wrong = {}, always_recoverable = {}",
+        verdict.never_wrong, verdict.always_recoverable
+    );
+
+    // 2. A concrete counterexample schedule, replayed.
+    let initial = Config::from_input(&p, a, b);
+    let schedule = find_schedule(&p, &initial, 500_000, |counts| {
+        // Goal: all agents output the *minority* opinion B.
+        counts[A as usize] == 0 && counts[U as usize] == 0
+    })
+    .expect("within budget")
+    .expect("a minority-consensus schedule exists");
+    println!("\ncounterexample schedule from {a} A / {b} B to all-B:");
+    for (step, (x, y)) in schedule.iter().enumerate() {
+        println!(
+            "  step {step}: {} meets {}",
+            p.state_label(*x),
+            p.state_label(*y)
+        );
+    }
+    let end = replay_schedule(&p, &initial, &schedule).expect("schedule replays");
+    assert_eq!(end.count_with_output(&p, Opinion::B), (a + b));
+    println!("  replay confirms: all {} agents output B (initial majority was A!)", a + b);
+
+    // 3. Exact expected time to (some) consensus, from the linear system.
+    let exact = expected_steps_to_convergence(
+        &p,
+        &Config::from_input(&p, 4, 3),
+        ConvergenceRule::OutputConsensus,
+        500_000,
+    )
+    .expect("small state space")
+    .expect("finite expectation");
+    println!(
+        "\nexact E[steps to output consensus] from 4 A / 3 B on n = 7: {exact:.3}"
+    );
+    println!("\nConclusion: fast, simple — but not exact. That trade-off is what AVC removes.");
+}

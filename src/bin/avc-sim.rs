@@ -1,0 +1,153 @@
+//! `avc-sim` — ad-hoc simulation runs from the command line.
+//!
+//! ```text
+//! avc-sim --protocol avc --n 10001 --eps 0.001 --states 64 --runs 25
+//! avc-sim --protocol four-state --n 1001 --runs 101 --engine jump
+//! avc-sim --protocol three-state --n 100001 --eps 0.0001 --seed 7
+//! ```
+//!
+//! Prints a per-run line and a summary (mean/median parallel time, error
+//! fraction). Flags:
+//!
+//! * `--protocol` — `avc` (default), `four-state`, `three-state`, `voter`;
+//! * `--n` — population size (default 1001);
+//! * `--eps` — margin (default 1/n);
+//! * `--states` / `--m` / `--d` — AVC sizing (default `--states n`);
+//! * `--engine` — `auto` (default), `agent`, `count`, `jump`, `adaptive`,
+//!   `tau-leap`;
+//! * `--runs`, `--seed`, `--max-steps`, `--verbose`.
+
+use avc::analysis::cli::Args;
+use avc::analysis::harness::{run_one, EngineKind};
+use avc::analysis::stats::Summary;
+use avc::population::rngutil::SeedSequence;
+use avc::population::{Config, ConvergenceRule, MajorityInstance, Protocol};
+use avc::protocols::{Avc, FourState, ThreeState, Voter};
+
+fn main() {
+    let args = Args::from_env();
+    let n = args.get_u64("n", 1_001);
+    let eps = args.get_f64("eps", 1.0 / n as f64);
+    let runs = args.get_u64("runs", 11);
+    let seed = args.get_u64("seed", 0);
+    let max_steps = args.get_u64("max-steps", u64::MAX);
+    let verbose = args.flag("verbose");
+
+    let engine = match args.get("engine").unwrap_or("auto") {
+        "auto" => EngineKind::Auto,
+        "agent" => EngineKind::Agent,
+        "count" => EngineKind::Count,
+        "jump" => EngineKind::Jump,
+        "adaptive" => EngineKind::Adaptive,
+        "tau-leap" => EngineKind::TauLeap,
+        other => panic!("unknown engine `{other}`"),
+    };
+
+    let instance = MajorityInstance::with_margin(n, eps);
+    let name = args.get("protocol").unwrap_or("avc").to_string();
+    let (protocol, rule): (Box<dyn DynProtocol>, ConvergenceRule) = match name.as_str() {
+        "avc" => {
+            let avc = if let Some(m) = args.get("m") {
+                let m: u64 = m.parse().expect("--m expects an odd integer");
+                let d = args.get_u64("d", 1) as u32;
+                Avc::new(m, d).expect("valid AVC parameters")
+            } else {
+                Avc::with_states(args.get_u64("states", n)).expect("valid state budget")
+            };
+            (Box::new(avc), ConvergenceRule::OutputConsensus)
+        }
+        "four-state" => (Box::new(FourState), ConvergenceRule::OutputConsensus),
+        "three-state" => (
+            Box::new(ThreeState::new()),
+            ConvergenceRule::StateConsensus,
+        ),
+        "voter" => (Box::new(Voter), ConvergenceRule::OutputConsensus),
+        other => panic!("unknown protocol `{other}` (avc|four-state|three-state|voter)"),
+    };
+
+    println!(
+        "{}: n = {n}, a = {}, b = {} (eps = {:.3e}), engine {engine:?}, {runs} runs",
+        protocol.name_dyn(),
+        instance.a(),
+        instance.b(),
+        instance.margin()
+    );
+
+    let seeds = SeedSequence::new(seed);
+    let mut times = Vec::new();
+    let mut errors = 0u64;
+    let mut unconverged = 0u64;
+    for trial in 0..runs {
+        let mut rng = seeds.rng_for(trial);
+        let out = protocol.run_dyn(instance, engine, rule, &mut rng, max_steps);
+        match out.verdict.opinion() {
+            Some(op) => {
+                if Some(op) != instance.winner() {
+                    errors += 1;
+                }
+                times.push(out.parallel_time);
+                if verbose {
+                    println!(
+                        "  run {trial:>3}: {op} after {:.2} parallel time ({} steps)",
+                        out.parallel_time, out.steps
+                    );
+                }
+            }
+            None => {
+                unconverged += 1;
+                if verbose {
+                    println!("  run {trial:>3}: no convergence within {max_steps} steps");
+                }
+            }
+        }
+    }
+
+    if times.is_empty() {
+        println!("no run converged within the step budget");
+        return;
+    }
+    let summary = Summary::from_samples(&times);
+    println!(
+        "parallel time: mean {:.2} ± {:.2}, median {:.2}, range [{:.2}, {:.2}]",
+        summary.mean,
+        summary.std_error(),
+        summary.median,
+        summary.min,
+        summary.max
+    );
+    println!(
+        "errors: {errors}/{runs} ({:.1}%); unconverged: {unconverged}",
+        100.0 * errors as f64 / runs as f64
+    );
+}
+
+/// Object-safe driver shim so protocols of different types share one code
+/// path (`run_one` is generic, so we monomorphize behind a small trait).
+trait DynProtocol {
+    fn name_dyn(&self) -> &str;
+    fn run_dyn(
+        &self,
+        instance: MajorityInstance,
+        engine: EngineKind,
+        rule: ConvergenceRule,
+        rng: &mut rand::rngs::SmallRng,
+        max_steps: u64,
+    ) -> avc::population::spec::RunOutcome;
+}
+
+impl<P: Protocol + Clone> DynProtocol for P {
+    fn name_dyn(&self) -> &str {
+        self.name()
+    }
+    fn run_dyn(
+        &self,
+        instance: MajorityInstance,
+        engine: EngineKind,
+        rule: ConvergenceRule,
+        rng: &mut rand::rngs::SmallRng,
+        max_steps: u64,
+    ) -> avc::population::spec::RunOutcome {
+        let config = Config::from_input(self, instance.a(), instance.b());
+        run_one(self, config, engine, rule, rng, max_steps)
+    }
+}

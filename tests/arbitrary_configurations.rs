@@ -1,0 +1,121 @@
+//! Lemma A.1: from an *arbitrary* starting configuration with nonzero
+//! total value `S`, AVC converges with probability 1 to the sign of `S`,
+//! and the sign is stable afterwards. These tests start from adversarial,
+//! non-input configurations — a stronger property than input-correctness.
+
+use avc::population::engine::{CountSim, Simulator};
+use avc::population::rngutil::SeedSequence;
+use avc::population::{Config, Opinion, Protocol, StateId};
+use avc::protocols::{Avc, Sign};
+use avc::verify::reach::ReachabilityGraph;
+use rand::Rng;
+
+/// A random configuration over AVC's state space with `n` agents.
+fn random_config(avc: &Avc, n: u64, rng: &mut impl Rng) -> Config {
+    let s = avc.num_states() as usize;
+    let mut counts = vec![0u64; s];
+    for _ in 0..n {
+        counts[rng.gen_range(0..s)] += 1;
+    }
+    Config::from_counts(counts)
+}
+
+#[test]
+fn random_starts_converge_to_the_sign_of_the_total_value() {
+    let seeds = SeedSequence::new(42);
+    for (m, d) in [(5u64, 1u32), (9, 2), (15, 3)] {
+        let avc = Avc::new(m, d).expect("valid parameters");
+        let mut tested = 0;
+        let mut trial = 0u64;
+        while tested < 15 {
+            let mut rng = seeds.child(m * 10 + d as u64).rng_for(trial);
+            trial += 1;
+            let config = random_config(&avc, 60, &mut rng);
+            let total = avc.total_value(config.as_slice());
+            if total == 0 {
+                continue; // Lemma A.1 assumes S ≠ 0
+            }
+            let expected = if total > 0 { Opinion::A } else { Opinion::B };
+            let mut sim = CountSim::new(avc.clone(), config);
+            let out = sim.run_to_consensus(&mut rng, u64::MAX);
+            assert_eq!(
+                out.verdict.opinion(),
+                Some(expected),
+                "m={m}, d={d}, trial {trial}: S={total}"
+            );
+            tested += 1;
+        }
+    }
+}
+
+#[test]
+fn sign_stability_after_convergence() {
+    // "In all later configurations no node can ever have a different sign":
+    // keep simulating past convergence and observe the sign histogram.
+    let seeds = SeedSequence::new(7);
+    let avc = Avc::new(7, 1).expect("valid parameters");
+    let mut rng = seeds.rng_for(0);
+    let config = Config::from_input(&avc, 25, 15);
+    let mut sim = CountSim::new(avc.clone(), config);
+    let out = sim.run_to_consensus(&mut rng, u64::MAX);
+    assert_eq!(out.verdict.opinion(), Some(Opinion::A));
+    for _ in 0..20_000 {
+        sim.advance(&mut rng);
+        assert_eq!(
+            sim.count_a(),
+            40,
+            "an agent flipped sign after convergence"
+        );
+    }
+}
+
+#[test]
+fn exhaustive_sign_safety_from_arbitrary_tiny_configurations() {
+    // Model-checking version: from EVERY configuration of 4 agents over
+    // AVC(3,1)'s state space with S > 0, no reachable configuration is
+    // all-negative (the safety half of Lemma A.1).
+    let avc = Avc::new(3, 1).expect("valid parameters");
+    let s = avc.num_states();
+    let n = 4u64;
+
+    // Enumerate all multisets of size n over s states.
+    fn enumerate(s: usize, n: u64) -> Vec<Vec<u64>> {
+        fn rec(slots: usize, remaining: u64, prefix: &mut Vec<u64>, out: &mut Vec<Vec<u64>>) {
+            if slots == 1 {
+                let mut full = prefix.clone();
+                full.push(remaining);
+                out.push(full);
+                return;
+            }
+            for take in 0..=remaining {
+                prefix.push(take);
+                rec(slots - 1, remaining - take, prefix, out);
+                prefix.pop();
+            }
+        }
+        let mut out = Vec::new();
+        rec(s, n, &mut Vec::new(), &mut out);
+        out
+    }
+
+    let mut checked = 0;
+    for counts in enumerate(s as usize, n) {
+        let total = avc.total_value(&counts);
+        if total <= 0 {
+            continue;
+        }
+        let config = Config::from_counts(counts);
+        let graph = ReachabilityGraph::explore(&avc, &config, 500_000).expect("tiny space");
+        for id in 0..graph.len() {
+            let all_negative = graph.config(id).iter().enumerate().all(|(state, &c)| {
+                c == 0 || avc.decode(state as StateId).sign() == Sign::Minus
+            });
+            assert!(
+                !all_negative,
+                "reached an all-negative configuration from S = {total} > 0"
+            );
+        }
+        checked += 1;
+    }
+    assert!(checked > 40, "expected many positive-sum configurations, got {checked}");
+}

@@ -1,0 +1,202 @@
+//! Cross-engine equivalence: all engines simulate the same Markov chain, so
+//! their convergence-time distributions and absorption probabilities must
+//! agree. These tests compare engines statistically on matched workloads
+//! (Abl-2 of DESIGN.md).
+
+use avc::population::engine::{AdaptiveSim, AgentSim, CountSim, JumpSim, Simulator};
+use avc::population::rngutil::SeedSequence;
+use avc::population::{Config, ConvergenceRule, MajorityInstance, Opinion, Protocol};
+use avc::protocols::{Avc, FourState, ThreeState, Voter};
+
+/// Mean convergence parallel time of `protocol` over `trials` runs on the
+/// chosen engine (0 = agent, 1 = count, 2 = jump, 3 = adaptive).
+fn mean_time<P: Protocol + Clone>(
+    protocol: &P,
+    instance: MajorityInstance,
+    engine: usize,
+    rule: ConvergenceRule,
+    trials: u64,
+    seed: u64,
+) -> f64 {
+    let seeds = SeedSequence::new(seed);
+    let mut total = 0.0;
+    for t in 0..trials {
+        let mut rng = seeds.rng_for(t);
+        let config = Config::from_input(protocol, instance.a(), instance.b());
+        let out = match engine {
+            0 => AgentSim::on_clique(protocol.clone(), config)
+                .run_to_consensus_with(&mut rng, u64::MAX, rule),
+            1 => CountSim::new(protocol.clone(), config)
+                .run_to_consensus_with(&mut rng, u64::MAX, rule),
+            2 => JumpSim::new(protocol.clone(), config)
+                .run_to_consensus_with(&mut rng, u64::MAX, rule),
+            _ => AdaptiveSim::new(protocol.clone(), config)
+                .run_to_consensus_with(&mut rng, u64::MAX, rule),
+        };
+        assert!(out.verdict.is_consensus(), "engine {engine} did not converge");
+        total += out.parallel_time;
+    }
+    total / trials as f64
+}
+
+/// All four engines agree on the four-state protocol's mean convergence
+/// time within sampling noise.
+#[test]
+fn four_state_means_agree_across_engines() {
+    let instance = MajorityInstance::new(70, 50);
+    let baseline = mean_time(
+        &FourState,
+        instance,
+        0,
+        ConvergenceRule::OutputConsensus,
+        60,
+        1,
+    );
+    for engine in 1..=3 {
+        let mean = mean_time(
+            &FourState,
+            instance,
+            engine,
+            ConvergenceRule::OutputConsensus,
+            60,
+            2 + engine as u64,
+        );
+        let ratio = mean / baseline;
+        assert!(
+            (0.7..1.4).contains(&ratio),
+            "engine {engine}: mean {mean} vs baseline {baseline}"
+        );
+    }
+}
+
+/// Engines agree on AVC (including the intermediate-level machinery).
+#[test]
+fn avc_means_agree_across_engines() {
+    let avc = Avc::new(9, 2).expect("valid parameters");
+    let instance = MajorityInstance::new(65, 55);
+    let baseline = mean_time(&avc, instance, 1, ConvergenceRule::OutputConsensus, 60, 5);
+    for engine in [0usize, 2, 3] {
+        let mean = mean_time(
+            &avc,
+            instance,
+            engine,
+            ConvergenceRule::OutputConsensus,
+            60,
+            6 + engine as u64,
+        );
+        let ratio = mean / baseline;
+        assert!(
+            (0.7..1.4).contains(&ratio),
+            "engine {engine}: mean {mean} vs baseline {baseline}"
+        );
+    }
+}
+
+/// The one-way (order-sensitive) three-state protocol is also equivalent
+/// across engines — the ordered-pair semantics match.
+#[test]
+fn three_state_means_agree_across_engines() {
+    let p = ThreeState::new();
+    let instance = MajorityInstance::new(80, 40);
+    let baseline = mean_time(&p, instance, 0, ConvergenceRule::StateConsensus, 60, 9);
+    for engine in 1..=3 {
+        let mean = mean_time(
+            &p,
+            instance,
+            engine,
+            ConvergenceRule::StateConsensus,
+            60,
+            10 + engine as u64,
+        );
+        let ratio = mean / baseline;
+        assert!(
+            (0.7..1.4).contains(&ratio),
+            "engine {engine}: mean {mean} vs baseline {baseline}"
+        );
+    }
+}
+
+/// Absorption probabilities (not just times) agree: the voter model's
+/// P[consensus A] = a/n on every engine.
+#[test]
+fn voter_absorption_probability_agrees_across_engines() {
+    let instance = MajorityInstance::new(12, 6);
+    let trials = 300u64;
+    for engine in 0..=3usize {
+        let seeds = SeedSequence::new(20 + engine as u64);
+        let mut wins = 0u64;
+        for t in 0..trials {
+            let mut rng = seeds.rng_for(t);
+            let config = Config::from_input(&Voter, instance.a(), instance.b());
+            let out = match engine {
+                0 => AgentSim::on_clique(Voter, config).run_to_consensus(&mut rng, u64::MAX),
+                1 => CountSim::new(Voter, config).run_to_consensus(&mut rng, u64::MAX),
+                2 => JumpSim::new(Voter, config).run_to_consensus(&mut rng, u64::MAX),
+                _ => AdaptiveSim::new(Voter, config).run_to_consensus(&mut rng, u64::MAX),
+            };
+            if out.verdict.opinion() == Some(Opinion::A) {
+                wins += 1;
+            }
+        }
+        let frac = wins as f64 / trials as f64;
+        assert!(
+            (frac - 12.0 / 18.0).abs() < 0.09,
+            "engine {engine}: absorption fraction {frac}"
+        );
+    }
+}
+
+/// The approximate τ-leaping engine agrees with the exact engines in mean
+/// convergence time within its documented few-percent bias band.
+#[test]
+fn tau_leap_agrees_statistically() {
+    use avc::population::engine::TauLeapSim;
+    let instance = MajorityInstance::new(1_400, 600);
+    let seeds = SeedSequence::new(77);
+    let trials = 40;
+    let mut tau_mean = 0.0;
+    let mut exact_mean = 0.0;
+    for t in 0..trials {
+        let mut rng = seeds.rng_for(t);
+        let config = Config::from_input(&ThreeState::new(), instance.a(), instance.b());
+        tau_mean += TauLeapSim::new(ThreeState::new(), config)
+            .run_to_consensus_with(&mut rng, u64::MAX, ConvergenceRule::StateConsensus)
+            .parallel_time;
+        let mut rng = seeds.child(9).rng_for(t);
+        let config = Config::from_input(&ThreeState::new(), instance.a(), instance.b());
+        exact_mean += CountSim::new(ThreeState::new(), config)
+            .run_to_consensus_with(&mut rng, u64::MAX, ConvergenceRule::StateConsensus)
+            .parallel_time;
+    }
+    tau_mean /= trials as f64;
+    exact_mean /= trials as f64;
+    let ratio = tau_mean / exact_mean;
+    assert!(
+        (0.8..1.25).contains(&ratio),
+        "tau-leap {tau_mean} vs exact {exact_mean}"
+    );
+}
+
+/// The jump engine reports identical *final configurations* to the count
+/// engine for a deterministic-outcome protocol, and strictly fewer events
+/// than steps in a silent-dominated run.
+#[test]
+fn jump_engine_skips_but_preserves_outcome() {
+    let instance = MajorityInstance::new(900, 30);
+    let seeds = SeedSequence::new(31);
+    let config = Config::from_input(&FourState, instance.a(), instance.b());
+    let mut sim = JumpSim::new(FourState, config);
+    let mut rng = seeds.rng_for(0);
+    let out = sim.run_to_consensus(&mut rng, u64::MAX);
+    assert_eq!(out.verdict.opinion(), Some(Opinion::A));
+    assert!(
+        sim.events() * 10 < sim.steps(),
+        "expected heavy skipping: {} events vs {} steps",
+        sim.events(),
+        sim.steps()
+    );
+    // Value conservation visible in the final configuration: +1 count minus
+    // −1 count must equal the initial margin.
+    let counts = sim.counts();
+    assert_eq!(counts[0] as i64 - counts[1] as i64, 870);
+}

@@ -1,0 +1,83 @@
+//! The three-state mean-field ODE against large-`n` simulation: fractions
+//! along a simulated trajectory must concentrate on the RK4 solution
+//! (the [PVV09] limit used to analyze the protocol's convergence time).
+
+use avc::analysis::mean_field::{limit_convergence_time, three_state_limit};
+use avc::population::engine::CountSim;
+use avc::population::trace::record;
+use avc::population::{Config, ConvergenceRule};
+use avc::protocols::ThreeState;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+#[test]
+fn simulated_fractions_track_the_ode() {
+    let n = 100_000u64;
+    let (x0, y0) = (0.55, 0.45);
+    let a = (x0 * n as f64) as u64;
+    let b = n - a;
+
+    let protocol = ThreeState::new();
+    let mut sim = CountSim::new(protocol, Config::from_input(&protocol, a, b));
+    let mut rng = SmallRng::seed_from_u64(31);
+    let trace = record(
+        &mut sim,
+        &mut rng,
+        n / 10, // 10 samples per parallel-time unit
+        8 * n,  // 8 units of parallel time
+        ConvergenceRule::StateConsensus,
+        vec!["x".into(), "y".into(), "b".into()],
+        |counts| {
+            let total: u64 = counts.iter().sum();
+            counts.iter().map(|&c| c as f64 / total as f64).collect()
+        },
+    );
+
+    let ode = three_state_limit(x0, y0, 1e-4, 8.0);
+    let ode_at = |t: f64| {
+        let idx = ((t / 1e-4).round() as usize).min(ode.len() - 1);
+        ode[idx]
+    };
+
+    let mut checked = 0;
+    for sample in &trace.samples {
+        let p = ode_at(sample.parallel_time);
+        // Concentration is O(1/√n) ≈ 0.3%; allow 2% absolute per component.
+        assert!(
+            (sample.values[0] - p.x).abs() < 0.02,
+            "x at t={}: sim {} vs ode {}",
+            sample.parallel_time,
+            sample.values[0],
+            p.x
+        );
+        assert!(
+            (sample.values[1] - p.y).abs() < 0.02,
+            "y at t={}: sim {} vs ode {}",
+            sample.parallel_time,
+            sample.values[1],
+            p.y
+        );
+        assert!(
+            (sample.values[2] - p.blank).abs() < 0.02,
+            "b at t={}: sim {} vs ode {}",
+            sample.parallel_time,
+            sample.values[2],
+            p.blank
+        );
+        checked += 1;
+    }
+    assert!(checked >= 10, "expected a real trajectory, got {checked} samples");
+}
+
+#[test]
+fn ode_convergence_time_reflects_log_terms() {
+    // O(log(1/ε) + log n) for the limit system: convergence to minority
+    // mass < 1/n takes ≈ log n longer than to a constant threshold.
+    let traj = three_state_limit(0.505, 0.495, 1e-3, 200.0);
+    let coarse = limit_convergence_time(&traj, 1e-2).expect("reaches 1e-2");
+    let fine = limit_convergence_time(&traj, 1e-6).expect("reaches 1e-6");
+    assert!(fine > coarse);
+    // The extra time for four orders of magnitude is a bounded multiple of
+    // ln(10^4) ≈ 9.2 — not a polynomial blowup.
+    assert!(fine - coarse < 5.0 * 9.3, "{coarse} -> {fine}");
+}

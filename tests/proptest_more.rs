@@ -1,0 +1,152 @@
+//! Second property-test suite: randomized protocols against the exact
+//! solver, graph-generator invariants, composition laws, and witness
+//! replay round-trips.
+
+use avc::population::graph::Graph;
+use avc::population::spectral::{spectral_gap, PowerIterationOptions};
+use avc::population::{Config, ConvergenceRule, Opinion, StateId};
+use avc::protocols::compose::{Lead, Parallel};
+use avc::protocols::{FourState, Voter};
+use avc::verify::table_protocol::TableProtocol;
+use avc::verify::witness::{find_schedule, replay_schedule};
+use proptest::prelude::*;
+
+/// A random symmetric three-state protocol (the family the MNRS14
+/// impossibility quantifies over).
+fn random_three_state() -> impl Strategy<Value = TableProtocol> {
+    let pairs = [(0u32, 0u32), (0, 1), (0, 2), (1, 1), (1, 2), (2, 2)];
+    (
+        proptest::collection::vec(0usize..6, 6),
+        proptest::bool::ANY,
+    )
+        .prop_map(move |(choices, third_a)| {
+            let outputs = vec![
+                Opinion::A,
+                Opinion::B,
+                if third_a { Opinion::A } else { Opinion::B },
+            ];
+            TableProtocol::symmetric(3, outputs, (0, 1), |a, b| {
+                let idx = pairs.iter().position(|&p| p == (a, b)).expect("pair");
+                pairs[choices[idx]]
+            })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For any random three-state protocol, the Monte-Carlo engine's mean
+    /// convergence time is statistically consistent with the exact
+    /// absorbing-chain solution (when a finite one exists).
+    #[test]
+    fn exact_solver_agrees_with_simulation_on_random_protocols(
+        protocol in random_three_state(),
+        a in 1u64..4,
+        b in 1u64..4,
+    ) {
+        use avc::population::engine::{CountSim, Simulator};
+        use avc::population::rngutil::SeedSequence;
+        use avc::verify::exact_time::expected_steps_to_convergence;
+
+        let initial = Config::from_input(&protocol, a, b);
+        let exact = expected_steps_to_convergence(
+            &protocol,
+            &initial,
+            ConvergenceRule::OutputConsensus,
+            100_000,
+        )
+        .expect("tiny state space");
+        let Some(exact) = exact else {
+            return Ok(()); // infinite expectation: nothing to compare
+        };
+        if exact == 0.0 {
+            return Ok(());
+        }
+        let seeds = SeedSequence::new(5);
+        let trials = 300;
+        let mut mean = 0.0;
+        for t in 0..trials {
+            let mut rng = seeds.rng_for(t);
+            let mut sim = CountSim::new(protocol.clone(), Config::from_input(&protocol, a, b));
+            let out = sim.run_to_consensus(&mut rng, u64::MAX);
+            prop_assert!(out.verdict.is_consensus(), "finite expectation implies a.s. absorption");
+            mean += out.steps as f64;
+        }
+        mean /= trials as f64;
+        // Geometric-mixture tails are heavy; 6 standard-error-ish slack via
+        // a crude bound (std ≤ ~2·mean for these tiny chains).
+        let slack = 12.0 * exact / (trials as f64).sqrt() + 2.0;
+        prop_assert!(
+            (mean - exact).abs() < slack,
+            "simulated {mean} vs exact {exact} (slack {slack})"
+        );
+    }
+
+    /// Graph generators produce structurally valid graphs.
+    #[test]
+    fn graph_generators_are_structurally_sound(n in 4usize..40, k in 2usize..6) {
+        let k = if (n * k) % 2 == 1 { k + 1 } else { k };
+        if k >= n { return Ok(()); }
+        let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(n as u64);
+        let g = Graph::random_regular(n, k, &mut rng);
+        prop_assert_eq!(g.num_edges(), n * k / 2);
+        let mut degree = vec![0usize; n];
+        for (u, v) in g.edge_pairs() {
+            prop_assert!(u != v);
+            degree[u] += 1;
+            degree[v] += 1;
+        }
+        prop_assert!(degree.iter().all(|&d| d == k));
+    }
+
+    /// The spectral gap of a connected graph lies in (0, 2].
+    #[test]
+    fn spectral_gap_is_in_range(n in 4usize..24) {
+        for g in [Graph::clique(n), Graph::cycle(n), Graph::star(n), Graph::path(n)] {
+            let gap = spectral_gap(&g, PowerIterationOptions::default());
+            prop_assert!(gap > 0.0 && gap <= 2.0 + 1e-9, "gap {gap}");
+        }
+    }
+
+    /// Parallel composition projects onto its components: simulating the
+    /// composite and projecting counts equals what each component's
+    /// transition structure allows (sum preservation + component closure).
+    #[test]
+    fn composition_projects_onto_components(seed in any::<u64>()) {
+        use avc::population::engine::{CountSim, Simulator};
+        use rand::SeedableRng;
+        let composite = Parallel::new(FourState, Voter, Lead::First);
+        let config = Config::from_input(&composite, 6, 5);
+        let mut sim = CountSim::new(composite.clone(), config);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            sim.advance(&mut rng);
+        }
+        // Project composite counts to each component and verify the
+        // four-state value invariant survived inside the composite.
+        let mut first_counts = vec![0u64; 4];
+        for (s, &c) in sim.counts().iter().enumerate() {
+            let (f, _) = composite.unpack(s as StateId);
+            first_counts[f as usize] += c;
+        }
+        let value: i64 = first_counts[0] as i64 - first_counts[1] as i64;
+        prop_assert_eq!(value, 1, "strong-difference invariant broken in composite");
+        prop_assert_eq!(first_counts.iter().sum::<u64>(), 11);
+    }
+
+    /// Any schedule found by the witness search replays successfully and
+    /// ends in a configuration satisfying the goal.
+    #[test]
+    fn witness_schedules_replay_to_their_goal(a in 1u64..5, b in 1u64..5, target in 0u32..3) {
+        let protocol = avc::protocols::ThreeState::new();
+        let initial = Config::from_input(&protocol, a, b);
+        let goal = move |c: &[u64]| c[target as usize] == 0;
+        if let Some(schedule) =
+            find_schedule(&protocol, &initial, 100_000, goal).expect("small space")
+        {
+            let end = replay_schedule(&protocol, &initial, &schedule).expect("replayable");
+            prop_assert_eq!(end.count(target), 0);
+            prop_assert_eq!(end.population(), a + b);
+        }
+    }
+}
