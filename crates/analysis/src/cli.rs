@@ -4,6 +4,7 @@
 //! numeric overrides (`--runs`, `--seed`, `--n`) and boolean flags
 //! (`--quick`), not a full CLI framework.
 
+use crate::harness::Parallelism;
 use std::collections::{HashMap, HashSet};
 
 /// Parsed command-line arguments: `--key value` pairs and bare `--flag`s.
@@ -81,7 +82,10 @@ impl Args {
     #[must_use]
     pub fn get_u64(&self, name: &str, default: u64) -> u64 {
         self.get(name)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{name} expects an integer, got `{v}`")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{name} expects an integer, got `{v}`"))
+            })
             .unwrap_or(default)
     }
 
@@ -93,8 +97,35 @@ impl Args {
     #[must_use]
     pub fn get_f64(&self, name: &str, default: f64) -> f64 {
         self.get(name)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{name} expects a number, got `{v}`")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{name} expects a number, got `{v}`"))
+            })
             .unwrap_or(default)
+    }
+
+    /// The [`Parallelism`] requested via `--serial` or `--threads N`
+    /// (default: [`Parallelism::Auto`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if both `--serial` and `--threads` are given, or on
+    /// `--threads 0` / a non-integer thread count.
+    #[must_use]
+    pub fn parallelism(&self) -> Parallelism {
+        let threads = self.get("threads").map(|v| {
+            v.parse::<usize>()
+                .unwrap_or_else(|_| panic!("--threads expects an integer, got `{v}`"))
+        });
+        match (self.flag("serial"), threads) {
+            (true, Some(_)) => panic!("--serial and --threads are mutually exclusive"),
+            (true, None) => Parallelism::Serial,
+            (false, Some(n)) => {
+                assert!(n >= 1, "--threads needs at least one worker");
+                Parallelism::Threads(n)
+            }
+            (false, None) => Parallelism::Auto,
+        }
     }
 
     /// `--name` as a comma-separated `u64` list, or `default`.
@@ -160,5 +191,27 @@ mod tests {
     fn rejects_bad_integer() {
         let a = parse(&["--runs", "many"]);
         let _ = a.get_u64("runs", 0);
+    }
+
+    #[test]
+    fn parallelism_defaults_to_auto() {
+        assert_eq!(parse(&[]).parallelism(), Parallelism::Auto);
+        assert_eq!(parse(&["--serial"]).parallelism(), Parallelism::Serial);
+        assert_eq!(
+            parse(&["--threads", "4"]).parallelism(),
+            Parallelism::Threads(4)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "mutually exclusive")]
+    fn parallelism_rejects_conflicting_flags() {
+        let _ = parse(&["--serial", "--threads", "2"]).parallelism();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn parallelism_rejects_zero_threads() {
+        let _ = parse(&["--threads", "0"]).parallelism();
     }
 }

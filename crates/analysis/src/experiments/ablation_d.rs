@@ -6,7 +6,7 @@
 //! and reallocates it between `m` and `d` (`s = m + 2d + 1`), measuring the
 //! convergence time at a hard margin for several splits.
 
-use crate::harness::{run_trials, EngineKind, TrialPlan};
+use crate::harness::{run_trials_with_stats, EngineKind, Parallelism, StatsCollector, TrialPlan};
 use crate::stats::Summary;
 use crate::table::{fmt_num, Table};
 use avc_population::{ConvergenceRule, MajorityInstance};
@@ -25,6 +25,8 @@ pub struct Config {
     pub runs: u64,
     /// Master seed.
     pub seed: u64,
+    /// Thread sharding of each point's trials (results are unaffected).
+    pub parallelism: Parallelism,
 }
 
 impl Default for Config {
@@ -35,6 +37,7 @@ impl Default for Config {
             ds: vec![1, 2, 4, 8, 16],
             runs: 25,
             seed: 6,
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -49,6 +52,7 @@ impl Config {
             ds: vec![1, 4],
             runs: 9,
             seed: 6,
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -74,6 +78,16 @@ pub struct Point {
 /// `m = budget − 2d − 1 ≥ 1`).
 #[must_use]
 pub fn run(config: &Config) -> Vec<Point> {
+    run_with_stats(config, &StatsCollector::new())
+}
+
+/// As [`run`], folding per-point throughput telemetry into `stats`.
+///
+/// # Panics
+///
+/// As [`run`].
+#[must_use]
+pub fn run_with_stats(config: &Config, stats: &StatsCollector) -> Vec<Point> {
     let instance = MajorityInstance::one_extra(config.n);
     let mut points = Vec::new();
     for (i, &d) in config.ds.iter().enumerate() {
@@ -90,8 +104,15 @@ pub fn run(config: &Config) -> Vec<Point> {
         let avc = Avc::new(m, d).expect("m odd >= 1, d >= 1");
         let plan = TrialPlan::new(instance)
             .runs(config.runs)
-            .seed(config.seed + i as u64);
-        let results = run_trials(&avc, &plan, EngineKind::Auto, ConvergenceRule::OutputConsensus);
+            .seed(config.seed + i as u64)
+            .parallelism(config.parallelism);
+        let results = run_trials_with_stats(
+            &avc,
+            &plan,
+            EngineKind::Auto,
+            ConvergenceRule::OutputConsensus,
+            stats,
+        );
         points.push(Point {
             m,
             d,
@@ -134,7 +155,7 @@ mod tests {
         let points = run(&Config::quick());
         assert_eq!(points.len(), 2);
         for p in &points {
-            assert_eq!(p.s as u64, p.m + 2 * p.d as u64 + 1);
+            assert_eq!(p.s, p.m + 2 * p.d as u64 + 1);
             assert_eq!(p.summary.count, 9, "every run must converge (exactness)");
         }
     }
@@ -148,6 +169,7 @@ mod tests {
             ds: vec![4],
             runs: 1,
             seed: 0,
+            parallelism: Parallelism::Serial,
         });
     }
 }

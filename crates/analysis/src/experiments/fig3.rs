@@ -11,7 +11,9 @@
 //! fraction of runs converging to the wrong final state (right panel) over
 //! 101 runs.
 
-use crate::harness::{run_trials, EngineKind, TrialPlan, TrialResults};
+use crate::harness::{
+    run_trials_with_stats, EngineKind, Parallelism, StatsCollector, TrialPlan, TrialResults,
+};
 use crate::stats::quantile;
 use crate::table::{fmt_num, Table};
 use avc_population::{ConvergenceRule, MajorityInstance};
@@ -26,6 +28,8 @@ pub struct Config {
     pub runs: u64,
     /// Master seed.
     pub seed: u64,
+    /// Thread sharding of each cell's trials (results are unaffected).
+    pub parallelism: Parallelism,
 }
 
 impl Default for Config {
@@ -34,6 +38,7 @@ impl Default for Config {
             ns: vec![11, 101, 1_001, 10_001, 100_001],
             runs: 101,
             seed: 2015,
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -46,6 +51,7 @@ impl Config {
             ns: vec![11, 101, 1_001],
             runs: 11,
             seed: 2015,
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -70,30 +76,44 @@ pub struct Cell {
 /// consensus, which for them is stable (Lemma A.1).
 #[must_use]
 pub fn run(config: &Config) -> Vec<Cell> {
+    run_with_stats(config, &StatsCollector::new())
+}
+
+/// As [`run`], folding per-cell throughput telemetry into `stats`.
+#[must_use]
+pub fn run_with_stats(config: &Config, stats: &StatsCollector) -> Vec<Cell> {
     let mut cells = Vec::new();
     for (i, &n) in config.ns.iter().enumerate() {
         let instance = MajorityInstance::one_extra(n);
         let plan = TrialPlan::new(instance)
             .runs(config.runs)
-            .seed(config.seed.wrapping_add(i as u64));
+            .seed(config.seed.wrapping_add(i as u64))
+            .parallelism(config.parallelism);
 
         let three = ThreeState::new();
         cells.push(Cell {
             n,
             protocol: "3-state".to_string(),
             states: 3,
-            results: run_trials(&three, &plan, EngineKind::Jump, ConvergenceRule::StateConsensus),
+            results: run_trials_with_stats(
+                &three,
+                &plan,
+                EngineKind::Jump,
+                ConvergenceRule::StateConsensus,
+                stats,
+            ),
         });
 
         cells.push(Cell {
             n,
             protocol: "4-state".to_string(),
             states: 4,
-            results: run_trials(
+            results: run_trials_with_stats(
                 &FourState,
                 &plan,
                 EngineKind::Jump,
                 ConvergenceRule::OutputConsensus,
+                stats,
             ),
         });
 
@@ -105,7 +125,13 @@ pub fn run(config: &Config) -> Vec<Cell> {
             n,
             protocol: format!("avc(s={states})"),
             states,
-            results: run_trials(&avc, &plan, EngineKind::Auto, ConvergenceRule::OutputConsensus),
+            results: run_trials_with_stats(
+                &avc,
+                &plan,
+                EngineKind::Auto,
+                ConvergenceRule::OutputConsensus,
+                stats,
+            ),
         });
     }
     cells
@@ -174,6 +200,7 @@ mod tests {
             ns: vec![101, 1_001],
             runs: 9,
             seed: 1,
+            parallelism: Parallelism::Auto,
         });
         assert_eq!(cells.len(), 6);
 
@@ -213,6 +240,7 @@ mod tests {
             ns: vec![11],
             runs: 3,
             seed: 2,
+            parallelism: Parallelism::Serial,
         });
         assert_eq!(time_table(&cells).num_rows(), 3);
         assert_eq!(error_table(&cells).num_rows(), 3);

@@ -7,7 +7,7 @@
 //! `s` grows; the right panel plots the same data against the product `s·ε`,
 //! collapsing the curves and supporting the `Θ̃(1/(sε))` claim.
 
-use crate::harness::{run_trials, EngineKind, TrialPlan};
+use crate::harness::{run_trials_with_stats, EngineKind, Parallelism, StatsCollector, TrialPlan};
 use crate::stats::Summary;
 use crate::table::{fmt_num, Table};
 use avc_population::{ConvergenceRule, MajorityInstance};
@@ -31,6 +31,8 @@ pub struct Config {
     pub runs: u64,
     /// Master seed.
     pub seed: u64,
+    /// Thread sharding of each point's trials (results are unaffected).
+    pub parallelism: Parallelism,
 }
 
 impl Default for Config {
@@ -44,6 +46,7 @@ impl Default for Config {
             ],
             runs: 15,
             seed: 4,
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -58,6 +61,7 @@ impl Config {
             epsilons: vec![1e-3, 1e-2, 1e-1],
             runs: 5,
             seed: 4,
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -85,6 +89,12 @@ pub struct Point {
 /// parity, so only degenerate configurations panic).
 #[must_use]
 pub fn run(config: &Config) -> Vec<Point> {
+    run_with_stats(config, &StatsCollector::new())
+}
+
+/// As [`run`], folding per-point throughput telemetry into `stats`.
+#[must_use]
+pub fn run_with_stats(config: &Config, stats: &StatsCollector) -> Vec<Point> {
     let mut points = Vec::new();
     for (si, &s) in config.state_counts.iter().enumerate() {
         let avc = Avc::with_states(s).expect("state count >= 4");
@@ -92,8 +102,15 @@ pub fn run(config: &Config) -> Vec<Point> {
             let instance = MajorityInstance::with_margin(config.n, eps);
             let plan = TrialPlan::new(instance)
                 .runs(config.runs)
-                .seed(config.seed + (si as u64) * 1_000 + ei as u64);
-            let results = run_trials(&avc, &plan, EngineKind::Auto, ConvergenceRule::OutputConsensus);
+                .seed(config.seed + (si as u64) * 1_000 + ei as u64)
+                .parallelism(config.parallelism);
+            let results = run_trials_with_stats(
+                &avc,
+                &plan,
+                EngineKind::Auto,
+                ConvergenceRule::OutputConsensus,
+                stats,
+            );
             points.push(Point {
                 s: avc.s(),
                 epsilon: eps,
@@ -147,6 +164,7 @@ mod tests {
             epsilons: vec![1e-3, 1e-1],
             runs: 7,
             seed: 9,
+            parallelism: Parallelism::Auto,
         });
         assert_eq!(points.len(), 4);
         let get = |s: u64, eps: f64| {
@@ -175,6 +193,7 @@ mod tests {
             epsilons: vec![0.1],
             runs: 3,
             seed: 1,
+            parallelism: Parallelism::Serial,
         });
         let t = table(&points, 501);
         assert_eq!(t.num_rows(), 1);

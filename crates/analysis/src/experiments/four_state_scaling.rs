@@ -6,7 +6,7 @@
 //! the log–log slope of time against `1/ε`; the paper's bound predicts a
 //! slope of ≈ 1 for small margins.
 
-use crate::harness::{run_trials, EngineKind, TrialPlan};
+use crate::harness::{run_trials_with_stats, EngineKind, Parallelism, StatsCollector, TrialPlan};
 use crate::stats::{loglog_slope, Summary};
 use crate::table::{fmt_num, Table};
 use avc_population::{ConvergenceRule, MajorityInstance};
@@ -23,6 +23,8 @@ pub struct Config {
     pub runs: u64,
     /// Master seed.
     pub seed: u64,
+    /// Thread sharding of each margin's trials (results are unaffected).
+    pub parallelism: Parallelism,
 }
 
 impl Default for Config {
@@ -32,6 +34,7 @@ impl Default for Config {
             epsilons: vec![1e-5, 3.16e-5, 1e-4, 3.16e-4, 1e-3, 3.16e-3, 1e-2],
             runs: 25,
             seed: 77,
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -45,6 +48,7 @@ impl Config {
             epsilons: vec![1e-3, 1e-2, 1e-1],
             runs: 9,
             seed: 77,
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -71,17 +75,25 @@ pub struct Outcome {
 /// Runs the sweep and fits the exponent.
 #[must_use]
 pub fn run(config: &Config) -> Outcome {
+    run_with_stats(config, &StatsCollector::new())
+}
+
+/// As [`run`], folding per-margin throughput telemetry into `stats`.
+#[must_use]
+pub fn run_with_stats(config: &Config, stats: &StatsCollector) -> Outcome {
     let mut points = Vec::new();
     for (i, &eps) in config.epsilons.iter().enumerate() {
         let instance = MajorityInstance::with_margin(config.n, eps);
         let plan = TrialPlan::new(instance)
             .runs(config.runs)
-            .seed(config.seed + i as u64);
-        let results = run_trials(
+            .seed(config.seed + i as u64)
+            .parallelism(config.parallelism);
+        let results = run_trials_with_stats(
             &FourState,
             &plan,
             EngineKind::Jump,
             ConvergenceRule::OutputConsensus,
+            stats,
         );
         points.push(Point {
             epsilon: instance.margin(),
@@ -127,6 +139,7 @@ mod tests {
             epsilons: vec![1e-3, 3.16e-3, 1e-2, 3.16e-2],
             runs: 15,
             seed: 3,
+            parallelism: Parallelism::Auto,
         });
         // Θ(1/ε) with log corrections: generous band around 1.
         assert!(
@@ -135,8 +148,10 @@ mod tests {
             outcome.slope
         );
         // Times must be monotone decreasing in eps (up to noise at ends).
-        assert!(outcome.points.first().unwrap().summary.mean
-            > outcome.points.last().unwrap().summary.mean);
+        assert!(
+            outcome.points.first().unwrap().summary.mean
+                > outcome.points.last().unwrap().summary.mean
+        );
     }
 
     #[test]

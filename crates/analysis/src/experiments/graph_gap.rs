@@ -6,6 +6,7 @@
 //! with very different spectral gaps (clique, star, random-regular, grid,
 //! cycle) and reports both, demonstrating the slowdown tracks `1/gap`.
 
+use crate::harness::{run_indexed_with_stats, Parallelism, StatsCollector};
 use crate::stats::Summary;
 use crate::table::{fmt_num, Table};
 use avc_population::engine::{AgentSim, Simulator};
@@ -29,6 +30,8 @@ pub struct Config {
     pub seed: u64,
     /// Step budget per run (slow topologies are reported as timeouts).
     pub max_steps: u64,
+    /// Thread sharding of each topology's trials (results are unaffected).
+    pub parallelism: Parallelism,
 }
 
 impl Default for Config {
@@ -39,6 +42,7 @@ impl Default for Config {
             runs: 25,
             seed: 23,
             max_steps: 4_000_000_000,
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -53,6 +57,7 @@ impl Config {
             runs: 5,
             seed: 23,
             max_steps: 100_000_000,
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -98,6 +103,12 @@ fn topologies(n: usize, seed: u64) -> Vec<(String, Graph)> {
 /// Runs the experiment.
 #[must_use]
 pub fn run(config: &Config) -> Vec<Point> {
+    run_with_stats(config, &StatsCollector::new())
+}
+
+/// As [`run`], folding per-topology throughput telemetry into `stats`.
+#[must_use]
+pub fn run_with_stats(config: &Config, stats: &StatsCollector) -> Vec<Point> {
     let seeds = SeedSequence::new(config.seed);
     let mut points = Vec::new();
     for (gi, (label, graph)) in topologies(config.n, config.seed).into_iter().enumerate() {
@@ -105,19 +116,22 @@ pub fn run(config: &Config) -> Vec<Point> {
         let n = graph.num_agents() as u64;
         let inst = MajorityInstance::with_margin(n, config.epsilon);
         let gap = spectral_gap(&graph, PowerIterationOptions::default());
-        let mut times = Vec::new();
-        let mut timeouts = 0;
-        for trial in 0..config.runs {
-            let mut rng = seeds.child(gi as u64).rng_for(trial);
+        let topology_seeds = seeds.child(gi as u64);
+        let graph_ref = &graph;
+        let (outcomes, batch) = run_indexed_with_stats(config.runs, config.parallelism, |trial| {
+            let mut rng = topology_seeds.rng_for(trial);
             let initial = PopulationConfig::from_input(&FourState, inst.a(), inst.b());
-            let mut sim = AgentSim::new(FourState, initial, graph.clone());
+            let mut sim = AgentSim::new(FourState, initial, graph_ref.clone());
             let out = sim.run_to_consensus(&mut rng, config.max_steps);
-            if out.verdict.is_consensus() {
-                times.push(out.parallel_time);
-            } else {
-                timeouts += 1;
-            }
-        }
+            (out, out.steps)
+        });
+        stats.record(&batch);
+        let times: Vec<f64> = outcomes
+            .iter()
+            .filter(|o| o.verdict.is_consensus())
+            .map(|o| o.parallel_time)
+            .collect();
+        let timeouts = config.runs - times.len() as u64;
         let summary = (!times.is_empty()).then(|| Summary::from_samples(&times));
         points.push(Point {
             label,

@@ -6,7 +6,7 @@
 //! populations and reports it against the theory, verifying the
 //! approximation regime in which Figure 3 (right) shows sizable error.
 
-use crate::harness::{run_trials, EngineKind, TrialPlan};
+use crate::harness::{run_trials_with_stats, EngineKind, Parallelism, StatsCollector, TrialPlan};
 use crate::table::{fmt_num, Table};
 use avc_population::{ConvergenceRule, MajorityInstance};
 use avc_protocols::ThreeState;
@@ -22,6 +22,8 @@ pub struct Config {
     pub runs: u64,
     /// Master seed.
     pub seed: u64,
+    /// Thread sharding of each point's trials (results are unaffected).
+    pub parallelism: Parallelism,
 }
 
 impl Default for Config {
@@ -31,6 +33,7 @@ impl Default for Config {
             epsilons: vec![0.001, 0.005, 0.01, 0.02, 0.03, 0.05, 0.08],
             runs: 400,
             seed: 55,
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -44,6 +47,7 @@ impl Config {
             epsilons: vec![0.01, 0.1],
             runs: 60,
             seed: 55,
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -70,13 +74,22 @@ pub struct Point {
 /// Panics unless both arguments lie strictly inside `(0, 1)`.
 #[must_use]
 pub fn bernoulli_kl(p: f64, q: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0 && q > 0.0 && q < 1.0, "need p, q in (0,1)");
+    assert!(
+        p > 0.0 && p < 1.0 && q > 0.0 && q < 1.0,
+        "need p, q in (0,1)"
+    );
     p * (p / q).ln() + (1.0 - p) * ((1.0 - p) / (1.0 - q)).ln()
 }
 
 /// Runs the sweep.
 #[must_use]
 pub fn run(config: &Config) -> Vec<Point> {
+    run_with_stats(config, &StatsCollector::new())
+}
+
+/// As [`run`], folding per-point throughput telemetry into `stats`.
+#[must_use]
+pub fn run_with_stats(config: &Config, stats: &StatsCollector) -> Vec<Point> {
     let mut points = Vec::new();
     let protocol = ThreeState::new();
     for (ni, &n) in config.ns.iter().enumerate() {
@@ -84,12 +97,14 @@ pub fn run(config: &Config) -> Vec<Point> {
             let instance = MajorityInstance::with_margin(n, eps);
             let plan = TrialPlan::new(instance)
                 .runs(config.runs)
-                .seed(config.seed + (ni as u64) * 100 + ei as u64);
-            let results = run_trials(
+                .seed(config.seed + (ni as u64) * 100 + ei as u64)
+                .parallelism(config.parallelism);
+            let results = run_trials_with_stats(
                 &protocol,
                 &plan,
                 EngineKind::Jump,
                 ConvergenceRule::StateConsensus,
+                stats,
             );
             let eps_achieved = instance.margin();
             points.push(Point {
@@ -147,10 +162,19 @@ mod tests {
             epsilons: vec![0.005, 0.25],
             runs: 80,
             seed: 1,
+            parallelism: Parallelism::Auto,
         });
         // Near-tie: errors common. Wide margin: errors (almost) gone.
-        assert!(points[0].error_fraction > 0.15, "{}", points[0].error_fraction);
-        assert!(points[1].error_fraction < 0.05, "{}", points[1].error_fraction);
+        assert!(
+            points[0].error_fraction > 0.15,
+            "{}",
+            points[0].error_fraction
+        );
+        assert!(
+            points[1].error_fraction < 0.05,
+            "{}",
+            points[1].error_fraction
+        );
         // KL bound orders the same way.
         assert!(points[0].kl_bound > points[1].kl_bound);
     }

@@ -1,11 +1,324 @@
 //! Seeded multi-trial experiment runners.
+//!
+//! # Parallel determinism
+//!
+//! Batches run under a [`Parallelism`] knob (`Serial | Threads(n) | Auto`).
+//! Every trial draws its RNG from its own [`SeedSequence`] stream, keyed by
+//! the trial index alone, so a trial's outcome does not depend on which
+//! worker ran it or in what order. Workers pull indices from a shared atomic
+//! counter and results are scattered back by index, making the full
+//! [`TrialResults`] — and therefore every [`Summary`] derived from it —
+//! **bit-identical to a serial run for any worker count and any
+//! scheduling**. `tests/parallel_determinism.rs` enforces this.
 
 use crate::stats::{fraction, Summary};
 use avc_population::engine::{AdaptiveSim, AgentSim, CountSim, JumpSim, Simulator, TauLeapSim};
 use avc_population::graph::Graph;
 use avc_population::rngutil::SeedSequence;
-use avc_population::{Config, ConvergenceRule, MajorityInstance, Opinion, Protocol};
 use avc_population::spec::RunOutcome;
+use avc_population::{Config, ConvergenceRule, MajorityInstance, Opinion, Protocol};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// How to spread a batch of trials across OS threads.
+///
+/// Regardless of the choice, trial `i` always consumes seed stream `i`, so
+/// the knob changes wall-clock time only — never results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Parallelism {
+    /// Run every trial on the calling thread.
+    Serial,
+    /// Shard across exactly `n` worker threads (`n ≥ 1`).
+    Threads(usize),
+    /// Shard across [`std::thread::available_parallelism`] workers.
+    #[default]
+    Auto,
+}
+
+impl Parallelism {
+    /// The number of workers this setting resolves to on this machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `Threads(0)`.
+    #[must_use]
+    pub fn worker_count(self) -> usize {
+        match self {
+            Parallelism::Serial => 1,
+            Parallelism::Threads(n) => {
+                assert!(n >= 1, "Threads(0) would have no workers");
+                n
+            }
+            Parallelism::Auto => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        }
+    }
+}
+
+/// Throughput telemetry for one or more trial batches.
+///
+/// Wall-clock only — parallel workers race, so none of these numbers feed
+/// back into results. Batches accumulate with [`BatchStats::absorb`].
+#[derive(Debug, Clone, Default)]
+pub struct BatchStats {
+    /// Trials completed.
+    pub trials: u64,
+    /// Scheduler events (interaction steps, including skipped null steps)
+    /// simulated across all trials.
+    pub events: u64,
+    /// Wall-clock time, summed over batches.
+    pub wall: Duration,
+    /// Trials completed by each worker (indexed by worker).
+    pub worker_trials: Vec<u64>,
+    /// Events simulated by each worker.
+    pub worker_events: Vec<u64>,
+    /// Busy time of each worker (its loop duration, not the batch wall).
+    pub worker_busy: Vec<Duration>,
+}
+
+impl BatchStats {
+    /// Events simulated per wall-clock second (0 if no time elapsed).
+    #[must_use]
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.events as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Per-worker utilization: busy time as a fraction of the wall clock.
+    #[must_use]
+    pub fn utilization(&self) -> Vec<f64> {
+        let secs = self.wall.as_secs_f64();
+        self.worker_busy
+            .iter()
+            .map(|b| {
+                if secs > 0.0 {
+                    b.as_secs_f64() / secs
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
+    /// Accumulates another batch into this one (summing per-worker vectors
+    /// element-wise, extending if the other batch used more workers).
+    pub fn absorb(&mut self, other: &BatchStats) {
+        self.trials += other.trials;
+        self.events += other.events;
+        self.wall += other.wall;
+        grow_to(&mut self.worker_trials, other.worker_trials.len(), 0);
+        grow_to(&mut self.worker_events, other.worker_events.len(), 0);
+        grow_to(
+            &mut self.worker_busy,
+            other.worker_busy.len(),
+            Duration::ZERO,
+        );
+        for (mine, theirs) in self.worker_trials.iter_mut().zip(&other.worker_trials) {
+            *mine += theirs;
+        }
+        for (mine, theirs) in self.worker_events.iter_mut().zip(&other.worker_events) {
+            *mine += theirs;
+        }
+        for (mine, theirs) in self.worker_busy.iter_mut().zip(&other.worker_busy) {
+            *mine += *theirs;
+        }
+    }
+}
+
+fn grow_to<T: Clone>(v: &mut Vec<T>, len: usize, fill: T) {
+    if v.len() < len {
+        v.resize(len, fill);
+    }
+}
+
+impl fmt::Display for BatchStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} trials, {} events in {:.2?} ({:.3e} events/s)",
+            self.trials,
+            self.events,
+            self.wall,
+            self.events_per_sec()
+        )?;
+        if self.worker_busy.len() > 1 {
+            write!(f, "; worker utilization")?;
+            for u in self.utilization() {
+                write!(f, " {:.0}%", u * 100.0)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A thread-safe accumulator of [`BatchStats`] across experiment cells —
+/// the observability hook the CLI binaries print.
+///
+/// With [`StatsCollector::verbose`], each recorded batch also emits a
+/// progress line to stderr (trials completed so far and the running event
+/// rate), which is cheap enough to leave on for long sweeps.
+#[derive(Debug, Default)]
+pub struct StatsCollector {
+    totals: Mutex<BatchStats>,
+    verbose: bool,
+}
+
+impl StatsCollector {
+    /// A quiet collector.
+    #[must_use]
+    pub fn new() -> StatsCollector {
+        StatsCollector::default()
+    }
+
+    /// A collector that prints a progress line per recorded batch.
+    #[must_use]
+    pub fn verbose() -> StatsCollector {
+        StatsCollector {
+            totals: Mutex::new(BatchStats::default()),
+            verbose: true,
+        }
+    }
+
+    /// Folds one batch into the running totals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock is poisoned (a worker panicked).
+    pub fn record(&self, batch: &BatchStats) {
+        let mut totals = self.totals.lock().expect("stats lock poisoned");
+        totals.absorb(batch);
+        if self.verbose {
+            eprintln!("[progress] {totals}");
+        }
+    }
+
+    /// A copy of the accumulated totals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal lock is poisoned (a worker panicked).
+    #[must_use]
+    pub fn snapshot(&self) -> BatchStats {
+        self.totals.lock().expect("stats lock poisoned").clone()
+    }
+}
+
+/// Evaluates `task(i)` for `i ∈ 0..runs` under the given [`Parallelism`] and
+/// returns the results in index order.
+///
+/// The output is identical for every parallelism setting; only wall-clock
+/// time differs. `task` must therefore derive any randomness it needs from
+/// the index alone (e.g. via [`SeedSequence::rng_for`]).
+pub fn run_indexed<T, F>(runs: u64, parallelism: Parallelism, task: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64) -> T + Sync,
+{
+    run_indexed_with_stats(runs, parallelism, |i| (task(i), 0)).0
+}
+
+/// As [`run_indexed`], but `task` also reports an event count per trial and
+/// the call returns throughput telemetry alongside the results.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics, propagating the failure.
+pub fn run_indexed_with_stats<T, F>(
+    runs: u64,
+    parallelism: Parallelism,
+    task: F,
+) -> (Vec<T>, BatchStats)
+where
+    T: Send,
+    F: Fn(u64) -> (T, u64) + Sync,
+{
+    let workers = parallelism.worker_count().min(runs.max(1) as usize);
+    let started = Instant::now();
+
+    if workers <= 1 {
+        let mut out = Vec::with_capacity(runs as usize);
+        let mut events = 0u64;
+        for i in 0..runs {
+            let (value, e) = task(i);
+            events += e;
+            out.push(value);
+        }
+        let busy = started.elapsed();
+        let stats = BatchStats {
+            trials: runs,
+            events,
+            wall: busy,
+            worker_trials: vec![runs],
+            worker_events: vec![events],
+            worker_busy: vec![busy],
+        };
+        return (out, stats);
+    }
+
+    // Dynamic sharding: workers pull the next unclaimed trial index from a
+    // shared counter (so stragglers never idle the rest), and results carry
+    // their index home for an order-restoring scatter below.
+    type WorkerYield<T> = (Vec<(u64, T)>, u64, Duration);
+    let next = AtomicU64::new(0);
+    let per_worker: Vec<WorkerYield<T>> = std::thread::scope(|scope| {
+        let next = &next;
+        let task = &task;
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let begun = Instant::now();
+                    let mut local = Vec::new();
+                    let mut events = 0u64;
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= runs {
+                            break;
+                        }
+                        let (value, e) = task(i);
+                        events += e;
+                        local.push((i, value));
+                    }
+                    (local, events, begun.elapsed())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("trial worker panicked"))
+            .collect()
+    });
+    let wall = started.elapsed();
+
+    let mut stats = BatchStats {
+        trials: runs,
+        events: 0,
+        wall,
+        worker_trials: Vec::with_capacity(workers),
+        worker_events: Vec::with_capacity(workers),
+        worker_busy: Vec::with_capacity(workers),
+    };
+    let mut slots: Vec<Option<T>> = (0..runs).map(|_| None).collect();
+    for (local, events, busy) in per_worker {
+        stats.worker_trials.push(local.len() as u64);
+        stats.worker_events.push(events);
+        stats.worker_busy.push(busy);
+        stats.events += events;
+        for (i, value) in local {
+            debug_assert!(slots[i as usize].is_none(), "trial {i} ran twice");
+            slots[i as usize] = Some(value);
+        }
+    }
+    let out = slots
+        .into_iter()
+        .map(|s| s.expect("every trial index is claimed by exactly one worker"))
+        .collect();
+    (out, stats)
+}
 
 /// Which simulation engine to use for a batch of trials.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -36,10 +349,12 @@ pub struct TrialPlan {
     runs: u64,
     seed: u64,
     max_steps: u64,
+    parallelism: Parallelism,
 }
 
 impl TrialPlan {
-    /// A plan with the paper's defaults: 101 runs, unlimited steps, seed 0.
+    /// A plan with the paper's defaults: 101 runs, unlimited steps, seed 0,
+    /// automatic parallelism (results are identical at any setting).
     #[must_use]
     pub fn new(instance: MajorityInstance) -> TrialPlan {
         TrialPlan {
@@ -47,6 +362,7 @@ impl TrialPlan {
             runs: 101,
             seed: 0,
             max_steps: u64::MAX,
+            parallelism: Parallelism::default(),
         }
     }
 
@@ -69,6 +385,14 @@ impl TrialPlan {
     #[must_use]
     pub fn max_steps(mut self, max_steps: u64) -> TrialPlan {
         self.max_steps = max_steps;
+        self
+    }
+
+    /// Sets how trials are spread across threads. Outcomes are bit-identical
+    /// for every setting; only the wall-clock time changes.
+    #[must_use]
+    pub fn parallelism(mut self, parallelism: Parallelism) -> TrialPlan {
+        self.parallelism = parallelism;
         self
     }
 
@@ -164,40 +488,67 @@ pub fn run_one<P: Protocol + Clone>(
             AgentSim::new(protocol.clone(), config, Graph::clique(n))
                 .run_to_consensus_with(rng, max_steps, rule)
         }
-        EngineKind::Count => CountSim::new(protocol.clone(), config)
-            .run_to_consensus_with(rng, max_steps, rule),
-        EngineKind::Jump => JumpSim::new(protocol.clone(), config)
-            .run_to_consensus_with(rng, max_steps, rule),
-        EngineKind::TauLeap => TauLeapSim::new(protocol.clone(), config)
-            .run_to_consensus_with(rng, max_steps, rule),
-        EngineKind::Auto | EngineKind::Adaptive => AdaptiveSim::new(protocol.clone(), config)
-            .run_to_consensus_with(rng, max_steps, rule),
+        EngineKind::Count => {
+            CountSim::new(protocol.clone(), config).run_to_consensus_with(rng, max_steps, rule)
+        }
+        EngineKind::Jump => {
+            JumpSim::new(protocol.clone(), config).run_to_consensus_with(rng, max_steps, rule)
+        }
+        EngineKind::TauLeap => {
+            TauLeapSim::new(protocol.clone(), config).run_to_consensus_with(rng, max_steps, rule)
+        }
+        EngineKind::Auto | EngineKind::Adaptive => {
+            AdaptiveSim::new(protocol.clone(), config).run_to_consensus_with(rng, max_steps, rule)
+        }
     }
 }
 
 /// Runs a batch of independent trials of `protocol` on the plan's instance.
 ///
 /// Trial `i` is seeded from stream `i` of `SeedSequence::new(plan.seed)`,
-/// making every batch reproducible run-for-run.
-pub fn run_trials<P: Protocol + Clone>(
+/// making every batch reproducible run-for-run — including across
+/// [`Parallelism`] settings, which affect wall-clock time only.
+pub fn run_trials<P: Protocol + Clone + Sync>(
     protocol: &P,
     plan: &TrialPlan,
     engine: EngineKind,
     rule: ConvergenceRule,
 ) -> TrialResults {
+    run_trials_core(protocol, plan, engine, rule).0
+}
+
+/// As [`run_trials`], folding the batch's throughput telemetry into `stats`.
+pub fn run_trials_with_stats<P: Protocol + Clone + Sync>(
+    protocol: &P,
+    plan: &TrialPlan,
+    engine: EngineKind,
+    rule: ConvergenceRule,
+    stats: &StatsCollector,
+) -> TrialResults {
+    let (results, batch) = run_trials_core(protocol, plan, engine, rule);
+    stats.record(&batch);
+    results
+}
+
+fn run_trials_core<P: Protocol + Clone + Sync>(
+    protocol: &P,
+    plan: &TrialPlan,
+    engine: EngineKind,
+    rule: ConvergenceRule,
+) -> (TrialResults, BatchStats) {
     let seeds = SeedSequence::new(plan.seed);
     let instance = plan.instance;
-    let outcomes = (0..plan.runs)
-        .map(|trial| {
-            let mut rng = seeds.rng_for(trial);
-            let config = Config::from_input(protocol, instance.a(), instance.b());
-            run_one(protocol, config, engine, rule, &mut rng, plan.max_steps)
-        })
-        .collect();
-    TrialResults {
+    let (outcomes, batch) = run_indexed_with_stats(plan.runs, plan.parallelism, |trial| {
+        let mut rng = seeds.rng_for(trial);
+        let config = Config::from_input(protocol, instance.a(), instance.b());
+        let outcome = run_one(protocol, config, engine, rule, &mut rng, plan.max_steps);
+        (outcome, outcome.steps)
+    });
+    let results = TrialResults {
         outcomes,
         expected: instance.winner(),
-    }
+    };
+    (results, batch)
 }
 
 #[cfg(test)]
@@ -208,8 +559,18 @@ mod tests {
     #[test]
     fn trials_are_reproducible() {
         let plan = TrialPlan::new(MajorityInstance::new(8, 5)).runs(10).seed(3);
-        let a = run_trials(&FourState, &plan, EngineKind::Jump, ConvergenceRule::OutputConsensus);
-        let b = run_trials(&FourState, &plan, EngineKind::Jump, ConvergenceRule::OutputConsensus);
+        let a = run_trials(
+            &FourState,
+            &plan,
+            EngineKind::Jump,
+            ConvergenceRule::OutputConsensus,
+        );
+        let b = run_trials(
+            &FourState,
+            &plan,
+            EngineKind::Jump,
+            ConvergenceRule::OutputConsensus,
+        );
         assert_eq!(a.outcomes(), b.outcomes());
     }
 
@@ -231,22 +592,45 @@ mod tests {
     #[test]
     fn voter_errs_roughly_at_minority_fraction() {
         // P[error] = b/n = 5/20.
-        let plan = TrialPlan::new(MajorityInstance::new(15, 5)).runs(300).seed(1);
-        let r = run_trials(&Voter, &plan, EngineKind::Count, ConvergenceRule::OutputConsensus);
-        assert!((r.error_fraction() - 0.25).abs() < 0.08, "{}", r.error_fraction());
+        let plan = TrialPlan::new(MajorityInstance::new(15, 5))
+            .runs(300)
+            .seed(1);
+        let r = run_trials(
+            &Voter,
+            &plan,
+            EngineKind::Count,
+            ConvergenceRule::OutputConsensus,
+        );
+        assert!(
+            (r.error_fraction() - 0.25).abs() < 0.08,
+            "{}",
+            r.error_fraction()
+        );
     }
 
     #[test]
     fn tie_instances_have_zero_error_fraction() {
         let plan = TrialPlan::new(MajorityInstance::new(5, 5)).runs(5);
-        let r = run_trials(&Voter, &plan, EngineKind::Count, ConvergenceRule::OutputConsensus);
+        let r = run_trials(
+            &Voter,
+            &plan,
+            EngineKind::Count,
+            ConvergenceRule::OutputConsensus,
+        );
         assert_eq!(r.error_fraction(), 0.0);
     }
 
     #[test]
     fn max_steps_shows_up_as_non_convergence() {
-        let plan = TrialPlan::new(MajorityInstance::new(50, 50)).runs(5).max_steps(3);
-        let r = run_trials(&Voter, &plan, EngineKind::Count, ConvergenceRule::OutputConsensus);
+        let plan = TrialPlan::new(MajorityInstance::new(50, 50))
+            .runs(5)
+            .max_steps(3);
+        let r = run_trials(
+            &Voter,
+            &plan,
+            EngineKind::Count,
+            ConvergenceRule::OutputConsensus,
+        );
         assert!(r.convergence_fraction() < 1.0);
     }
 
@@ -261,5 +645,106 @@ mod tests {
         );
         assert_eq!(r.convergence_fraction(), 1.0);
         assert!(r.summary().mean > 0.0);
+    }
+
+    #[test]
+    fn run_indexed_preserves_index_order_at_any_width() {
+        let expected: Vec<u64> = (0..97).map(|i| i * i).collect();
+        for parallelism in [
+            Parallelism::Serial,
+            Parallelism::Threads(2),
+            Parallelism::Threads(5),
+            Parallelism::Auto,
+        ] {
+            let got = run_indexed(97, parallelism, |i| i * i);
+            assert_eq!(got, expected, "{parallelism:?}");
+        }
+    }
+
+    #[test]
+    fn run_indexed_handles_more_workers_than_trials() {
+        let got = run_indexed(3, Parallelism::Threads(16), |i| i);
+        assert_eq!(got, vec![0, 1, 2]);
+        assert!(run_indexed(0, Parallelism::Threads(4), |i| i).is_empty());
+    }
+
+    #[test]
+    fn parallel_trials_match_serial_bit_for_bit() {
+        let base = TrialPlan::new(MajorityInstance::new(30, 21))
+            .runs(24)
+            .seed(7);
+        let serial = run_trials(
+            &FourState,
+            &base.parallelism(Parallelism::Serial),
+            EngineKind::Count,
+            ConvergenceRule::OutputConsensus,
+        );
+        for workers in [2, 3, 8] {
+            let parallel = run_trials(
+                &FourState,
+                &base.parallelism(Parallelism::Threads(workers)),
+                EngineKind::Count,
+                ConvergenceRule::OutputConsensus,
+            );
+            assert_eq!(serial.outcomes(), parallel.outcomes(), "{workers} workers");
+            assert_eq!(serial.summary(), parallel.summary(), "{workers} workers");
+        }
+    }
+
+    #[test]
+    fn stats_account_for_every_trial_and_event() {
+        let plan = TrialPlan::new(MajorityInstance::new(10, 5))
+            .runs(12)
+            .seed(2)
+            .parallelism(Parallelism::Threads(3));
+        let collector = StatsCollector::new();
+        let r = run_trials_with_stats(
+            &Voter,
+            &plan,
+            EngineKind::Count,
+            ConvergenceRule::OutputConsensus,
+            &collector,
+        );
+        let stats = collector.snapshot();
+        assert_eq!(stats.trials, 12);
+        let total_steps: u64 = r.outcomes().iter().map(|o| o.steps).sum();
+        assert_eq!(stats.events, total_steps);
+        assert_eq!(stats.worker_trials.iter().sum::<u64>(), 12);
+        assert_eq!(stats.worker_events.iter().sum::<u64>(), stats.events);
+        assert_eq!(stats.worker_busy.len(), stats.worker_trials.len());
+    }
+
+    #[test]
+    fn batch_stats_absorb_sums_across_batches() {
+        let mut a = BatchStats {
+            trials: 2,
+            events: 10,
+            wall: Duration::from_millis(4),
+            worker_trials: vec![2],
+            worker_events: vec![10],
+            worker_busy: vec![Duration::from_millis(4)],
+        };
+        let b = BatchStats {
+            trials: 3,
+            events: 5,
+            wall: Duration::from_millis(6),
+            worker_trials: vec![1, 2],
+            worker_events: vec![2, 3],
+            worker_busy: vec![Duration::from_millis(3), Duration::from_millis(3)],
+        };
+        a.absorb(&b);
+        assert_eq!(a.trials, 5);
+        assert_eq!(a.events, 15);
+        assert_eq!(a.wall, Duration::from_millis(10));
+        assert_eq!(a.worker_trials, vec![3, 2]);
+        assert_eq!(a.worker_events, vec![12, 3]);
+        assert!(a.events_per_sec() > 0.0);
+        assert_eq!(a.utilization().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "Threads(0)")]
+    fn zero_threads_is_rejected() {
+        let _ = Parallelism::Threads(0).worker_count();
     }
 }

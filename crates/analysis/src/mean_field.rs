@@ -33,11 +33,7 @@ pub struct FieldPoint {
 /// The vector field of the three-state dynamics.
 #[must_use]
 pub fn three_state_field(x: f64, y: f64, b: f64) -> (f64, f64, f64) {
-    (
-        x * b - x * y,
-        y * b - x * y,
-        2.0 * x * y - b * (x + y),
-    )
+    (x * b - x * y, y * b - x * y, 2.0 * x * y - b * (x + y))
 }
 
 /// Integrates the three-state mean-field ODE with RK4 from fractions

@@ -80,8 +80,14 @@ impl ScatterPlot {
         let points: Vec<(f64, f64)> = points.into_iter().collect();
         for &(x, y) in &points {
             assert!(x.is_finite() && y.is_finite(), "non-finite point");
-            assert!(!self.log_x || x > 0.0, "log x-axis needs positive x, got {x}");
-            assert!(!self.log_y || y > 0.0, "log y-axis needs positive y, got {y}");
+            assert!(
+                !self.log_x || x > 0.0,
+                "log x-axis needs positive x, got {x}"
+            );
+            assert!(
+                !self.log_y || y > 0.0,
+                "log y-axis needs positive y, got {y}"
+            );
         }
         self.series.push((name.into(), points));
     }
@@ -124,10 +130,10 @@ impl ScatterPlot {
         for (si, (_, pts)) in self.series.iter().enumerate() {
             let marker = MARKERS[si % MARKERS.len()];
             for &(x, y) in pts {
-                let cx = ((tx(x) - x_min) / (x_max - x_min) * (self.width - 1) as f64).round()
-                    as usize;
-                let cy = ((ty(y) - y_min) / (y_max - y_min) * (self.height - 1) as f64).round()
-                    as usize;
+                let cx =
+                    ((tx(x) - x_min) / (x_max - x_min) * (self.width - 1) as f64).round() as usize;
+                let cy =
+                    ((ty(y) - y_min) / (y_max - y_min) * (self.height - 1) as f64).round() as usize;
                 grid[self.height - 1 - cy][cx] = marker;
             }
         }
@@ -154,7 +160,12 @@ impl ScatterPlot {
         let pad = (self.width + 1).saturating_sub(left.len() + right.len());
         let _ = writeln!(out, "{}{left}{}{right}", " ".repeat(10), " ".repeat(pad));
         for (si, (name, _)) in self.series.iter().enumerate() {
-            let _ = writeln!(out, "{}{} {name}", " ".repeat(10), MARKERS[si % MARKERS.len()]);
+            let _ = writeln!(
+                out,
+                "{}{} {name}",
+                " ".repeat(10),
+                MARKERS[si % MARKERS.len()]
+            );
         }
         out
     }

@@ -4,6 +4,14 @@ use std::fmt;
 
 /// Summary statistics of a sample.
 ///
+/// A `Summary` retains its full sample (sorted into the IEEE 754 total
+/// order), which makes it a *mergeable* aggregate: [`Summary::merge`] is an
+/// exact monoid operation with [`Summary::empty`] as the identity. Because
+/// every derived statistic is recomputed as a pure function of the
+/// canonically sorted multiset, merging is associative and order-independent
+/// down to the last bit — the property the parallel trial harness relies on
+/// to make sharded aggregation indistinguishable from serial aggregation.
+///
 /// # Example
 ///
 /// ```
@@ -14,8 +22,14 @@ use std::fmt;
 /// assert_eq!(s.median, 2.5);
 /// assert_eq!(s.min, 1.0);
 /// assert_eq!(s.max, 4.0);
+///
+/// let left = Summary::from_samples(&[1.0, 3.0]);
+/// let right = Summary::from_samples(&[4.0, 2.0]);
+/// assert_eq!(left.merge(&right), s);
+/// assert_eq!(right.merge(&left), s);
+/// assert_eq!(Summary::empty().merge(&s), s);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Summary {
     /// Sample size.
     pub count: usize,
@@ -29,6 +43,10 @@ pub struct Summary {
     pub max: f64,
     /// Median (mean of central pair for even sizes).
     pub median: f64,
+    /// The sample itself, sorted by `f64::total_cmp`. The total order (not
+    /// `partial_cmp`) keeps the representation canonical even for −0.0 vs
+    /// 0.0, so equal multisets always have bit-identical layouts.
+    samples: Vec<f64>,
 }
 
 impl Summary {
@@ -40,19 +58,40 @@ impl Summary {
     #[must_use]
     pub fn from_samples(samples: &[f64]) -> Summary {
         assert!(!samples.is_empty(), "cannot summarize an empty sample");
-        assert!(
-            samples.iter().all(|x| !x.is_nan()),
-            "sample contains NaN"
-        );
-        let count = samples.len();
-        let mean = samples.iter().sum::<f64>() / count as f64;
+        assert!(samples.iter().all(|x| !x.is_nan()), "sample contains NaN");
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        Summary::from_sorted(sorted)
+    }
+
+    /// The identity of [`Summary::merge`]: a summary of zero samples.
+    ///
+    /// All statistics of an empty summary read as 0.
+    #[must_use]
+    pub fn empty() -> Summary {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            std_dev: 0.0,
+            min: 0.0,
+            max: 0.0,
+            median: 0.0,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Computes all statistics from an already-canonically-sorted sample.
+    fn from_sorted(sorted: Vec<f64>) -> Summary {
+        let count = sorted.len();
+        if count == 0 {
+            return Summary::empty();
+        }
+        let mean = sorted.iter().sum::<f64>() / count as f64;
         let var = if count > 1 {
-            samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (count as f64 - 1.0)
+            sorted.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (count as f64 - 1.0)
         } else {
             0.0
         };
-        let mut sorted = samples.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
         let median = if count % 2 == 1 {
             sorted[count / 2]
         } else {
@@ -65,12 +104,65 @@ impl Summary {
             min: sorted[0],
             max: sorted[count - 1],
             median,
+            samples: sorted,
         }
     }
 
-    /// Standard error of the mean.
+    /// Merges two summaries into the summary of the combined sample.
+    ///
+    /// Exact, not approximate: the underlying sorted multisets are merged
+    /// and every statistic recomputed, so
+    /// `a.merge(&b) == Summary::from_samples(concat(a, b))` bit for bit.
+    /// The operation is associative and commutative with [`Summary::empty`]
+    /// as identity, which lets parallel workers aggregate partial batches in
+    /// any order.
+    #[must_use]
+    pub fn merge(&self, other: &Summary) -> Summary {
+        let (a, b) = (&self.samples, &other.samples);
+        let mut merged = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            if a[i].total_cmp(&b[j]).is_le() {
+                merged.push(a[i]);
+                i += 1;
+            } else {
+                merged.push(b[j]);
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&a[i..]);
+        merged.extend_from_slice(&b[j..]);
+        Summary::from_sorted(merged)
+    }
+
+    /// The retained sample, sorted ascending (IEEE 754 total order).
+    #[must_use]
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// The `q`-th quantile of the retained sample (linear interpolation, as
+    /// [`quantile`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the summary is empty or `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(self.count > 0, "cannot take a quantile of nothing");
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile must be in [0,1], got {q}"
+        );
+        quantile_of_sorted(&self.samples, q)
+    }
+
+    /// Standard error of the mean (0 for an empty summary).
     #[must_use]
     pub fn std_error(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
         self.std_dev / (self.count as f64).sqrt()
     }
 
@@ -105,10 +197,18 @@ impl Summary {
 #[must_use]
 pub fn quantile(samples: &[f64], q: f64) -> f64 {
     assert!(!samples.is_empty(), "cannot take a quantile of nothing");
-    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1], got {q}");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile must be in [0,1], got {q}"
+    );
     assert!(samples.iter().all(|x| !x.is_nan()), "sample contains NaN");
     let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    sorted.sort_by(f64::total_cmp);
+    quantile_of_sorted(&sorted, q)
+}
+
+/// Shared quantile core over an already-sorted sample.
+fn quantile_of_sorted(sorted: &[f64], q: f64) -> f64 {
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -293,5 +393,68 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("mean 1.5"));
         assert!(text.contains("n=2"));
+    }
+
+    /// Bit-level equality: strict even for −0.0 vs 0.0, unlike `==`.
+    fn bits_equal(a: &Summary, b: &Summary) -> bool {
+        a.count == b.count
+            && a.mean.to_bits() == b.mean.to_bits()
+            && a.std_dev.to_bits() == b.std_dev.to_bits()
+            && a.min.to_bits() == b.min.to_bits()
+            && a.max.to_bits() == b.max.to_bits()
+            && a.median.to_bits() == b.median.to_bits()
+            && a.samples.len() == b.samples.len()
+            && a.samples
+                .iter()
+                .zip(&b.samples)
+                .all(|(x, y)| x.to_bits() == y.to_bits())
+    }
+
+    #[test]
+    fn merge_equals_whole_sample_summary() {
+        let all = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let whole = Summary::from_samples(&all);
+        let merged = Summary::from_samples(&all[..3]).merge(&Summary::from_samples(&all[3..]));
+        assert!(bits_equal(&whole, &merged));
+    }
+
+    #[test]
+    fn merge_is_commutative_and_has_identity() {
+        let a = Summary::from_samples(&[1.0, -0.0, 2.5]);
+        let b = Summary::from_samples(&[0.0, 7.0]);
+        assert!(bits_equal(&a.merge(&b), &b.merge(&a)));
+        assert!(bits_equal(&Summary::empty().merge(&a), &a));
+        assert!(bits_equal(&a.merge(&Summary::empty()), &a));
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let a = Summary::from_samples(&[5.0, 1.0]);
+        let b = Summary::from_samples(&[2.0]);
+        let c = Summary::from_samples(&[9.0, 0.5, 3.0]);
+        assert!(bits_equal(&a.merge(&b).merge(&c), &a.merge(&b.merge(&c))));
+    }
+
+    #[test]
+    fn empty_summary_reads_as_zero() {
+        let e = Summary::empty();
+        assert_eq!(e.count, 0);
+        assert_eq!(e.std_error(), 0.0);
+        assert!(e.samples().is_empty());
+    }
+
+    #[test]
+    fn summary_quantile_matches_free_function() {
+        let data = [10.0, 20.0, 30.0, 40.0];
+        let s = Summary::from_samples(&data);
+        assert_eq!(s.quantile(0.5), quantile(&data, 0.5));
+        assert_eq!(s.quantile(0.0), 10.0);
+        assert_eq!(s.quantile(1.0), 40.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing")]
+    fn summary_quantile_rejects_empty() {
+        let _ = Summary::empty().quantile(0.5);
     }
 }

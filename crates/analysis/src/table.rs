@@ -32,7 +32,10 @@ impl Table {
     /// # Panics
     ///
     /// Panics if no columns are given.
-    pub fn new<C: Into<String>>(title: impl Into<String>, columns: impl IntoIterator<Item = C>) -> Table {
+    pub fn new<C: Into<String>>(
+        title: impl Into<String>,
+        columns: impl IntoIterator<Item = C>,
+    ) -> Table {
         let columns: Vec<String> = columns.into_iter().map(Into::into).collect();
         assert!(!columns.is_empty(), "a table needs at least one column");
         Table {
@@ -243,7 +246,7 @@ mod tests {
         assert_eq!(fmt_num(0.0), "0");
         assert_eq!(fmt_num(10.0), "10");
         assert_eq!(fmt_num(0.25), "0.25");
-        assert_eq!(fmt_num(3.14159), "3.14");
+        assert_eq!(fmt_num(6.54321), "6.54");
         assert_eq!(fmt_num(0.001234), "0.001234");
         assert_eq!(fmt_num(0.00001), "1.000e-5");
     }

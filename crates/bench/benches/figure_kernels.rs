@@ -10,7 +10,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 fn bench_fig3_cell(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig3_cell_n1001_5runs");
     group.sample_size(10);
-    let plan = TrialPlan::new(MajorityInstance::one_extra(1_001)).runs(5).seed(1);
+    let plan = TrialPlan::new(MajorityInstance::one_extra(1_001))
+        .runs(5)
+        .seed(1);
 
     group.bench_function("three_state", |b| {
         b.iter(|| {
@@ -25,15 +27,25 @@ fn bench_fig3_cell(c: &mut Criterion) {
     });
     group.bench_function("four_state", |b| {
         b.iter(|| {
-            run_trials(&FourState, &plan, EngineKind::Jump, ConvergenceRule::OutputConsensus)
-                .error_fraction()
+            run_trials(
+                &FourState,
+                &plan,
+                EngineKind::Jump,
+                ConvergenceRule::OutputConsensus,
+            )
+            .error_fraction()
         })
     });
     group.bench_function("avc_n_state", |b| {
         let avc = Avc::with_states(1_001).expect("valid budget");
         b.iter(|| {
-            run_trials(&avc, &plan, EngineKind::Auto, ConvergenceRule::OutputConsensus)
-                .error_fraction()
+            run_trials(
+                &avc,
+                &plan,
+                EngineKind::Auto,
+                ConvergenceRule::OutputConsensus,
+            )
+            .error_fraction()
         })
     });
     group.finish();
@@ -48,8 +60,13 @@ fn bench_fig4_point(c: &mut Criterion) {
     let avc = Avc::with_states(66).expect("valid budget");
     group.bench_function("avc", |b| {
         b.iter(|| {
-            run_trials(&avc, &plan, EngineKind::Auto, ConvergenceRule::OutputConsensus)
-                .mean_parallel_time()
+            run_trials(
+                &avc,
+                &plan,
+                EngineKind::Auto,
+                ConvergenceRule::OutputConsensus,
+            )
+            .mean_parallel_time()
         })
     });
     group.finish();

@@ -4,7 +4,8 @@
 //! `d = 1` suffices in practice.
 //!
 //! Usage: `cargo run --release -p avc-bench --bin ablation_d [--quick]
-//! [--runs N] [--seed N] [--n N] [--budget S] [--out DIR]`
+//! [--runs N] [--seed N] [--n N] [--budget S] [--serial | --threads N]
+//! [--progress] [--out DIR]`
 
 use avc_analysis::cli::Args;
 use avc_analysis::experiments::{ablation_d, report};
@@ -20,6 +21,7 @@ fn main() {
     config.seed = args.get_u64("seed", config.seed);
     config.n = args.get_u64("n", config.n);
     config.state_budget = args.get_u64("budget", config.state_budget);
+    config.parallelism = args.parallelism();
 
     avc_bench::banner(
         "Ablation Abl-1 (levels d)",
@@ -29,7 +31,9 @@ fn main() {
         ),
     );
 
-    let points = ablation_d::run(&config);
+    let stats = avc_bench::collector(&args);
+    let points = ablation_d::run_with_stats(&config, &stats);
     let out = avc_bench::out_dir(&args);
     report(&ablation_d::table(&points, &config), &out, "ablation_d");
+    println!("throughput: {}", stats.snapshot());
 }

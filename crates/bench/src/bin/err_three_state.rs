@@ -2,7 +2,7 @@
 //! empirical error fraction vs the \[PVV09] bound `exp(−D((1+ε)/2‖1/2)·n)`.
 //!
 //! Usage: `cargo run --release -p avc-bench --bin err_three_state [--quick]
-//! [--runs N] [--seed N] [--out DIR]`
+//! [--runs N] [--seed N] [--serial | --threads N] [--progress] [--out DIR]`
 
 use avc_analysis::cli::Args;
 use avc_analysis::experiments::{report, three_state_error};
@@ -17,6 +17,7 @@ fn main() {
     config.runs = args.get_u64("runs", config.runs);
     config.seed = args.get_u64("seed", config.seed);
     config.ns = args.get_u64_list("ns", &config.ns);
+    config.parallelism = args.parallelism();
 
     avc_bench::banner(
         "Ablation Abl-3 (three-state error probability)",
@@ -26,7 +27,9 @@ fn main() {
         ),
     );
 
-    let points = three_state_error::run(&config);
+    let stats = avc_bench::collector(&args);
+    let points = three_state_error::run_with_stats(&config, &stats);
     let out = avc_bench::out_dir(&args);
     report(&three_state_error::table(&points), &out, "err_three_state");
+    println!("throughput: {}", stats.snapshot());
 }

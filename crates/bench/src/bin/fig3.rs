@@ -1,7 +1,8 @@
 //! Regenerates **Figure 3**: three protocols at margin `ε = 1/n`.
 //!
 //! Usage: `cargo run --release -p avc-bench --bin fig3 [--quick] [--runs N]
-//! [--seed N] [--ns 11,101,...] [--out DIR]`
+//! [--seed N] [--ns 11,101,...] [--serial | --threads N] [--progress]
+//! [--out DIR]`
 
 use avc_analysis::cli::Args;
 use avc_analysis::experiments::{fig3, report};
@@ -17,6 +18,7 @@ fn main() {
     config.runs = args.get_u64("runs", config.runs);
     config.seed = args.get_u64("seed", config.seed);
     config.ns = args.get_u64_list("ns", &config.ns);
+    config.parallelism = args.parallelism();
 
     avc_bench::banner(
         "Figure 3",
@@ -27,7 +29,8 @@ fn main() {
     );
 
     let started = std::time::Instant::now();
-    let cells = fig3::run(&config);
+    let stats = avc_bench::collector(&args);
+    let cells = fig3::run_with_stats(&config, &stats);
     let out = avc_bench::out_dir(&args);
     report(&fig3::time_table(&cells), &out, "fig3_time");
     report(&fig3::error_table(&cells), &out, "fig3_error");
@@ -48,5 +51,6 @@ fn main() {
         plot.add_series(family, series);
     }
     println!("{}", plot.render());
+    println!("throughput: {}", stats.snapshot());
     println!("total wall time: {:?}", started.elapsed());
 }

@@ -2,7 +2,8 @@
 //! `s·ε` collapse.
 //!
 //! Usage: `cargo run --release -p avc-bench --bin fig4 [--quick] [--runs N]
-//! [--seed N] [--n N] [--states 4,6,...] [--out DIR]`
+//! [--seed N] [--n N] [--states 4,6,...] [--serial | --threads N]
+//! [--progress] [--out DIR]`
 
 use avc_analysis::cli::Args;
 use avc_analysis::experiments::{fig4, report};
@@ -19,6 +20,7 @@ fn main() {
     config.seed = args.get_u64("seed", config.seed);
     config.n = args.get_u64("n", config.n);
     config.state_counts = args.get_u64_list("states", &config.state_counts);
+    config.parallelism = args.parallelism();
 
     avc_bench::banner(
         "Figure 4",
@@ -32,7 +34,8 @@ fn main() {
     );
 
     let started = std::time::Instant::now();
-    let points = fig4::run(&config);
+    let stats = avc_bench::collector(&args);
+    let points = fig4::run_with_stats(&config, &stats);
     let out = avc_bench::out_dir(&args);
     report(&fig4::table(&points, config.n), &out, "fig4");
 
@@ -44,7 +47,9 @@ fn main() {
     )
     .log_log();
     for &s in &config.state_counts {
-        let avc_s = avc_protocols::Avc::with_states(s).expect("valid budget").s();
+        let avc_s = avc_protocols::Avc::with_states(s)
+            .expect("valid budget")
+            .s();
         let series: Vec<(f64, f64)> = points
             .iter()
             .filter(|p| p.s == avc_s)
@@ -70,5 +75,6 @@ fn main() {
             .map(|p| (p.s as f64 * p.achieved_epsilon, p.summary.mean)),
     );
     println!("{}", right.render());
+    println!("throughput: {}", stats.snapshot());
     println!("total wall time: {:?}", started.elapsed());
 }

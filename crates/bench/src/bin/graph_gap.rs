@@ -3,7 +3,8 @@
 //! five topologies.
 //!
 //! Usage: `cargo run --release -p avc-bench --bin graph_gap [--quick]
-//! [--n N] [--runs N] [--seed N] [--out DIR]`
+//! [--n N] [--runs N] [--seed N] [--serial | --threads N] [--progress]
+//! [--out DIR]`
 
 use avc_analysis::cli::Args;
 use avc_analysis::experiments::{graph_gap, report};
@@ -18,6 +19,7 @@ fn main() {
     config.n = args.get_u64("n", config.n as u64) as usize;
     config.runs = args.get_u64("runs", config.runs);
     config.seed = args.get_u64("seed", config.seed);
+    config.parallelism = args.parallelism();
 
     avc_bench::banner(
         "Graph expansion (DV12 spectral bound)",
@@ -27,7 +29,9 @@ fn main() {
         ),
     );
 
-    let points = graph_gap::run(&config);
+    let stats = avc_bench::collector(&args);
+    let points = graph_gap::run_with_stats(&config, &stats);
     let out = avc_bench::out_dir(&args);
     report(&graph_gap::table(&points, &config), &out, "graph_gap");
+    println!("throughput: {}", stats.snapshot());
 }

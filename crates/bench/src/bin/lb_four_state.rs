@@ -2,7 +2,8 @@
 //! `Ω(1/ε)` parallel time (fitted scaling exponent ≈ 1).
 //!
 //! Usage: `cargo run --release -p avc-bench --bin lb_four_state [--quick]
-//! [--runs N] [--seed N] [--n N] [--out DIR]`
+//! [--runs N] [--seed N] [--n N] [--serial | --threads N] [--progress]
+//! [--out DIR]`
 
 use avc_analysis::cli::Args;
 use avc_analysis::experiments::{four_state_scaling, report};
@@ -17,6 +18,7 @@ fn main() {
     config.runs = args.get_u64("runs", config.runs);
     config.seed = args.get_u64("seed", config.seed);
     config.n = args.get_u64("n", config.n);
+    config.parallelism = args.parallelism();
 
     avc_bench::banner(
         "Lower bound LB-1 (Theorem B.1)",
@@ -26,7 +28,8 @@ fn main() {
         ),
     );
 
-    let outcome = four_state_scaling::run(&config);
+    let stats = avc_bench::collector(&args);
+    let outcome = four_state_scaling::run_with_stats(&config, &stats);
     let out = avc_bench::out_dir(&args);
     report(
         &four_state_scaling::table(&outcome, config.n),
@@ -37,4 +40,5 @@ fn main() {
         "fitted log-log slope of time vs 1/eps: {:.3} (theory: Θ(1/eps) ⇒ 1)",
         outcome.slope
     );
+    println!("throughput: {}", stats.snapshot());
 }

@@ -3,10 +3,11 @@
 //! population, so no exact-majority protocol beats `Ω(log n)`.
 //!
 //! Usage: `cargo run --release -p avc-bench --bin lb_info [--quick]
-//! [--runs N] [--seed N] [--out DIR]`
+//! [--runs N] [--seed N] [--serial | --threads N] [--progress] [--out DIR]`
 
 use avc_analysis::cli::Args;
 use avc_analysis::experiments::report;
+use avc_analysis::harness::run_indexed_with_stats;
 use avc_analysis::stats::{loglog_slope, Summary};
 use avc_analysis::table::{fmt_num, Table};
 use avc_population::rngutil::SeedSequence;
@@ -41,13 +42,15 @@ fn main() {
     );
     let mut lns = Vec::new();
     let mut times = Vec::new();
+    let stats = avc_bench::collector(&args);
     for (i, &n) in ns.iter().enumerate() {
-        let samples: Vec<f64> = (0..runs)
-            .map(|t| {
-                let mut rng = seeds.child(i as u64).rng_for(t);
-                cover_steps(n, &mut rng) as f64
-            })
-            .collect();
+        let cell_seeds = seeds.child(i as u64);
+        let (samples, batch) = run_indexed_with_stats(runs, args.parallelism(), |t| {
+            let mut rng = cell_seeds.rng_for(t);
+            let steps = cover_steps(n, &mut rng);
+            (steps as f64, steps)
+        });
+        stats.record(&batch);
         let summary = Summary::from_samples(&samples);
         let parallel = summary.mean / n as f64;
         lns.push((n as f64).ln());
@@ -67,4 +70,5 @@ fn main() {
     println!(
         "log-log slope of parallel cover time vs ln n: {slope:.3} (theory: linear in ln n ⇒ 1)"
     );
+    println!("throughput: {}", stats.snapshot());
 }

@@ -25,7 +25,13 @@ fn main() {
 
     let mut table = Table::new(
         "Exhaustive correctness checks",
-        ["check", "protocol", "instances", "configs_explored", "result"],
+        [
+            "check",
+            "protocol",
+            "instances",
+            "configs_explored",
+            "result",
+        ],
     );
 
     // Invariant 4.3 over full reachable closures.
@@ -42,9 +48,7 @@ fn main() {
             let initial = Config::from_input(&avc, a, b);
             let checked = check_invariant(&avc, &initial, 5_000_000, |c| avc.total_value(c))
                 .expect("state space within budget")
-                .unwrap_or_else(|bad| {
-                    panic!("Invariant 4.3 violated for m={m}, d={d} at {bad:?}")
-                });
+                .unwrap_or_else(|bad| panic!("Invariant 4.3 violated for m={m}, d={d} at {bad:?}"));
             explored += checked;
             instances += 1;
         }
@@ -105,7 +109,10 @@ fn main() {
         "four-state".to_string(),
         outcome.candidates.to_string(),
         "-".to_string(),
-        format!("{} of {} mutants survive", outcome.survivors, outcome.candidates),
+        format!(
+            "{} of {} mutants survive",
+            outcome.survivors, outcome.candidates
+        ),
     ]);
 
     // Family survey over the constrained four-state space of Theorem B.1:
@@ -117,7 +124,10 @@ fn main() {
         "Theorem B.1 case analysis".to_string(),
         survey.candidates.to_string(),
         "-".to_string(),
-        format!("{} of {} assignments correct", survey.survivors, survey.candidates),
+        format!(
+            "{} of {} assignments correct",
+            survey.survivors, survey.candidates
+        ),
     ]);
 
     report(&table, &out, "mc_avc");

@@ -6,17 +6,32 @@
 //! * `--quick` — a downscaled configuration for smoke runs;
 //! * `--runs N` — override the number of trials per point;
 //! * `--seed N` — override the master seed;
+//! * `--serial` / `--threads N` — trial parallelism (default: one worker
+//!   per core; results are bit-identical at every setting);
+//! * `--progress` — print a progress line per completed experiment cell;
 //! * `--out DIR` — output directory for CSVs (default `results`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use avc_analysis::cli::Args;
+use avc_analysis::harness::StatsCollector;
 
 /// Resolves the output directory from `--out` (default `results`).
 #[must_use]
 pub fn out_dir(args: &Args) -> String {
     args.get("out").unwrap_or("results").to_string()
+}
+
+/// A throughput collector for the run: verbose (per-cell progress lines on
+/// stderr) when `--progress` is given, quiet otherwise.
+#[must_use]
+pub fn collector(args: &Args) -> StatsCollector {
+    if args.flag("progress") {
+        StatsCollector::verbose()
+    } else {
+        StatsCollector::new()
+    }
 }
 
 /// Prints a standard experiment banner.

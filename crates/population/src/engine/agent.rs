@@ -71,7 +71,7 @@ impl<P: Protocol> AgentSim<P> {
         );
         let mut states = Vec::with_capacity(config.population() as usize);
         for s in 0..config.num_states() {
-            states.extend(std::iter::repeat(s).take(config.count(s) as usize));
+            states.extend(std::iter::repeat_n(s, config.count(s) as usize));
         }
         AgentSim::from_states(protocol, states, graph)
     }
@@ -92,7 +92,10 @@ impl<P: Protocol> AgentSim<P> {
         let s = protocol.num_states();
         let mut counts = vec![0u64; s as usize];
         for &st in &states {
-            assert!(st < s, "state {st} out of range for protocol with {s} states");
+            assert!(
+                st < s,
+                "state {st} out of range for protocol with {s} states"
+            );
             counts[st as usize] += 1;
         }
         let output_a: Vec<bool> = (0..s).map(|q| protocol.output(q) == Opinion::A).collect();
@@ -103,10 +106,7 @@ impl<P: Protocol> AgentSim<P> {
             .map(|(&c, _)| c)
             .sum();
         let n = states.len() as u64;
-        let unanimous = counts
-            .iter()
-            .position(|&c| c == n)
-            .map(|i| i as StateId);
+        let unanimous = counts.iter().position(|&c| c == n).map(|i| i as StateId);
         AgentSim {
             protocol,
             graph,
@@ -242,11 +242,8 @@ mod tests {
         let config = Config::from_input(&Annihilate, 6, 4);
         let mut sim = AgentSim::on_clique(Annihilate, config);
         let mut rng = SmallRng::seed_from_u64(2);
-        let out = sim.run_to_consensus_with(
-            &mut rng,
-            10_000_000,
-            crate::spec::ConvergenceRule::Silence,
-        );
+        let out =
+            sim.run_to_consensus_with(&mut rng, 10_000_000, crate::spec::ConvergenceRule::Silence);
         // 4 annihilations leave 2 in +1 and 8 dead; all output A.
         assert_eq!(out.verdict, Verdict::Consensus(Opinion::A));
         assert_eq!(sim.counts(), &[2, 0, 8]);
@@ -286,7 +283,10 @@ mod tests {
         let mut sim = AgentSim::on_clique(Voter, config);
         let mut rng = SmallRng::seed_from_u64(5);
         let out = sim.run_to_consensus(&mut rng, 50);
-        assert!(matches!(out.verdict, Verdict::MaxSteps | Verdict::Consensus(_)));
+        assert!(matches!(
+            out.verdict,
+            Verdict::MaxSteps | Verdict::Consensus(_)
+        ));
         if out.verdict == Verdict::MaxSteps {
             assert!(out.steps >= 50);
         }

@@ -143,15 +143,11 @@ impl<P: Protocol> Simulator for CountSim<P> {
     fn advance(&mut self, rng: &mut dyn RngCore) -> u64 {
         self.steps += 1;
         // First agent by species, proportional to counts.
-        let i = self
-            .sampler
-            .select(rng.gen_range(0..self.sampler.total())) as StateId;
+        let i = self.sampler.select(rng.gen_range(0..self.sampler.total())) as StateId;
         // Second agent among the remaining n−1, proportional to counts with
         // one agent of species i removed.
         self.sampler.add(i as usize, -1);
-        let j = self
-            .sampler
-            .select(rng.gen_range(0..self.sampler.total())) as StateId;
+        let j = self.sampler.select(rng.gen_range(0..self.sampler.total())) as StateId;
         self.sampler.add(i as usize, 1);
 
         let (x, y) = self.protocol.transition(i, j);
@@ -194,8 +190,7 @@ mod tests {
     fn annihilate_is_exactly_min_ab_productive_events() {
         let mut sim = CountSim::new(Annihilate, Config::from_input(&Annihilate, 7, 5));
         let mut rng = SmallRng::seed_from_u64(2);
-        let out =
-            sim.run_to_consensus_with(&mut rng, u64::MAX, ConvergenceRule::Silence);
+        let out = sim.run_to_consensus_with(&mut rng, u64::MAX, ConvergenceRule::Silence);
         assert_eq!(out.verdict, Verdict::Consensus(Opinion::A));
         assert_eq!(sim.counts(), &[2, 0, 10]);
     }

@@ -313,9 +313,7 @@ impl<P: Protocol> Simulator for JumpSim<P> {
         let skipped = if w_prod == w_total {
             0
         } else {
-            Geometric::new(p)
-                .expect("probability in (0,1]")
-                .sample(rng)
+            Geometric::new(p).expect("probability in (0,1]").sample(rng)
         };
 
         let (i, j) = self.sample_productive(rng, w_prod);
@@ -378,7 +376,13 @@ impl<P: Protocol> Simulator for JumpSim<P> {
                 }
             }
         }
-        for f in fresh.iter().take(fresh_len).flatten().copied().collect::<Vec<_>>() {
+        for f in fresh
+            .iter()
+            .take(fresh_len)
+            .flatten()
+            .copied()
+            .collect::<Vec<_>>()
+        {
             self.null_row[f as usize] = self.compute_null_row(f);
         }
 

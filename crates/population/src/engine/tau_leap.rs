@@ -126,8 +126,7 @@ impl<P: Protocol> TauLeapSim<P> {
         let mut channels = Vec::new();
         for &i in &live {
             for &j in &live {
-                let pairs = self.counts[i as usize]
-                    * (self.counts[j as usize] - u64::from(i == j));
+                let pairs = self.counts[i as usize] * (self.counts[j as usize] - u64::from(i == j));
                 if pairs == 0 {
                     continue;
                 }

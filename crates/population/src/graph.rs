@@ -66,9 +66,7 @@ impl Graph {
     #[must_use]
     pub fn cycle(n: usize) -> Graph {
         assert!(n >= 3, "a cycle needs at least three agents, got {n}");
-        let edges = (0..n as u32)
-            .map(|i| (i, (i + 1) % n as u32))
-            .collect();
+        let edges = (0..n as u32).map(|i| (i, (i + 1) % n as u32)).collect();
         Graph::from_edges(n, edges)
     }
 
@@ -104,7 +102,10 @@ impl Graph {
     #[must_use]
     pub fn grid(rows: usize, cols: usize) -> Graph {
         let n = rows * cols;
-        assert!(n >= 2, "a grid needs at least two agents, got {rows}x{cols}");
+        assert!(
+            n >= 2,
+            "a grid needs at least two agents, got {rows}x{cols}"
+        );
         let mut edges = Vec::new();
         for r in 0..rows {
             for c in 0..cols {
@@ -225,7 +226,7 @@ impl Graph {
     pub fn random_regular<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Graph {
         assert!(k >= 1, "degree must be positive");
         assert!(k < n, "degree {k} must be below n = {n}");
-        assert!(n * k % 2 == 0, "n·k must be even, got {n}·{k}");
+        assert!((n * k).is_multiple_of(2), "n·k must be even, got {n}·{k}");
 
         // Start from the circulant graph: i ~ i ± 1, …, i ± ⌊k/2⌋, plus the
         // antipodal matching when k is odd (n is then even by the parity
@@ -233,9 +234,9 @@ impl Graph {
         let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n * k / 2);
         let mut present = std::collections::HashSet::with_capacity(n * k / 2);
         let add = |edges: &mut Vec<(u32, u32)>,
-                       present: &mut std::collections::HashSet<(u32, u32)>,
-                       u: u32,
-                       v: u32| {
+                   present: &mut std::collections::HashSet<(u32, u32)>,
+                   u: u32,
+                   v: u32| {
             let key = (u.min(v), u.max(v));
             if present.insert(key) {
                 edges.push(key);
@@ -364,10 +365,10 @@ mod tests {
             hits[u][v] += 1;
         }
         // 12 ordered pairs, each expected 10_000 times.
-        for u in 0..4 {
-            for v in 0..4 {
+        for (u, row) in hits.iter().enumerate() {
+            for (v, &count) in row.iter().enumerate() {
                 if u != v {
-                    assert!((hits[u][v] as i64 - 10_000).abs() < 1_000, "pair ({u},{v})");
+                    assert!((count as i64 - 10_000).abs() < 1_000, "pair ({u},{v})");
                 }
             }
         }

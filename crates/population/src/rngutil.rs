@@ -3,7 +3,6 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-
 /// Derives a stream of independent, reproducible RNGs from a master seed.
 ///
 /// Experiments run many independent trials (the paper reports means over 101

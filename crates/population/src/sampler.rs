@@ -103,10 +103,7 @@ impl FenwickSampler {
             }
         } else {
             let d = delta.unsigned_abs();
-            assert!(
-                self.weight(index) >= d,
-                "weight underflow at index {index}"
-            );
+            assert!(self.weight(index) >= d, "weight underflow at index {index}");
             self.total -= d;
             let mut i = index + 1;
             while i <= self.len {
@@ -182,9 +179,9 @@ mod tests {
             inc.add(i, w as i64);
         }
         assert_eq!(bulk.total(), inc.total());
-        for i in 0..weights.len() {
-            assert_eq!(bulk.weight(i), weights[i]);
-            assert_eq!(inc.weight(i), weights[i]);
+        for (i, &w) in weights.iter().enumerate() {
+            assert_eq!(bulk.weight(i), w);
+            assert_eq!(inc.weight(i), w);
             assert_eq!(bulk.prefix_sum(i), inc.prefix_sum(i));
         }
     }

@@ -254,6 +254,9 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert_eq!(MajorityInstance::new(3, 2).to_string(), "majority(a=3, b=2)");
+        assert_eq!(
+            MajorityInstance::new(3, 2).to_string(),
+            "majority(a=3, b=2)"
+        );
     }
 }

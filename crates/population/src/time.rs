@@ -74,9 +74,7 @@ impl ContinuousClock {
 
     /// Advances past one interaction event; returns the holding time.
     pub fn tick<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
-        let dt = Exp::new(self.rate)
-            .expect("rate is positive")
-            .sample(rng);
+        let dt = Exp::new(self.rate).expect("rate is positive").sample(rng);
         self.elapsed += dt;
         dt
     }

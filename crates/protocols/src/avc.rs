@@ -183,7 +183,7 @@ impl Avc {
     ///
     /// Returns an error if `m` is even or zero, or `d` is zero.
     pub fn new(m: u64, d: u32) -> Result<Avc, AvcParameterError> {
-        if m == 0 || m % 2 == 0 {
+        if m == 0 || m.is_multiple_of(2) {
             return Err(AvcParameterError::InvalidM(m));
         }
         if d == 0 {

@@ -156,7 +156,7 @@ mod tests {
         // From n−1 infected: one susceptible, hit at rate (n−1)/(n(n−1)).
         let n = 10u64;
         let last = Epidemic.expected_completion_steps(n, n - 1);
-        assert!((last - (n * (n - 1)) as f64 / ((n - 1) * 1) as f64).abs() < 1e-12);
+        assert!((last - (n * (n - 1)) as f64 / (n - 1) as f64).abs() < 1e-12);
     }
 
     #[test]

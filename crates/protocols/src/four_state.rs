@@ -231,10 +231,7 @@ mod tests {
         for a in 0..4 {
             for b in 0..4 {
                 let (x, y) = p.transition(a, b);
-                assert_eq!(
-                    p.value_of(a) + p.value_of(b),
-                    p.value_of(x) + p.value_of(y)
-                );
+                assert_eq!(p.value_of(a) + p.value_of(b), p.value_of(x) + p.value_of(y));
             }
         }
     }

@@ -252,9 +252,7 @@ mod tests {
             outcome.survivors
         );
         assert!(
-            survivors
-                .iter()
-                .any(|s| s.contains("[S0,S1]→[X,Y]")),
+            survivors.iter().any(|s| s.contains("[S0,S1]→[X,Y]")),
             "expected a DV12-style survivor among: {survivors:?}"
         );
     }

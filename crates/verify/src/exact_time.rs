@@ -138,10 +138,7 @@ fn is_converged<P: Protocol>(
         ConvergenceRule::OutputConsensus => {
             graph.all_output(protocol, id, Opinion::A) || graph.all_output(protocol, id, Opinion::B)
         }
-        ConvergenceRule::StateConsensus => graph
-            .config(id)
-            .iter()
-            .any(|&c| c == n),
+        ConvergenceRule::StateConsensus => graph.config(id).contains(&n),
         ConvergenceRule::Silence => {
             avc_population::engine::config_silent(protocol, graph.config(id))
         }

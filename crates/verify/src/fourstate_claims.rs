@@ -30,7 +30,9 @@ pub fn pure_closure<P: Protocol>(
 ) -> Result<HashSet<Vec<u64>>, StateSpaceTooLarge> {
     let initial = Config::from_input(protocol, z, n - z);
     let graph = ReachabilityGraph::explore(protocol, &initial, max_configs)?;
-    Ok((0..graph.len()).map(|id| graph.config(id).to_vec()).collect())
+    Ok((0..graph.len())
+        .map(|id| graph.config(id).to_vec())
+        .collect())
 }
 
 /// Checks Claim B.2 on `protocol` for population `n`: closures from all

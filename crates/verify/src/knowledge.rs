@@ -55,9 +55,7 @@ pub fn cover_steps<R: Rng + ?Sized>(n: u64, rng: &mut R) -> u64 {
 pub fn expected_cover_steps(n: u64) -> f64 {
     assert!(n > SEED_SET, "need more than {SEED_SET} agents, got {n}");
     let nn = (n * (n - 1)) as f64;
-    (SEED_SET..n)
-        .map(|k| nn / ((2 * k * (n - k)) as f64))
-        .sum()
+    (SEED_SET..n).map(|k| nn / ((2 * k * (n - k)) as f64)).sum()
 }
 
 #[cfg(test)]

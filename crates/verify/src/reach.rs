@@ -27,7 +27,11 @@ pub struct StateSpaceTooLarge {
 
 impl fmt::Display for StateSpaceTooLarge {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "reachable configuration space exceeds limit {}", self.limit)
+        write!(
+            f,
+            "reachable configuration space exceeds limit {}",
+            self.limit
+        )
     }
 }
 
@@ -350,11 +354,9 @@ mod tests {
     fn avc_sum_invariant_holds_on_closure() {
         let avc = Avc::new(3, 1).unwrap();
         let initial = Config::from_input(&avc, 3, 2);
-        let checked = check_invariant(&avc, &initial, 1_000_000, |counts| {
-            avc.total_value(counts)
-        })
-        .unwrap()
-        .expect("invariant must hold");
+        let checked = check_invariant(&avc, &initial, 1_000_000, |counts| avc.total_value(counts))
+            .unwrap()
+            .expect("invariant must hold");
         assert!(checked > 1, "closure should be nontrivial, got {checked}");
     }
 
@@ -375,6 +377,6 @@ mod tests {
         assert!(!g.is_empty());
         assert_eq!(g.config(0), &[2, 1]);
         assert!(!g.successors(0).is_empty());
-        assert!(g.all_output(&Voter, 0, Opinion::A) == false);
+        assert!(!g.all_output(&Voter, 0, Opinion::A));
     }
 }

@@ -144,12 +144,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "leaves the state space")]
     fn rejects_out_of_range_transition() {
-        let _ = TableProtocol::new(
-            1,
-            vec![(1, 0)],
-            vec![Opinion::A],
-            (0, 0),
-        );
+        let _ = TableProtocol::new(1, vec![(1, 0)], vec![Opinion::A], (0, 0));
     }
 
     #[test]

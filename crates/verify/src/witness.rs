@@ -174,9 +174,9 @@ mod tests {
         let p = FourState;
         // Goal: all outputs B (counterexample to exactness). Must not exist.
         let schedule = find_schedule(&p, &initial, 1_000_000, |c| {
-            c.iter().enumerate().all(|(s, &count)| {
-                count == 0 || p.output(s as StateId) == Opinion::B
-            })
+            c.iter()
+                .enumerate()
+                .all(|(s, &count)| count == 0 || p.output(s as StateId) == Opinion::B)
         })
         .unwrap();
         assert_eq!(schedule, None);
@@ -189,9 +189,9 @@ mod tests {
         let avc = Avc::new(3, 1).unwrap();
         let initial = Config::from_input(&avc, 3, 2);
         let schedule = find_schedule(&avc, &initial, 1_000_000, |c| {
-            c.iter().enumerate().all(|(s, &count)| {
-                count == 0 || avc.output(s as StateId) == Opinion::A
-            })
+            c.iter()
+                .enumerate()
+                .all(|(s, &count)| count == 0 || avc.output(s as StateId) == Opinion::A)
         })
         .unwrap()
         .expect("AVC can always converge to the majority");

@@ -36,8 +36,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let plan = TrialPlan::new(MajorityInstance::with_margin(n, eps))
             .runs(runs)
             .seed(100 + i as u64);
-        let s = run_trials(&switch, &plan, EngineKind::Jump, ConvergenceRule::StateConsensus);
-        let a = run_trials(&avc, &plan, EngineKind::Auto, ConvergenceRule::OutputConsensus);
+        let s = run_trials(
+            &switch,
+            &plan,
+            EngineKind::Jump,
+            ConvergenceRule::StateConsensus,
+        );
+        let a = run_trials(
+            &avc,
+            &plan,
+            EngineKind::Auto,
+            ConvergenceRule::OutputConsensus,
+        );
         table.push_row([
             fmt_num(plan.instance().margin()),
             fmt_num(s.error_fraction()),

@@ -63,8 +63,8 @@ fn main() {
 
     // The same protocol runs unchanged on all engines…
     let config = Config::from_input(&UndecidedDynamics, a, b);
-    let out_count = CountSim::new(UndecidedDynamics, config.clone())
-        .run_to_consensus(&mut rng, u64::MAX);
+    let out_count =
+        CountSim::new(UndecidedDynamics, config.clone()).run_to_consensus(&mut rng, u64::MAX);
     let out_jump =
         JumpSim::new(UndecidedDynamics, config.clone()).run_to_consensus(&mut rng, u64::MAX);
     println!(

@@ -16,10 +16,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut table = Table::new(
         format!("majority protocols at n = {n}, eps = 1/n, 51 runs"),
-        ["protocol", "states", "mean_parallel_time", "error_fraction", "exact?"],
+        [
+            "protocol",
+            "states",
+            "mean_parallel_time",
+            "error_fraction",
+            "exact?",
+        ],
     );
 
-    let voter = run_trials(&Voter, &plan, EngineKind::Count, ConvergenceRule::OutputConsensus);
+    let voter = run_trials(
+        &Voter,
+        &plan,
+        EngineKind::Count,
+        ConvergenceRule::OutputConsensus,
+    );
     table.push_row([
         "voter [HP99]".to_string(),
         "2".to_string(),
@@ -42,7 +53,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "no".to_string(),
     ]);
 
-    let four = run_trials(&FourState, &plan, EngineKind::Jump, ConvergenceRule::OutputConsensus);
+    let four = run_trials(
+        &FourState,
+        &plan,
+        EngineKind::Jump,
+        ConvergenceRule::OutputConsensus,
+    );
     table.push_row([
         "four-state [DV12,MNRS14]".to_string(),
         "4".to_string(),
@@ -53,7 +69,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let avc = Avc::with_states(n)?;
     let states = avc.s();
-    let avc_res = run_trials(&avc, &plan, EngineKind::Auto, ConvergenceRule::OutputConsensus);
+    let avc_res = run_trials(
+        &avc,
+        &plan,
+        EngineKind::Auto,
+        ConvergenceRule::OutputConsensus,
+    );
     table.push_row([
         "AVC (this paper)".to_string(),
         states.to_string(),

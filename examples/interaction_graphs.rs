@@ -13,6 +13,8 @@ use avc::population::rngutil::SeedSequence;
 use avc::population::{Config, MajorityInstance};
 use avc::protocols::FourState;
 
+type Topology = (&'static str, Box<dyn Fn() -> Graph>);
+
 fn main() {
     let n = 501usize;
     let instance = MajorityInstance::with_margin(n as u64, 0.2);
@@ -27,7 +29,7 @@ fn main() {
         ["graph", "edges", "mean_parallel_time", "std_dev", "errors"],
     );
 
-    let topologies: Vec<(&str, Box<dyn Fn() -> Graph>)> = vec![
+    let topologies: Vec<Topology> = vec![
         ("clique", Box::new(move || Graph::clique(n))),
         ("star", Box::new(move || Graph::star(n))),
         ("grid ~22x23", Box::new(move || Graph::grid(22, 23))),

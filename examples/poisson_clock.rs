@@ -34,10 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
         let parallel = sim.steps() as f64 / n as f64;
-        println!(
-            "{run:>3} | {parallel:>24.2} | {:>25.2}",
-            clock.elapsed()
-        );
+        println!("{run:>3} | {parallel:>24.2} | {:>25.2}", clock.elapsed());
     }
     println!("\nThe two columns agree to within O(1/sqrt(steps)) — the models are equivalent.");
     Ok(())

@@ -91,7 +91,10 @@ fn main() {
     }
     let end = replay_schedule(&p, &initial, &schedule).expect("schedule replays");
     assert_eq!(end.count_with_output(&p, Opinion::B), (a + b));
-    println!("  replay confirms: all {} agents output B (initial majority was A!)", a + b);
+    println!(
+        "  replay confirms: all {} agents output B (initial majority was A!)",
+        a + b
+    );
 
     // 3. Exact expected time to (some) consensus, from the linear system.
     let exact = expected_steps_to_convergence(
@@ -102,8 +105,6 @@ fn main() {
     )
     .expect("small state space")
     .expect("finite expectation");
-    println!(
-        "\nexact E[steps to output consensus] from 4 A / 3 B on n = 7: {exact:.3}"
-    );
+    println!("\nexact E[steps to output consensus] from 4 A / 3 B on n = 7: {exact:.3}");
     println!("\nConclusion: fast, simple — but not exact. That trade-off is what AVC removes.");
 }

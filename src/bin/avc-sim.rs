@@ -57,10 +57,7 @@ fn main() {
             (Box::new(avc), ConvergenceRule::OutputConsensus)
         }
         "four-state" => (Box::new(FourState), ConvergenceRule::OutputConsensus),
-        "three-state" => (
-            Box::new(ThreeState::new()),
-            ConvergenceRule::StateConsensus,
-        ),
+        "three-state" => (Box::new(ThreeState::new()), ConvergenceRule::StateConsensus),
         "voter" => (Box::new(Voter), ConvergenceRule::OutputConsensus),
         other => panic!("unknown protocol `{other}` (avc|four-state|three-state|voter)"),
     };

@@ -61,11 +61,7 @@ fn sign_stability_after_convergence() {
     assert_eq!(out.verdict.opinion(), Some(Opinion::A));
     for _ in 0..20_000 {
         sim.advance(&mut rng);
-        assert_eq!(
-            sim.count_a(),
-            40,
-            "an agent flipped sign after convergence"
-        );
+        assert_eq!(sim.count_a(), 40, "an agent flipped sign after convergence");
     }
 }
 
@@ -107,9 +103,10 @@ fn exhaustive_sign_safety_from_arbitrary_tiny_configurations() {
         let config = Config::from_counts(counts);
         let graph = ReachabilityGraph::explore(&avc, &config, 500_000).expect("tiny space");
         for id in 0..graph.len() {
-            let all_negative = graph.config(id).iter().enumerate().all(|(state, &c)| {
-                c == 0 || avc.decode(state as StateId).sign() == Sign::Minus
-            });
+            let all_negative =
+                graph.config(id).iter().enumerate().all(|(state, &c)| {
+                    c == 0 || avc.decode(state as StateId).sign() == Sign::Minus
+                });
             assert!(
                 !all_negative,
                 "reached an all-negative configuration from S = {total} > 0"
@@ -117,5 +114,8 @@ fn exhaustive_sign_safety_from_arbitrary_tiny_configurations() {
         }
         checked += 1;
     }
-    assert!(checked > 40, "expected many positive-sum configurations, got {checked}");
+    assert!(
+        checked > 40,
+        "expected many positive-sum configurations, got {checked}"
+    );
 }

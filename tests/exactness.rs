@@ -16,7 +16,12 @@ fn avc_exact_across_margins_and_parameters() {
             let plan = TrialPlan::new(MajorityInstance::with_margin(n, eps))
                 .runs(25)
                 .seed(m * 100 + d as u64);
-            let results = run_trials(&avc, &plan, EngineKind::Auto, ConvergenceRule::OutputConsensus);
+            let results = run_trials(
+                &avc,
+                &plan,
+                EngineKind::Auto,
+                ConvergenceRule::OutputConsensus,
+            );
             assert_eq!(
                 results.error_fraction(),
                 0.0,
@@ -32,8 +37,15 @@ fn avc_exact_across_margins_and_parameters() {
 #[test]
 fn avc_exact_when_b_is_majority() {
     let avc = Avc::new(9, 1).expect("valid parameters");
-    let plan = TrialPlan::new(MajorityInstance::new(200, 301)).runs(25).seed(8);
-    let results = run_trials(&avc, &plan, EngineKind::Auto, ConvergenceRule::OutputConsensus);
+    let plan = TrialPlan::new(MajorityInstance::new(200, 301))
+        .runs(25)
+        .seed(8);
+    let results = run_trials(
+        &avc,
+        &plan,
+        EngineKind::Auto,
+        ConvergenceRule::OutputConsensus,
+    );
     assert_eq!(results.error_fraction(), 0.0);
 }
 
@@ -77,6 +89,11 @@ fn single_agent_advantage_always_decides_correctly() {
     let plan = TrialPlan::new(MajorityInstance::one_extra(1_001))
         .runs(60)
         .seed(13);
-    let results = run_trials(&avc, &plan, EngineKind::Auto, ConvergenceRule::OutputConsensus);
+    let results = run_trials(
+        &avc,
+        &plan,
+        EngineKind::Auto,
+        ConvergenceRule::OutputConsensus,
+    );
     assert_eq!(results.error_fraction(), 0.0);
 }

@@ -1,0 +1,111 @@
+//! Golden-trace regression tests: tiny fixed-seed [`CountSim`] runs with
+//! checked-in expected count trajectories for all four protocols. Any edit
+//! that changes a transition function, the pair sampler, or the RNG stream
+//! shifts these traces and fails loudly.
+//!
+//! To regenerate after an *intentional* semantic change:
+//! `cargo test --test golden_traces -- --ignored --nocapture` and paste the
+//! printed blocks over the `EXPECTED_*` constants.
+
+use avc::population::engine::{CountSim, Simulator};
+use avc::population::rngutil::SeedSequence;
+use avc::population::{Config, Protocol};
+use avc::protocols::{Avc, FourState, ThreeState, Voter};
+
+/// Runs `protocol` from `(a, b)` on [`CountSim`] with trial stream 0 of
+/// `SeedSequence::new(seed)` and records `steps counts` every `stride`
+/// advances (plus the initial configuration), stopping early if the
+/// configuration goes silent.
+fn trace<P: Protocol + Clone>(
+    protocol: &P,
+    a: u64,
+    b: u64,
+    seed: u64,
+    advances: u64,
+    stride: u64,
+) -> String {
+    let mut rng = SeedSequence::new(seed).rng_for(0);
+    let config = Config::from_input(protocol, a, b);
+    let mut sim = CountSim::new(protocol.clone(), config);
+    let mut lines = vec![format!("{} {:?}", sim.steps(), sim.counts())];
+    for k in 1..=advances {
+        if sim.advance(&mut rng) == 0 {
+            lines.push(format!("silent at {}", sim.steps()));
+            break;
+        }
+        if k % stride == 0 {
+            lines.push(format!("{} {:?}", sim.steps(), sim.counts()));
+        }
+    }
+    lines.join("\n")
+}
+
+const EXPECTED_VOTER: &str = "\
+0 [9, 6]
+6 [11, 4]
+12 [10, 5]
+18 [12, 3]
+24 [13, 2]
+30 [15, 0]";
+
+const EXPECTED_FOUR_STATE: &str = "\
+0 [9, 6, 0, 0]
+6 [8, 5, 0, 2]
+12 [8, 5, 1, 1]
+18 [5, 2, 5, 3]
+24 [5, 2, 5, 3]
+30 [4, 1, 5, 5]";
+
+const EXPECTED_THREE_STATE: &str = "\
+0 [9, 6, 0]
+6 [8, 5, 2]
+12 [7, 4, 4]
+18 [8, 3, 4]
+24 [7, 2, 6]
+30 [8, 1, 6]";
+
+const EXPECTED_AVC: &str = "\
+0 [6, 0, 0, 0, 0, 0, 0, 9]
+6 [4, 0, 1, 0, 2, 1, 0, 7]
+12 [2, 0, 3, 1, 1, 2, 2, 4]
+18 [0, 1, 5, 1, 1, 1, 4, 2]
+24 [0, 0, 4, 3, 1, 2, 4, 1]
+30 [0, 0, 4, 4, 0, 2, 4, 1]";
+
+#[test]
+fn voter_trace_is_stable() {
+    assert_eq!(trace(&Voter, 9, 6, 101, 30, 6), EXPECTED_VOTER);
+}
+
+#[test]
+fn four_state_trace_is_stable() {
+    assert_eq!(trace(&FourState, 9, 6, 102, 30, 6), EXPECTED_FOUR_STATE);
+}
+
+#[test]
+fn three_state_trace_is_stable() {
+    assert_eq!(
+        trace(&ThreeState::new(), 9, 6, 103, 30, 6),
+        EXPECTED_THREE_STATE
+    );
+}
+
+#[test]
+fn avc_trace_is_stable() {
+    let avc = Avc::new(5, 1).expect("valid parameters");
+    assert_eq!(trace(&avc, 9, 6, 104, 30, 6), EXPECTED_AVC);
+}
+
+/// Regeneration helper (see the module docs). Ignored by default.
+#[test]
+#[ignore = "prints the current traces for manual regeneration"]
+fn print_traces() {
+    println!("voter:\n{}\n", trace(&Voter, 9, 6, 101, 30, 6));
+    println!("four_state:\n{}\n", trace(&FourState, 9, 6, 102, 30, 6));
+    println!(
+        "three_state:\n{}\n",
+        trace(&ThreeState::new(), 9, 6, 103, 30, 6)
+    );
+    let avc = Avc::new(5, 1).expect("valid parameters");
+    println!("avc:\n{}\n", trace(&avc, 9, 6, 104, 30, 6));
+}

@@ -66,7 +66,10 @@ fn simulated_fractions_track_the_ode() {
         );
         checked += 1;
     }
-    assert!(checked >= 10, "expected a real trajectory, got {checked} samples");
+    assert!(
+        checked >= 10,
+        "expected a real trajectory, got {checked} samples"
+    );
 }
 
 #[test]

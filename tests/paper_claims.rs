@@ -2,6 +2,7 @@
 //! through the same experiment code that regenerates the figures.
 
 use avc::analysis::experiments::{fig3, fig4, four_state_scaling, three_state_error};
+use avc::analysis::harness::Parallelism;
 use avc::analysis::stats::loglog_slope;
 use avc::verify::enumerate::three_state_impossibility;
 use avc::verify::knowledge::{cover_steps, expected_cover_steps};
@@ -16,6 +17,7 @@ fn figure3_ordering_holds() {
         ns: vec![1_001],
         runs: 21,
         seed: 3,
+        parallelism: Parallelism::Auto,
     });
     let get = |name: &str| {
         cells
@@ -28,7 +30,10 @@ fn figure3_ordering_holds() {
     let tavc = get("avc").results.mean_parallel_time();
 
     assert!(t4 > 20.0 * tavc, "4-state {t4} should dwarf AVC {tavc}");
-    assert!(tavc < 5.0 * t3, "AVC {tavc} should be comparable to 3-state {t3}");
+    assert!(
+        tavc < 5.0 * t3,
+        "AVC {tavc} should be comparable to 3-state {t3}"
+    );
     assert_eq!(get("4-state").results.error_fraction(), 0.0);
     assert_eq!(get("avc").results.error_fraction(), 0.0);
     assert!(
@@ -47,6 +52,7 @@ fn figure4_scaling_shape_holds() {
         epsilons: vec![1e-3, 1e-2, 1e-1],
         runs: 9,
         seed: 11,
+        parallelism: Parallelism::Auto,
     });
     let get = |s: u64, eps: f64| {
         points
@@ -83,6 +89,7 @@ fn four_state_lower_bound_scaling() {
         epsilons: vec![1e-3, 3.16e-3, 1e-2, 3.16e-2, 1e-1],
         runs: 11,
         seed: 21,
+        parallelism: Parallelism::Auto,
     });
     assert!(
         (0.6..1.4).contains(&outcome.slope),
@@ -123,6 +130,7 @@ fn three_state_error_law_shape() {
         epsilons: vec![0.003, 0.05],
         runs: 200,
         seed: 17,
+        parallelism: Parallelism::Auto,
     });
     assert!(points[0].error_fraction > 5.0 * points[1].error_fraction.max(0.005));
 }

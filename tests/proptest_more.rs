@@ -15,11 +15,8 @@ use proptest::prelude::*;
 /// impossibility quantifies over).
 fn random_three_state() -> impl Strategy<Value = TableProtocol> {
     let pairs = [(0u32, 0u32), (0, 1), (0, 2), (1, 1), (1, 2), (2, 2)];
-    (
-        proptest::collection::vec(0usize..6, 6),
-        proptest::bool::ANY,
-    )
-        .prop_map(move |(choices, third_a)| {
+    (proptest::collection::vec(0usize..6, 6), proptest::bool::ANY).prop_map(
+        move |(choices, third_a)| {
             let outputs = vec![
                 Opinion::A,
                 Opinion::B,
@@ -29,7 +26,8 @@ fn random_three_state() -> impl Strategy<Value = TableProtocol> {
                 let idx = pairs.iter().position(|&p| p == (a, b)).expect("pair");
                 pairs[choices[idx]]
             })
-        })
+        },
+    )
 }
 
 proptest! {
@@ -124,7 +122,7 @@ proptest! {
         }
         // Project composite counts to each component and verify the
         // four-state value invariant survived inside the composite.
-        let mut first_counts = vec![0u64; 4];
+        let mut first_counts = [0u64; 4];
         for (s, &c) in sim.counts().iter().enumerate() {
             let (f, _) = composite.unpack(s as StateId);
             first_counts[f as usize] += c;

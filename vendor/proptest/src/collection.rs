@@ -1,0 +1,50 @@
+//! Collection strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::ops::Range;
+
+/// Length specifications accepted by [`vec`]: an exact length or a
+/// half-open range of lengths.
+pub trait IntoSizeRange {
+    /// The inclusive lower and exclusive upper length bound.
+    fn bounds(self) -> (usize, usize);
+}
+
+impl IntoSizeRange for usize {
+    fn bounds(self) -> (usize, usize) {
+        (self, self + 1)
+    }
+}
+
+impl IntoSizeRange for Range<usize> {
+    fn bounds(self) -> (usize, usize) {
+        (self.start, self.end)
+    }
+}
+
+/// A strategy for `Vec<T>` with elements from `element` and a length drawn
+/// from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+    let (min, max) = size.bounds();
+    assert!(min < max, "empty length range for collection::vec");
+    VecStrategy { element, min, max }
+}
+
+/// The strategy returned by [`vec`].
+#[derive(Debug, Clone, Copy)]
+pub struct VecStrategy<S> {
+    element: S,
+    min: usize,
+    max: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.inner().gen_range(self.min..self.max);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

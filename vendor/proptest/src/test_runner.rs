@@ -1,0 +1,74 @@
+//! Test-case configuration, failure type, and the deterministic test RNG.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// Per-test configuration (only the fields this workspace uses).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// A test-case failure: the message produced by a `prop_assert!` macro.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Wraps a failure message.
+    #[must_use]
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError(message.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// The RNG driving strategy generation.
+///
+/// Seeded deterministically from the test name (FNV-1a), so every run of a
+/// given test explores the same input sequence — failures are always
+/// reproducible by rerunning the test.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    rng: SmallRng,
+}
+
+impl TestRng {
+    /// The deterministic RNG for the named test.
+    #[must_use]
+    pub fn for_test(name: &str) -> TestRng {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            rng: SmallRng::seed_from_u64(hash),
+        }
+    }
+
+    /// The underlying generator.
+    pub fn inner(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+}

@@ -1,0 +1,224 @@
+//! Uniform sampling over ranges and whole-domain ("standard") sampling.
+
+use crate::RngCore;
+use std::ops::{Range, RangeInclusive};
+
+/// An unbiased draw from `[0, span)` by Lemire's widening-multiply
+/// rejection method.
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    let mut m = u128::from(rng.next_u64()) * u128::from(span);
+    let mut low = m as u64;
+    if low < span {
+        // Rejection zone to remove the modulo bias.
+        let threshold = span.wrapping_neg() % span;
+        while low < threshold {
+            m = u128::from(rng.next_u64()) * u128::from(span);
+            low = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+/// A uniform `f64` in `[0, 1)` with 53 random bits.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types with a natural "whole domain" uniform distribution (for
+/// [`Rng::gen`](crate::Rng::gen); `[0, 1)` for floats).
+pub trait StandardSample {
+    /// Draws one value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardSample for u128 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> u128 {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl StandardSample for i128 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> i128 {
+        u128::sample_standard(rng) as i128
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        unit_f64(rng)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Types that can be drawn uniformly from a bounded range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// A uniform draw from `[lo, hi)`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+
+    /// A uniform draw from `[lo, hi]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty => $unsigned:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                let span = (hi as $unsigned).wrapping_sub(lo as $unsigned);
+                lo.wrapping_add(uniform_below(rng, u64::from(span)) as $t)
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                let span = (hi as $unsigned).wrapping_sub(lo as $unsigned);
+                if u64::from(span) == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(uniform_below(rng, u64::from(span) + 1) as $t)
+            }
+        }
+    )*};
+}
+
+uniform_int!(
+    u8 => u8, u16 => u16, u32 => u32,
+    i8 => u8, i16 => u16, i32 => u32
+);
+
+macro_rules! uniform_int_wide {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                lo.wrapping_add(uniform_below(rng, span) as $t)
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(uniform_below(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+uniform_int_wide!(u64, usize, i64, isize);
+
+macro_rules! uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                let u = unit_f64(rng) as $t;
+                let x = lo + u * (hi - lo);
+                // Floating rounding can land exactly on `hi`; fold back in.
+                if x >= hi { lo.max(<$t>::from_bits(hi.to_bits() - 1)) } else { x }
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                let u = unit_f64(rng) as $t;
+                lo + u * (hi - lo)
+            }
+        }
+    )*};
+}
+
+uniform_float!(f32, f64);
+
+/// Range argument forms accepted by [`Rng::gen_range`](crate::Rng::gen_range).
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range called with empty range");
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range called with empty range");
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+
+    use crate::rngs::SmallRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn signed_ranges_cover_negatives() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut saw_negative = false;
+        for _ in 0..1_000 {
+            let x: i64 = rng.gen_range(-20i64..20);
+            assert!((-20..20).contains(&x));
+            saw_negative |= x < 0;
+        }
+        assert!(saw_negative);
+    }
+
+    #[test]
+    fn inclusive_range_hits_both_endpoints() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut lo_hit = false;
+        let mut hi_hit = false;
+        for _ in 0..1_000 {
+            match rng.gen_range(0u32..=3) {
+                0 => lo_hit = true,
+                3 => hi_hit = true,
+                _ => {}
+            }
+        }
+        assert!(lo_hit && hi_hit);
+    }
+
+    #[test]
+    fn float_half_open_stays_below_upper_bound() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..100_000 {
+            let x: f64 = rng.gen_range(0.0..1.0e-300);
+            assert!((0.0..1.0e-300).contains(&x));
+        }
+    }
+
+    #[test]
+    fn small_int_types_sample_unbiased_ends() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut hist = [0u32; 3];
+        for _ in 0..30_000 {
+            hist[rng.gen_range(0u8..3) as usize] += 1;
+        }
+        for &h in &hist {
+            assert!((9_000..11_000).contains(&h), "{hist:?}");
+        }
+    }
+}

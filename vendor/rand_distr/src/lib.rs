@@ -1,0 +1,276 @@
+//! Offline vendored subset of the
+//! [`rand_distr`](https://crates.io/crates/rand_distr) 0.4 API: the four
+//! distributions this workspace samples (`Exp`, `Normal`, `Poisson`,
+//! `Geometric`), behind the upstream paths and constructor signatures.
+//!
+//! Sampling algorithms are standard textbook ones (inversion for `Exp` and
+//! `Geometric`, polar Box–Muller for `Normal`, Knuth products for small-λ
+//! `Poisson` with a λ-splitting reduction for large λ), chosen for
+//! correctness and auditability over raw speed.
+
+#![forbid(unsafe_code)]
+
+use rand::Rng;
+use std::fmt;
+
+/// Types which can be sampled, parameterized by a distribution object.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error type shared by the distribution constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+/// A uniform draw from the open interval `(0, 1]` — safe for `ln`.
+fn unit_exclusive<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u: f64 = rng.gen::<f64>();
+    1.0 - u // gen is [0, 1), so this is (0, 1]
+}
+
+/// The exponential distribution `Exp(λ)` (rate parameterization).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exp {
+    lambda: f64,
+}
+
+impl Exp {
+    /// Creates an exponential distribution with rate `lambda`.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless `lambda` is finite and positive.
+    pub fn new(lambda: f64) -> Result<Exp, ParamError> {
+        if lambda.is_finite() && lambda > 0.0 {
+            Ok(Exp { lambda })
+        } else {
+            Err(ParamError("Exp rate must be finite and positive"))
+        }
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        -unit_exclusive(rng).ln() / self.lambda
+    }
+}
+
+/// The normal distribution `N(mean, std²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution with the given mean and standard
+    /// deviation.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless both parameters are finite and `std_dev` is
+    /// non-negative.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Normal, ParamError> {
+        if mean.is_finite() && std_dev.is_finite() && std_dev >= 0.0 {
+            Ok(Normal { mean, std_dev })
+        } else {
+            Err(ParamError("Normal parameters must be finite, std_dev >= 0"))
+        }
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Polar Box–Muller (Marsaglia); draw until inside the unit disc.
+        loop {
+            let x = 2.0 * rng.gen::<f64>() - 1.0;
+            let y = 2.0 * rng.gen::<f64>() - 1.0;
+            let s = x * x + y * y;
+            if s > 0.0 && s < 1.0 {
+                let factor = (-2.0 * s.ln() / s).sqrt();
+                return self.mean + self.std_dev * x * factor;
+            }
+        }
+    }
+}
+
+/// The Poisson distribution `Poisson(λ)`.
+///
+/// Samples are returned as `f64` (matching upstream `rand_distr`, whose
+/// `Poisson<f64>` yields `f64`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+/// Above this mean, one Knuth product would underflow `exp(−λ)`; split λ
+/// into chunks of at most this size and sum independent draws.
+const POISSON_CHUNK: f64 = 256.0;
+
+/// Above this mean, fall back to a rounded normal approximation: the
+/// relative skew `λ^{−1/2}` is below 0.7% and the exact splitting loop
+/// would cost `O(λ)` uniforms per draw.
+const POISSON_NORMAL_CUTOVER: f64 = 20_000.0;
+
+impl Poisson {
+    /// Creates a Poisson distribution with mean `lambda`.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless `lambda` is finite and positive.
+    pub fn new(lambda: f64) -> Result<Poisson, ParamError> {
+        if lambda.is_finite() && lambda > 0.0 {
+            Ok(Poisson { lambda })
+        } else {
+            Err(ParamError("Poisson mean must be finite and positive"))
+        }
+    }
+
+    fn sample_knuth<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> f64 {
+        let threshold = (-lambda).exp();
+        let mut product = rng.gen::<f64>();
+        let mut count = 0.0;
+        while product > threshold {
+            product *= rng.gen::<f64>();
+            count += 1.0;
+        }
+        count
+    }
+}
+
+impl Distribution<f64> for Poisson {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.lambda > POISSON_NORMAL_CUTOVER {
+            let gauss = Normal::new(self.lambda, self.lambda.sqrt()).expect("finite λ");
+            return gauss.sample(rng).round().max(0.0);
+        }
+        let mut remaining = self.lambda;
+        let mut total = 0.0;
+        while remaining > POISSON_CHUNK {
+            total += Poisson::sample_knuth(rng, POISSON_CHUNK);
+            remaining -= POISSON_CHUNK;
+        }
+        total + Poisson::sample_knuth(rng, remaining)
+    }
+}
+
+/// The geometric distribution: the number of failures before the first
+/// success in Bernoulli(`p`) trials (support `0, 1, 2, …`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Geometric {
+    p: f64,
+}
+
+impl Geometric {
+    /// Creates a geometric distribution with success probability `p`.
+    ///
+    /// # Errors
+    ///
+    /// Fails unless `p ∈ (0, 1]`.
+    pub fn new(p: f64) -> Result<Geometric, ParamError> {
+        if p.is_finite() && p > 0.0 && p <= 1.0 {
+            Ok(Geometric { p })
+        } else {
+            Err(ParamError("Geometric probability must be in (0, 1]"))
+        }
+    }
+}
+
+impl Distribution<u64> for Geometric {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.p >= 1.0 {
+            return 0;
+        }
+        // Inversion: ⌊ln U / ln(1−p)⌋ with U uniform on (0, 1].
+        let failures = unit_exclusive(rng).ln() / (1.0 - self.p).ln();
+        if failures >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            failures as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn mean_of(mut draw: impl FnMut() -> f64, n: u32) -> f64 {
+        (0..n).map(|_| draw()).sum::<f64>() / f64::from(n)
+    }
+
+    #[test]
+    fn exp_mean_is_one_over_lambda() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let exp = Exp::new(4.0).unwrap();
+        let mean = mean_of(|| exp.sample(&mut rng), 100_000);
+        assert!((mean - 0.25).abs() < 0.01, "{mean}");
+    }
+
+    #[test]
+    fn normal_matches_moments() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let gauss = Normal::new(5.0, 2.0).unwrap();
+        let samples: Vec<f64> = (0..100_000).map(|_| gauss.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+        assert!((mean - 5.0).abs() < 0.05, "{mean}");
+        assert!((var - 4.0).abs() < 0.15, "{var}");
+    }
+
+    #[test]
+    fn poisson_small_lambda_matches_moments() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let poisson = Poisson::new(3.5).unwrap();
+        let mean = mean_of(|| poisson.sample(&mut rng), 100_000);
+        assert!((mean - 3.5).abs() < 0.05, "{mean}");
+    }
+
+    #[test]
+    fn poisson_chunked_lambda_matches_moments() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let poisson = Poisson::new(1_000.0).unwrap();
+        let samples: Vec<f64> = (0..2_000).map(|_| poisson.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+        assert!((mean - 1_000.0).abs() < 3.0, "{mean}");
+        assert!((var - 1_000.0).abs() < 100.0, "{var}");
+    }
+
+    #[test]
+    fn geometric_mean_is_q_over_p() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let geo = Geometric::new(0.2).unwrap();
+        let mean = mean_of(|| geo.sample(&mut rng) as f64, 100_000);
+        assert!((mean - 4.0).abs() < 0.1, "{mean}");
+    }
+
+    #[test]
+    fn geometric_p_one_is_zero() {
+        let mut rng = SmallRng::seed_from_u64(6);
+        let geo = Geometric::new(1.0).unwrap();
+        assert_eq!(geo.sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn constructors_reject_bad_parameters() {
+        assert!(Exp::new(0.0).is_err());
+        assert!(Exp::new(f64::NAN).is_err());
+        assert!(Normal::new(f64::INFINITY, 1.0).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Poisson::new(-2.0).is_err());
+        assert!(Geometric::new(0.0).is_err());
+        assert!(Geometric::new(1.5).is_err());
+    }
+}
