@@ -32,6 +32,34 @@ impl Args {
         Args::parse(std::env::args().skip(1))
     }
 
+    /// Parses the process's arguments, splitting off leading positional
+    /// tokens (subcommand words) before the first `--flag`.
+    #[must_use]
+    pub fn from_env_with_positionals() -> (Vec<String>, Args) {
+        Args::parse_with_positionals(std::env::args().skip(1))
+    }
+
+    /// As [`Args::parse`], but tokens before the first `--key` are returned
+    /// as positional arguments instead of panicking — the shape of a
+    /// subcommand CLI (`avc sweep fig3 --runs 4`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a positional token *after* flag parsing has begun that is
+    /// not consumed as a `--key value` value (same typo-fail-fast behavior
+    /// as [`Args::parse`]).
+    pub fn parse_with_positionals(tokens: impl IntoIterator<Item = String>) -> (Vec<String>, Args) {
+        let mut tokens = tokens.into_iter().peekable();
+        let mut positionals = Vec::new();
+        while let Some(token) = tokens.peek() {
+            if token.starts_with("--") {
+                break;
+            }
+            positionals.push(tokens.next().expect("peeked"));
+        }
+        (positionals, Args::parse(tokens))
+    }
+
     /// Parses an explicit token stream.
     ///
     /// A token `--key` followed by a non-`--` token is a key/value pair;

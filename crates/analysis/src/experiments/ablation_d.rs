@@ -55,6 +55,23 @@ impl Config {
             parallelism: Parallelism::default(),
         }
     }
+
+    /// Builds a configuration from parsed CLI arguments (`--quick`, `--n`,
+    /// `--budget`, `--runs`, `--seed`, `--serial`/`--threads`).
+    #[must_use]
+    pub fn from_args(args: &crate::cli::Args) -> Config {
+        let mut config = if args.flag("quick") {
+            Config::quick()
+        } else {
+            Config::default()
+        };
+        config.n = args.get_u64("n", config.n);
+        config.state_budget = args.get_u64("budget", config.state_budget);
+        config.runs = args.get_u64("runs", config.runs);
+        config.seed = args.get_u64("seed", config.seed);
+        config.parallelism = args.parallelism();
+        config
+    }
 }
 
 /// One `(m, d)` measurement.
@@ -88,39 +105,49 @@ pub fn run(config: &Config) -> Vec<Point> {
 /// As [`run`].
 #[must_use]
 pub fn run_with_stats(config: &Config, stats: &StatsCollector) -> Vec<Point> {
+    (0..config.ds.len())
+        .map(|i| run_point(config, i, stats))
+        .collect()
+}
+
+/// Runs one `(m, d)` point; `i` indexes [`Config::ds`]. The point's seed
+/// depends only on the index, so it reruns identically in isolation.
+///
+/// # Panics
+///
+/// Panics if `i` is out of range or the budget cannot accommodate `ds[i]`.
+#[must_use]
+pub fn run_point(config: &Config, i: usize, stats: &StatsCollector) -> Point {
     let instance = MajorityInstance::one_extra(config.n);
-    let mut points = Vec::new();
-    for (i, &d) in config.ds.iter().enumerate() {
-        let budget_for_m = config
-            .state_budget
-            .checked_sub(2 * d as u64 + 1)
-            .unwrap_or_else(|| panic!("budget {} too small for d={d}", config.state_budget));
-        let m = if budget_for_m % 2 == 1 {
-            budget_for_m
-        } else {
-            budget_for_m - 1
-        };
-        assert!(m >= 1, "budget {} too small for d={d}", config.state_budget);
-        let avc = Avc::new(m, d).expect("m odd >= 1, d >= 1");
-        let plan = TrialPlan::new(instance)
-            .runs(config.runs)
-            .seed(config.seed + i as u64)
-            .parallelism(config.parallelism);
-        let results = run_trials_with_stats(
-            &avc,
-            &plan,
-            EngineKind::Auto,
-            ConvergenceRule::OutputConsensus,
-            stats,
-        );
-        points.push(Point {
-            m,
-            d,
-            s: avc.s(),
-            summary: results.summary(),
-        });
+    let d = config.ds[i];
+    let budget_for_m = config
+        .state_budget
+        .checked_sub(2 * d as u64 + 1)
+        .unwrap_or_else(|| panic!("budget {} too small for d={d}", config.state_budget));
+    let m = if budget_for_m % 2 == 1 {
+        budget_for_m
+    } else {
+        budget_for_m - 1
+    };
+    assert!(m >= 1, "budget {} too small for d={d}", config.state_budget);
+    let avc = Avc::new(m, d).expect("m odd >= 1, d >= 1");
+    let plan = TrialPlan::new(instance)
+        .runs(config.runs)
+        .seed(config.seed + i as u64)
+        .parallelism(config.parallelism);
+    let results = run_trials_with_stats(
+        &avc,
+        &plan,
+        EngineKind::Auto,
+        ConvergenceRule::OutputConsensus,
+        stats,
+    );
+    Point {
+        m,
+        d,
+        s: avc.s(),
+        summary: results.summary(),
     }
-    points
 }
 
 /// Renders the result table.

@@ -64,6 +64,28 @@ impl Config {
             seed: 2,
         }
     }
+
+    /// Builds a configuration from parsed CLI arguments (`--quick`, `--n`,
+    /// `--m`, `--d`, `--eps`, `--cadence`, `--seed`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `--d` exceeds `u32::MAX`.
+    #[must_use]
+    pub fn from_args(args: &crate::cli::Args) -> Config {
+        let mut config = if args.flag("quick") {
+            Config::quick()
+        } else {
+            Config::default()
+        };
+        config.n = args.get_u64("n", config.n);
+        config.m = args.get_u64("m", config.m);
+        config.d = u32::try_from(args.get_u64("d", config.d as u64)).expect("d fits in u32");
+        config.epsilon = args.get_f64("eps", config.epsilon);
+        config.cadence = args.get_u64("cadence", config.cadence);
+        config.seed = args.get_u64("seed", config.seed);
+        config
+    }
 }
 
 /// Statistic names recorded by [`run`], in column order.

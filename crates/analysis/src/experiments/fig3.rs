@@ -54,6 +54,22 @@ impl Config {
             parallelism: Parallelism::default(),
         }
     }
+
+    /// Builds a configuration from parsed CLI arguments (`--quick`, `--ns`,
+    /// `--runs`, `--seed`, `--serial`/`--threads`).
+    #[must_use]
+    pub fn from_args(args: &crate::cli::Args) -> Config {
+        let mut config = if args.flag("quick") {
+            Config::quick()
+        } else {
+            Config::default()
+        };
+        config.ns = args.get_u64_list("ns", &config.ns);
+        config.runs = args.get_u64("runs", config.runs);
+        config.seed = args.get_u64("seed", config.seed);
+        config.parallelism = args.parallelism();
+        config
+    }
 }
 
 /// One cell of Figure 3.
@@ -69,6 +85,11 @@ pub struct Cell {
     pub results: TrialResults,
 }
 
+/// The three protocol columns of Figure 3, in row order. These are the
+/// stable cell keys used by sweep manifests; the human-readable
+/// [`Cell::protocol`] labels differ (e.g. `avc(s=...)`).
+pub const PROTOCOL_KEYS: [&str; 3] = ["three_state", "four_state", "avc"];
+
 /// Runs the full experiment and returns one cell per `(n, protocol)`.
 ///
 /// The 3-state protocol is measured to its terminal all-`x`/all-`y` state
@@ -83,28 +104,45 @@ pub fn run(config: &Config) -> Vec<Cell> {
 #[must_use]
 pub fn run_with_stats(config: &Config, stats: &StatsCollector) -> Vec<Cell> {
     let mut cells = Vec::new();
-    for (i, &n) in config.ns.iter().enumerate() {
-        let instance = MajorityInstance::one_extra(n);
-        let plan = TrialPlan::new(instance)
-            .runs(config.runs)
-            .seed(config.seed.wrapping_add(i as u64))
-            .parallelism(config.parallelism);
+    for ni in 0..config.ns.len() {
+        for pi in 0..PROTOCOL_KEYS.len() {
+            cells.push(run_cell(config, ni, pi, stats));
+        }
+    }
+    cells
+}
 
-        let three = ThreeState::new();
-        cells.push(Cell {
+/// Runs one `(n, protocol)` cell: `ni` indexes [`Config::ns`], `pi` indexes
+/// [`PROTOCOL_KEYS`]. The cell's trials depend only on `config.ns[ni]`,
+/// `config.runs`, `config.seed`, and `pi` — never on which other cells run
+/// alongside it — which is what makes cell-granular checkpoint/resume sound.
+///
+/// # Panics
+///
+/// Panics if either index is out of range.
+#[must_use]
+pub fn run_cell(config: &Config, ni: usize, pi: usize, stats: &StatsCollector) -> Cell {
+    let n = config.ns[ni];
+    let instance = MajorityInstance::one_extra(n);
+    let plan = TrialPlan::new(instance)
+        .runs(config.runs)
+        .seed(config.seed.wrapping_add(ni as u64))
+        .parallelism(config.parallelism);
+
+    match PROTOCOL_KEYS[pi] {
+        "three_state" => Cell {
             n,
             protocol: "3-state".to_string(),
             states: 3,
             results: run_trials_with_stats(
-                &three,
+                &ThreeState::new(),
                 &plan,
                 EngineKind::Jump,
                 ConvergenceRule::StateConsensus,
                 stats,
             ),
-        });
-
-        cells.push(Cell {
+        },
+        "four_state" => Cell {
             n,
             protocol: "4-state".to_string(),
             states: 4,
@@ -115,26 +153,26 @@ pub fn run_with_stats(config: &Config, stats: &StatsCollector) -> Vec<Cell> {
                 ConvergenceRule::OutputConsensus,
                 stats,
             ),
-        });
-
-        let avc = Avc::with_states(n).expect("n >= 11 is a valid state budget");
-        let states = avc.s();
-        // Large state spaces favor the count-based engine; the adaptive
-        // engine handles the silent tail automatically.
-        cells.push(Cell {
-            n,
-            protocol: format!("avc(s={states})"),
-            states,
-            results: run_trials_with_stats(
-                &avc,
-                &plan,
-                EngineKind::Auto,
-                ConvergenceRule::OutputConsensus,
-                stats,
-            ),
-        });
+        },
+        _ => {
+            let avc = Avc::with_states(n).expect("n >= 11 is a valid state budget");
+            let states = avc.s();
+            // Large state spaces favor the count-based engine; the adaptive
+            // engine handles the silent tail automatically.
+            Cell {
+                n,
+                protocol: format!("avc(s={states})"),
+                states,
+                results: run_trials_with_stats(
+                    &avc,
+                    &plan,
+                    EngineKind::Auto,
+                    ConvergenceRule::OutputConsensus,
+                    stats,
+                ),
+            }
+        }
     }
-    cells
 }
 
 /// Renders the left panel (mean parallel convergence time).

@@ -64,6 +64,23 @@ impl Config {
             parallelism: Parallelism::default(),
         }
     }
+
+    /// Builds a configuration from parsed CLI arguments (`--quick`, `--n`,
+    /// `--states`, `--runs`, `--seed`, `--serial`/`--threads`).
+    #[must_use]
+    pub fn from_args(args: &crate::cli::Args) -> Config {
+        let mut config = if args.flag("quick") {
+            Config::quick()
+        } else {
+            Config::default()
+        };
+        config.n = args.get_u64("n", config.n);
+        config.state_counts = args.get_u64_list("states", &config.state_counts);
+        config.runs = args.get_u64("runs", config.runs);
+        config.seed = args.get_u64("seed", config.seed);
+        config.parallelism = args.parallelism();
+        config
+    }
 }
 
 /// One `(s, ε)` point of Figure 4.
@@ -96,30 +113,44 @@ pub fn run(config: &Config) -> Vec<Point> {
 #[must_use]
 pub fn run_with_stats(config: &Config, stats: &StatsCollector) -> Vec<Point> {
     let mut points = Vec::new();
-    for (si, &s) in config.state_counts.iter().enumerate() {
-        let avc = Avc::with_states(s).expect("state count >= 4");
-        for (ei, &eps) in config.epsilons.iter().enumerate() {
-            let instance = MajorityInstance::with_margin(config.n, eps);
-            let plan = TrialPlan::new(instance)
-                .runs(config.runs)
-                .seed(config.seed + (si as u64) * 1_000 + ei as u64)
-                .parallelism(config.parallelism);
-            let results = run_trials_with_stats(
-                &avc,
-                &plan,
-                EngineKind::Auto,
-                ConvergenceRule::OutputConsensus,
-                stats,
-            );
-            points.push(Point {
-                s: avc.s(),
-                epsilon: eps,
-                achieved_epsilon: instance.margin(),
-                summary: results.summary(),
-            });
+    for si in 0..config.state_counts.len() {
+        for ei in 0..config.epsilons.len() {
+            points.push(run_point(config, si, ei, stats));
         }
     }
     points
+}
+
+/// Runs one `(s, ε)` point: `si` indexes [`Config::state_counts`], `ei`
+/// indexes [`Config::epsilons`]. Each point's seed is derived from the
+/// grid indices alone, so a point reruns identically regardless of which
+/// other points run alongside it (the basis of checkpoint/resume).
+///
+/// # Panics
+///
+/// Panics if either index is out of range, or the state count is below 4.
+#[must_use]
+pub fn run_point(config: &Config, si: usize, ei: usize, stats: &StatsCollector) -> Point {
+    let avc = Avc::with_states(config.state_counts[si]).expect("state count >= 4");
+    let eps = config.epsilons[ei];
+    let instance = MajorityInstance::with_margin(config.n, eps);
+    let plan = TrialPlan::new(instance)
+        .runs(config.runs)
+        .seed(config.seed + (si as u64) * 1_000 + ei as u64)
+        .parallelism(config.parallelism);
+    let results = run_trials_with_stats(
+        &avc,
+        &plan,
+        EngineKind::Auto,
+        ConvergenceRule::OutputConsensus,
+        stats,
+    );
+    Point {
+        s: avc.s(),
+        epsilon: eps,
+        achieved_epsilon: instance.margin(),
+        summary: results.summary(),
+    }
 }
 
 /// Renders the combined table (serves both panels: the left keyed by `ε`,

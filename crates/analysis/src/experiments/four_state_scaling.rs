@@ -51,6 +51,22 @@ impl Config {
             parallelism: Parallelism::default(),
         }
     }
+
+    /// Builds a configuration from parsed CLI arguments (`--quick`, `--n`,
+    /// `--runs`, `--seed`, `--serial`/`--threads`).
+    #[must_use]
+    pub fn from_args(args: &crate::cli::Args) -> Config {
+        let mut config = if args.flag("quick") {
+            Config::quick()
+        } else {
+            Config::default()
+        };
+        config.n = args.get_u64("n", config.n);
+        config.runs = args.get_u64("runs", config.runs);
+        config.seed = args.get_u64("seed", config.seed);
+        config.parallelism = args.parallelism();
+        config
+    }
 }
 
 /// One margin point.
@@ -81,29 +97,45 @@ pub fn run(config: &Config) -> Outcome {
 /// As [`run`], folding per-margin throughput telemetry into `stats`.
 #[must_use]
 pub fn run_with_stats(config: &Config, stats: &StatsCollector) -> Outcome {
-    let mut points = Vec::new();
-    for (i, &eps) in config.epsilons.iter().enumerate() {
-        let instance = MajorityInstance::with_margin(config.n, eps);
-        let plan = TrialPlan::new(instance)
-            .runs(config.runs)
-            .seed(config.seed + i as u64)
-            .parallelism(config.parallelism);
-        let results = run_trials_with_stats(
-            &FourState,
-            &plan,
-            EngineKind::Jump,
-            ConvergenceRule::OutputConsensus,
-            stats,
-        );
-        points.push(Point {
-            epsilon: instance.margin(),
-            summary: results.summary(),
-        });
+    let points: Vec<Point> = (0..config.epsilons.len())
+        .map(|i| run_point(config, i, stats))
+        .collect();
+    let slope = fit_slope(&points);
+    Outcome { points, slope }
+}
+
+/// Runs one margin point; `i` indexes [`Config::epsilons`]. Seeded by the
+/// index alone, so the point reruns identically in isolation.
+///
+/// # Panics
+///
+/// Panics if `i` is out of range.
+#[must_use]
+pub fn run_point(config: &Config, i: usize, stats: &StatsCollector) -> Point {
+    let instance = MajorityInstance::with_margin(config.n, config.epsilons[i]);
+    let plan = TrialPlan::new(instance)
+        .runs(config.runs)
+        .seed(config.seed + i as u64)
+        .parallelism(config.parallelism);
+    let results = run_trials_with_stats(
+        &FourState,
+        &plan,
+        EngineKind::Jump,
+        ConvergenceRule::OutputConsensus,
+        stats,
+    );
+    Point {
+        epsilon: instance.margin(),
+        summary: results.summary(),
     }
+}
+
+/// Fits the log–log slope of mean time against `1/ε` over `points`.
+#[must_use]
+pub fn fit_slope(points: &[Point]) -> f64 {
     let inv_eps: Vec<f64> = points.iter().map(|p| 1.0 / p.epsilon).collect();
     let times: Vec<f64> = points.iter().map(|p| p.summary.mean).collect();
-    let slope = loglog_slope(&inv_eps, &times);
-    Outcome { points, slope }
+    loglog_slope(&inv_eps, &times)
 }
 
 /// Renders the result table, with the fitted exponent in the title.

@@ -60,6 +60,22 @@ impl Config {
             parallelism: Parallelism::default(),
         }
     }
+
+    /// Builds a configuration from parsed CLI arguments (`--quick`, `--n`,
+    /// `--runs`, `--seed`, `--serial`/`--threads`).
+    #[must_use]
+    pub fn from_args(args: &crate::cli::Args) -> Config {
+        let mut config = if args.flag("quick") {
+            Config::quick()
+        } else {
+            Config::default()
+        };
+        config.n = args.get_u64("n", config.n as u64) as usize;
+        config.runs = args.get_u64("runs", config.runs);
+        config.seed = args.get_u64("seed", config.seed);
+        config.parallelism = args.parallelism();
+        config
+    }
 }
 
 /// One topology's measurement.
@@ -78,8 +94,10 @@ pub struct Point {
     pub timeouts: u64,
 }
 
-/// The topologies measured, constructed at population `n`.
-fn topologies(n: usize, seed: u64) -> Vec<(String, Graph)> {
+/// The topologies measured, constructed at population `n`. Public so sweep
+/// specs can enumerate the cell labels without running the experiment.
+#[must_use]
+pub fn topologies(n: usize, seed: u64) -> Vec<(String, Graph)> {
     let mut rng = SeedSequence::new(seed).rng_for(u64::MAX);
     let regular = loop {
         let g = Graph::random_regular(n, 6, &mut rng);
@@ -109,39 +127,53 @@ pub fn run(config: &Config) -> Vec<Point> {
 /// As [`run`], folding per-topology throughput telemetry into `stats`.
 #[must_use]
 pub fn run_with_stats(config: &Config, stats: &StatsCollector) -> Vec<Point> {
+    (0..topologies(config.n, config.seed).len())
+        .map(|gi| run_point(config, gi, stats))
+        .collect()
+}
+
+/// Runs one topology; `gi` indexes [`topologies`]`(config.n, config.seed)`.
+/// Trial seeds derive from the topology index alone, so a topology reruns
+/// identically in isolation (the basis of checkpoint/resume).
+///
+/// # Panics
+///
+/// Panics if `gi` is out of range.
+#[must_use]
+pub fn run_point(config: &Config, gi: usize, stats: &StatsCollector) -> Point {
     let seeds = SeedSequence::new(config.seed);
-    let mut points = Vec::new();
-    for (gi, (label, graph)) in topologies(config.n, config.seed).into_iter().enumerate() {
-        // Population may differ slightly for the grid (side rounding).
-        let n = graph.num_agents() as u64;
-        let inst = MajorityInstance::with_margin(n, config.epsilon);
-        let gap = spectral_gap(&graph, PowerIterationOptions::default());
-        let topology_seeds = seeds.child(gi as u64);
-        let graph_ref = &graph;
-        let (outcomes, batch) = run_indexed_with_stats(config.runs, config.parallelism, |trial| {
-            let mut rng = topology_seeds.rng_for(trial);
-            let initial = PopulationConfig::from_input(&FourState, inst.a(), inst.b());
-            let mut sim = AgentSim::new(FourState, initial, graph_ref.clone());
-            let out = sim.run_to_consensus(&mut rng, config.max_steps);
-            (out, out.steps)
-        });
-        stats.record(&batch);
-        let times: Vec<f64> = outcomes
-            .iter()
-            .filter(|o| o.verdict.is_consensus())
-            .map(|o| o.parallel_time)
-            .collect();
-        let timeouts = config.runs - times.len() as u64;
-        let summary = (!times.is_empty()).then(|| Summary::from_samples(&times));
-        points.push(Point {
-            label,
-            edges: graph.num_edges(),
-            gap,
-            summary,
-            timeouts,
-        });
+    let (label, graph) = topologies(config.n, config.seed)
+        .into_iter()
+        .nth(gi)
+        .expect("topology index in range");
+    // Population may differ slightly for the grid (side rounding).
+    let n = graph.num_agents() as u64;
+    let inst = MajorityInstance::with_margin(n, config.epsilon);
+    let gap = spectral_gap(&graph, PowerIterationOptions::default());
+    let topology_seeds = seeds.child(gi as u64);
+    let graph_ref = &graph;
+    let (outcomes, batch) = run_indexed_with_stats(config.runs, config.parallelism, |trial| {
+        let mut rng = topology_seeds.rng_for(trial);
+        let initial = PopulationConfig::from_input(&FourState, inst.a(), inst.b());
+        let mut sim = AgentSim::new(FourState, initial, graph_ref.clone());
+        let out = sim.run_to_consensus(&mut rng, config.max_steps);
+        (out, out.steps)
+    });
+    stats.record(&batch);
+    let times: Vec<f64> = outcomes
+        .iter()
+        .filter(|o| o.verdict.is_consensus())
+        .map(|o| o.parallel_time)
+        .collect();
+    let timeouts = config.runs - times.len() as u64;
+    let summary = (!times.is_empty()).then(|| Summary::from_samples(&times));
+    Point {
+        label,
+        edges: graph.num_edges(),
+        gap,
+        summary,
+        timeouts,
     }
-    points
 }
 
 /// Renders the result table.

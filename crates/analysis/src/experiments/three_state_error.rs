@@ -50,6 +50,22 @@ impl Config {
             parallelism: Parallelism::default(),
         }
     }
+
+    /// Builds a configuration from parsed CLI arguments (`--quick`, `--ns`,
+    /// `--runs`, `--seed`, `--serial`/`--threads`).
+    #[must_use]
+    pub fn from_args(args: &crate::cli::Args) -> Config {
+        let mut config = if args.flag("quick") {
+            Config::quick()
+        } else {
+            Config::default()
+        };
+        config.ns = args.get_u64_list("ns", &config.ns);
+        config.runs = args.get_u64("runs", config.runs);
+        config.seed = args.get_u64("seed", config.seed);
+        config.parallelism = args.parallelism();
+        config
+    }
 }
 
 /// One `(n, ε)` measurement.
@@ -91,32 +107,44 @@ pub fn run(config: &Config) -> Vec<Point> {
 #[must_use]
 pub fn run_with_stats(config: &Config, stats: &StatsCollector) -> Vec<Point> {
     let mut points = Vec::new();
-    let protocol = ThreeState::new();
-    for (ni, &n) in config.ns.iter().enumerate() {
-        for (ei, &eps) in config.epsilons.iter().enumerate() {
-            let instance = MajorityInstance::with_margin(n, eps);
-            let plan = TrialPlan::new(instance)
-                .runs(config.runs)
-                .seed(config.seed + (ni as u64) * 100 + ei as u64)
-                .parallelism(config.parallelism);
-            let results = run_trials_with_stats(
-                &protocol,
-                &plan,
-                EngineKind::Jump,
-                ConvergenceRule::StateConsensus,
-                stats,
-            );
-            let eps_achieved = instance.margin();
-            points.push(Point {
-                n,
-                epsilon: eps_achieved,
-                error_fraction: results.error_fraction(),
-                kl_bound: (-bernoulli_kl((1.0 + eps_achieved) / 2.0, 0.5) * n as f64).exp(),
-                runs: config.runs,
-            });
+    for ni in 0..config.ns.len() {
+        for ei in 0..config.epsilons.len() {
+            points.push(run_point(config, ni, ei, stats));
         }
     }
     points
+}
+
+/// Runs one `(n, ε)` point: `ni` indexes [`Config::ns`], `ei` indexes
+/// [`Config::epsilons`]. Seeded by the grid indices alone, so the point
+/// reruns identically in isolation (the basis of checkpoint/resume).
+///
+/// # Panics
+///
+/// Panics if either index is out of range.
+#[must_use]
+pub fn run_point(config: &Config, ni: usize, ei: usize, stats: &StatsCollector) -> Point {
+    let n = config.ns[ni];
+    let instance = MajorityInstance::with_margin(n, config.epsilons[ei]);
+    let plan = TrialPlan::new(instance)
+        .runs(config.runs)
+        .seed(config.seed + (ni as u64) * 100 + ei as u64)
+        .parallelism(config.parallelism);
+    let results = run_trials_with_stats(
+        &ThreeState::new(),
+        &plan,
+        EngineKind::Jump,
+        ConvergenceRule::StateConsensus,
+        stats,
+    );
+    let eps_achieved = instance.margin();
+    Point {
+        n,
+        epsilon: eps_achieved,
+        error_fraction: results.error_fraction(),
+        kl_bound: (-bernoulli_kl((1.0 + eps_achieved) / 2.0, 0.5) * n as f64).exp(),
+        runs: config.runs,
+    }
 }
 
 /// Renders the result table.

@@ -5,6 +5,7 @@
 //! Protocols*:
 //!
 //! * [`stats`] — summary statistics and log–log scaling fits;
+//! * [`io`] — crash-safe (write-temp-fsync-rename) file output;
 //! * [`plot`] — dependency-free ASCII log–log plots for the terminal;
 //! * [`mean_field`] — the ODE limit of the three-state protocol \[PVV09];
 //! * [`table`] — plain CSV / markdown table rendering (no serde);
@@ -35,6 +36,7 @@
 pub mod cli;
 pub mod experiments;
 pub mod harness;
+pub mod io;
 pub mod mean_field;
 pub mod plot;
 pub mod stats;

@@ -133,17 +133,16 @@ impl Table {
         out
     }
 
-    /// Writes the CSV rendering to `path`, creating parent directories.
+    /// Writes the CSV rendering to `path` atomically (write `*.tmp`, fsync,
+    /// rename — see [`crate::io::atomic_write`]), creating parent
+    /// directories. An interrupted experiment can therefore never leave a
+    /// torn `results/*.csv` behind.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors from directory creation or the write.
     pub fn write_csv(&self, path: impl AsRef<Path>) -> io::Result<()> {
-        let path = path.as_ref();
-        if let Some(parent) = path.parent() {
-            std::fs::create_dir_all(parent)?;
-        }
-        std::fs::write(path, self.to_csv())
+        crate::io::atomic_write(path, self.to_csv())
     }
 }
 

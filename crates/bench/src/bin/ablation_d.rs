@@ -3,37 +3,10 @@
 //! barely changes the running time, supporting the paper's observation that
 //! `d = 1` suffices in practice.
 //!
-//! Usage: `cargo run --release -p avc-bench --bin ablation_d [--quick]
-//! [--runs N] [--seed N] [--n N] [--budget S] [--serial | --threads N]
-//! [--progress] [--out DIR]`
-
-use avc_analysis::cli::Args;
-use avc_analysis::experiments::{ablation_d, report};
+//! Alias for `avc sweep ablation_d` followed by `avc export ablation_d`
+//! (flags: `--quick --n --budget --runs --seed --serial/--threads
+//! --progress --out`), with checkpoint/resume through the result store.
 
 fn main() {
-    let args = Args::from_env();
-    let mut config = if args.flag("quick") {
-        ablation_d::Config::quick()
-    } else {
-        ablation_d::Config::default()
-    };
-    config.runs = args.get_u64("runs", config.runs);
-    config.seed = args.get_u64("seed", config.seed);
-    config.n = args.get_u64("n", config.n);
-    config.state_budget = args.get_u64("budget", config.state_budget);
-    config.parallelism = args.parallelism();
-
-    avc_bench::banner(
-        "Ablation Abl-1 (levels d)",
-        &format!(
-            "AVC with budget {} states split across d in {:?}, n = {}",
-            config.state_budget, config.ds, config.n
-        ),
-    );
-
-    let stats = avc_bench::collector(&args);
-    let points = ablation_d::run_with_stats(&config, &stats);
-    let out = avc_bench::out_dir(&args);
-    report(&ablation_d::table(&points, &config), &out, "ablation_d");
-    println!("throughput: {}", stats.snapshot());
+    avc_store::cli::legacy("ablation_d");
 }

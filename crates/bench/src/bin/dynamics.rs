@@ -2,38 +2,10 @@
 //! analysis): extremal weights halving, the strong → intermediate → weak
 //! population shift, and the live value-sum invariant.
 //!
-//! Usage: `cargo run --release -p avc-bench --bin dynamics [--quick]
-//! [--n N] [--m M] [--d D] [--eps X] [--seed N] [--out DIR]`
-
-use avc_analysis::cli::Args;
-use avc_analysis::experiments::{dynamics, report};
+//! Alias for `avc sweep dynamics` followed by `avc export dynamics`
+//! (flags: `--quick --n --m --d --eps --cadence --seed --out`), with
+//! checkpoint/resume through the result store.
 
 fn main() {
-    let args = Args::from_env();
-    let mut config = if args.flag("quick") {
-        dynamics::Config::quick()
-    } else {
-        dynamics::Config::default()
-    };
-    config.n = args.get_u64("n", config.n);
-    config.m = args.get_u64("m", config.m);
-    config.d = args.get_u64("d", config.d as u64) as u32;
-    config.epsilon = args.get_f64("eps", config.epsilon);
-    config.seed = args.get_u64("seed", config.seed);
-
-    avc_bench::banner(
-        "Dynamics (analysis §4 structure)",
-        &format!(
-            "one AVC run: n = {}, m = {}, d = {}, eps = {}",
-            config.n, config.m, config.d, config.epsilon
-        ),
-    );
-
-    let trace = dynamics::run(&config);
-    let out = avc_bench::out_dir(&args);
-    report(&dynamics::table(&trace, &config), &out, "dynamics");
-    println!(
-        "run converged: {:?} at parallel time {:.1}",
-        trace.outcome.verdict, trace.outcome.parallel_time
-    );
+    avc_store::cli::legacy("dynamics");
 }

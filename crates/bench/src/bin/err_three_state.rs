@@ -1,35 +1,10 @@
 //! Regenerates the **three-state error law** behind Figure 3 (right):
 //! empirical error fraction vs the \[PVV09] bound `exp(−D((1+ε)/2‖1/2)·n)`.
 //!
-//! Usage: `cargo run --release -p avc-bench --bin err_three_state [--quick]
-//! [--runs N] [--seed N] [--serial | --threads N] [--progress] [--out DIR]`
-
-use avc_analysis::cli::Args;
-use avc_analysis::experiments::{report, three_state_error};
+//! Alias for `avc sweep err_three_state` followed by `avc export
+//! err_three_state` (flags: `--quick --ns --runs --seed --serial/--threads
+//! --progress --out`), with checkpoint/resume through the result store.
 
 fn main() {
-    let args = Args::from_env();
-    let mut config = if args.flag("quick") {
-        three_state_error::Config::quick()
-    } else {
-        three_state_error::Config::default()
-    };
-    config.runs = args.get_u64("runs", config.runs);
-    config.seed = args.get_u64("seed", config.seed);
-    config.ns = args.get_u64_list("ns", &config.ns);
-    config.parallelism = args.parallelism();
-
-    avc_bench::banner(
-        "Ablation Abl-3 (three-state error probability)",
-        &format!(
-            "error fraction vs KL bound, n in {:?}, {} runs per point",
-            config.ns, config.runs
-        ),
-    );
-
-    let stats = avc_bench::collector(&args);
-    let points = three_state_error::run_with_stats(&config, &stats);
-    let out = avc_bench::out_dir(&args);
-    report(&three_state_error::table(&points), &out, "err_three_state");
-    println!("throughput: {}", stats.snapshot());
+    avc_store::cli::legacy("err_three_state");
 }

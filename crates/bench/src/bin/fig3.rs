@@ -1,56 +1,9 @@
 //! Regenerates **Figure 3**: three protocols at margin `ε = 1/n`.
 //!
-//! Usage: `cargo run --release -p avc-bench --bin fig3 [--quick] [--runs N]
-//! [--seed N] [--ns 11,101,...] [--serial | --threads N] [--progress]
-//! [--out DIR]`
-
-use avc_analysis::cli::Args;
-use avc_analysis::experiments::{fig3, report};
-use avc_analysis::plot::ScatterPlot;
+//! Alias for `avc sweep fig3` followed by `avc export fig3`: same flags
+//! (`--quick --runs --seed --ns --serial/--threads --progress --out`), same
+//! CSVs, plus checkpoint/resume through the result store (EXPERIMENTS.md).
 
 fn main() {
-    let args = Args::from_env();
-    let mut config = if args.flag("quick") {
-        fig3::Config::quick()
-    } else {
-        fig3::Config::default()
-    };
-    config.runs = args.get_u64("runs", config.runs);
-    config.seed = args.get_u64("seed", config.seed);
-    config.ns = args.get_u64_list("ns", &config.ns);
-    config.parallelism = args.parallelism();
-
-    avc_bench::banner(
-        "Figure 3",
-        &format!(
-            "3-state vs 4-state vs n-state AVC, eps = 1/n, {} runs per cell, n in {:?}",
-            config.runs, config.ns
-        ),
-    );
-
-    let started = std::time::Instant::now();
-    let stats = avc_bench::collector(&args);
-    let cells = fig3::run_with_stats(&config, &stats);
-    let out = avc_bench::out_dir(&args);
-    report(&fig3::time_table(&cells), &out, "fig3_time");
-    report(&fig3::error_table(&cells), &out, "fig3_error");
-
-    // Terminal rendering of the left panel (log–log, as in the paper).
-    let mut plot = ScatterPlot::new(
-        "Figure 3 (left): parallel convergence time vs n (log-log)",
-        64,
-        18,
-    )
-    .log_log();
-    for family in ["3-state", "4-state", "avc"] {
-        let series: Vec<(f64, f64)> = cells
-            .iter()
-            .filter(|c| c.protocol.starts_with(family))
-            .map(|c| (c.n as f64, c.results.mean_parallel_time()))
-            .collect();
-        plot.add_series(family, series);
-    }
-    println!("{}", plot.render());
-    println!("throughput: {}", stats.snapshot());
-    println!("total wall time: {:?}", started.elapsed());
+    avc_store::cli::legacy("fig3");
 }

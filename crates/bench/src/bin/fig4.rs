@@ -1,80 +1,10 @@
 //! Regenerates **Figure 4**: AVC convergence time vs `ε` and `s`, plus the
 //! `s·ε` collapse.
 //!
-//! Usage: `cargo run --release -p avc-bench --bin fig4 [--quick] [--runs N]
-//! [--seed N] [--n N] [--states 4,6,...] [--serial | --threads N]
-//! [--progress] [--out DIR]`
-
-use avc_analysis::cli::Args;
-use avc_analysis::experiments::{fig4, report};
-use avc_analysis::plot::ScatterPlot;
+//! Alias for `avc sweep fig4` followed by `avc export fig4`: same flags
+//! (`--quick --runs --seed --n --states --serial/--threads --progress
+//! --out`), same CSVs, plus checkpoint/resume through the result store.
 
 fn main() {
-    let args = Args::from_env();
-    let mut config = if args.flag("quick") {
-        fig4::Config::quick()
-    } else {
-        fig4::Config::default()
-    };
-    config.runs = args.get_u64("runs", config.runs);
-    config.seed = args.get_u64("seed", config.seed);
-    config.n = args.get_u64("n", config.n);
-    config.state_counts = args.get_u64_list("states", &config.state_counts);
-    config.parallelism = args.parallelism();
-
-    avc_bench::banner(
-        "Figure 4",
-        &format!(
-            "AVC time vs margin, n = {}, s in {:?}, {} margins x {} runs",
-            config.n,
-            config.state_counts,
-            config.epsilons.len(),
-            config.runs
-        ),
-    );
-
-    let started = std::time::Instant::now();
-    let stats = avc_bench::collector(&args);
-    let points = fig4::run_with_stats(&config, &stats);
-    let out = avc_bench::out_dir(&args);
-    report(&fig4::table(&points, config.n), &out, "fig4");
-
-    // Left panel: one curve per s against eps.
-    let mut left = ScatterPlot::new(
-        "Figure 4 (left): time vs eps, one series per s (log-log)",
-        64,
-        18,
-    )
-    .log_log();
-    for &s in &config.state_counts {
-        let avc_s = avc_protocols::Avc::with_states(s)
-            .expect("valid budget")
-            .s();
-        let series: Vec<(f64, f64)> = points
-            .iter()
-            .filter(|p| p.s == avc_s)
-            .map(|p| (p.achieved_epsilon, p.summary.mean))
-            .collect();
-        if !series.is_empty() {
-            left.add_series(format!("s={avc_s}"), series);
-        }
-    }
-    println!("{}", left.render());
-
-    // Right panel: everything against s·eps collapses onto one curve.
-    let mut right = ScatterPlot::new(
-        "Figure 4 (right): time vs s*eps, all series (log-log)",
-        64,
-        18,
-    )
-    .log_log();
-    right.add_series(
-        "all (s, eps)",
-        points
-            .iter()
-            .map(|p| (p.s as f64 * p.achieved_epsilon, p.summary.mean)),
-    );
-    println!("{}", right.render());
-    println!("throughput: {}", stats.snapshot());
-    println!("total wall time: {:?}", started.elapsed());
+    avc_store::cli::legacy("fig4");
 }

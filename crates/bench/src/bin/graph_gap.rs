@@ -2,36 +2,10 @@
 //! convergence time against the interaction graph's spectral gap across
 //! five topologies.
 //!
-//! Usage: `cargo run --release -p avc-bench --bin graph_gap [--quick]
-//! [--n N] [--runs N] [--seed N] [--serial | --threads N] [--progress]
-//! [--out DIR]`
-
-use avc_analysis::cli::Args;
-use avc_analysis::experiments::{graph_gap, report};
+//! Alias for `avc sweep graph_gap` followed by `avc export graph_gap`
+//! (flags: `--quick --n --runs --seed --serial/--threads --progress
+//! --out`), with checkpoint/resume through the result store.
 
 fn main() {
-    let args = Args::from_env();
-    let mut config = if args.flag("quick") {
-        graph_gap::Config::quick()
-    } else {
-        graph_gap::Config::default()
-    };
-    config.n = args.get_u64("n", config.n as u64) as usize;
-    config.runs = args.get_u64("runs", config.runs);
-    config.seed = args.get_u64("seed", config.seed);
-    config.parallelism = args.parallelism();
-
-    avc_bench::banner(
-        "Graph expansion (DV12 spectral bound)",
-        &format!(
-            "four-state protocol across topologies, n ≈ {}, eps = {}, {} runs",
-            config.n, config.epsilon, config.runs
-        ),
-    );
-
-    let stats = avc_bench::collector(&args);
-    let points = graph_gap::run_with_stats(&config, &stats);
-    let out = avc_bench::out_dir(&args);
-    report(&graph_gap::table(&points, &config), &out, "graph_gap");
-    println!("throughput: {}", stats.snapshot());
+    avc_store::cli::legacy("graph_gap");
 }

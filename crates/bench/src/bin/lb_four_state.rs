@@ -1,44 +1,10 @@
 //! Empirically validates **Theorem B.1**: four-state exact majority takes
 //! `Ω(1/ε)` parallel time (fitted scaling exponent ≈ 1).
 //!
-//! Usage: `cargo run --release -p avc-bench --bin lb_four_state [--quick]
-//! [--runs N] [--seed N] [--n N] [--serial | --threads N] [--progress]
-//! [--out DIR]`
-
-use avc_analysis::cli::Args;
-use avc_analysis::experiments::{four_state_scaling, report};
+//! Alias for `avc sweep lb_four_state` followed by `avc export
+//! lb_four_state` (flags: `--quick --runs --seed --n --serial/--threads
+//! --progress --out`), with checkpoint/resume through the result store.
 
 fn main() {
-    let args = Args::from_env();
-    let mut config = if args.flag("quick") {
-        four_state_scaling::Config::quick()
-    } else {
-        four_state_scaling::Config::default()
-    };
-    config.runs = args.get_u64("runs", config.runs);
-    config.seed = args.get_u64("seed", config.seed);
-    config.n = args.get_u64("n", config.n);
-    config.parallelism = args.parallelism();
-
-    avc_bench::banner(
-        "Lower bound LB-1 (Theorem B.1)",
-        &format!(
-            "four-state protocol time vs margin at n = {}, {} runs per margin",
-            config.n, config.runs
-        ),
-    );
-
-    let stats = avc_bench::collector(&args);
-    let outcome = four_state_scaling::run_with_stats(&config, &stats);
-    let out = avc_bench::out_dir(&args);
-    report(
-        &four_state_scaling::table(&outcome, config.n),
-        &out,
-        "lb_four_state",
-    );
-    println!(
-        "fitted log-log slope of time vs 1/eps: {:.3} (theory: Θ(1/eps) ⇒ 1)",
-        outcome.slope
-    );
-    println!("throughput: {}", stats.snapshot());
+    avc_store::cli::legacy("lb_four_state");
 }

@@ -2,73 +2,10 @@
 //! needs `≈ n·ln n` interactions (`Θ(log n)` parallel time) to cover the
 //! population, so no exact-majority protocol beats `Ω(log n)`.
 //!
-//! Usage: `cargo run --release -p avc-bench --bin lb_info [--quick]
-//! [--runs N] [--seed N] [--serial | --threads N] [--progress] [--out DIR]`
-
-use avc_analysis::cli::Args;
-use avc_analysis::experiments::report;
-use avc_analysis::harness::run_indexed_with_stats;
-use avc_analysis::stats::{loglog_slope, Summary};
-use avc_analysis::table::{fmt_num, Table};
-use avc_population::rngutil::SeedSequence;
-use avc_verify::knowledge::{cover_steps, expected_cover_steps};
+//! Alias for `avc sweep lb_info` followed by `avc export lb_info` (flags:
+//! `--quick --ns --runs --seed --serial/--threads --progress --out`), with
+//! checkpoint/resume through the result store.
 
 fn main() {
-    let args = Args::from_env();
-    let ns: Vec<u64> = if args.flag("quick") {
-        vec![100, 1_000, 10_000]
-    } else {
-        vec![100, 1_000, 10_000, 100_000, 1_000_000]
-    };
-    let ns = args.get_u64_list("ns", &ns);
-    let runs = args.get_u64("runs", 101);
-    let seeds = SeedSequence::new(args.get_u64("seed", 12));
-
-    avc_bench::banner(
-        "Lower bound LB-2 (Theorem C.1)",
-        &format!("knowledge-set cover time, n in {ns:?}, {runs} runs per n"),
-    );
-
-    let mut table = Table::new(
-        "Information-propagation lower bound: steps until |K_t| = n",
-        [
-            "n",
-            "mean_steps",
-            "expected_steps_closed_form",
-            "mean_parallel_time",
-            "ln_n",
-            "runs",
-        ],
-    );
-    let mut lns = Vec::new();
-    let mut times = Vec::new();
-    let stats = avc_bench::collector(&args);
-    for (i, &n) in ns.iter().enumerate() {
-        let cell_seeds = seeds.child(i as u64);
-        let (samples, batch) = run_indexed_with_stats(runs, args.parallelism(), |t| {
-            let mut rng = cell_seeds.rng_for(t);
-            let steps = cover_steps(n, &mut rng);
-            (steps as f64, steps)
-        });
-        stats.record(&batch);
-        let summary = Summary::from_samples(&samples);
-        let parallel = summary.mean / n as f64;
-        lns.push((n as f64).ln());
-        times.push(parallel);
-        table.push_row([
-            n.to_string(),
-            fmt_num(summary.mean),
-            fmt_num(expected_cover_steps(n)),
-            fmt_num(parallel),
-            fmt_num((n as f64).ln()),
-            runs.to_string(),
-        ]);
-    }
-    let out = avc_bench::out_dir(&args);
-    report(&table, &out, "lb_info");
-    let slope = loglog_slope(&lns, &times);
-    println!(
-        "log-log slope of parallel cover time vs ln n: {slope:.3} (theory: linear in ln n ⇒ 1)"
-    );
-    println!("throughput: {}", stats.snapshot());
+    avc_store::cli::legacy("lb_info");
 }

@@ -3,137 +3,9 @@
 //! and the three exact-majority properties of Theorem B.1 for AVC and the
 //! four-state protocol, plus the four-state mutation study (Claim B.5).
 //!
-//! Usage: `cargo run --release -p avc-bench --bin mc_avc [--quick] [--out DIR]`
-
-use avc_analysis::cli::Args;
-use avc_analysis::experiments::report;
-use avc_analysis::table::Table;
-use avc_population::Config;
-use avc_protocols::{Avc, FourState};
-use avc_verify::enumerate::{four_state_family_survey, four_state_mutation_study};
-use avc_verify::reach::{check_exact_majority, check_invariant};
+//! Alias for `avc sweep mc_avc` followed by `avc export mc_avc` (flags:
+//! `--quick --out`), with checkpoint/resume through the result store.
 
 fn main() {
-    let args = Args::from_env();
-    let quick = args.flag("quick");
-    let out = avc_bench::out_dir(&args);
-
-    avc_bench::banner(
-        "Model check MC-2 (AVC invariants and exactness)",
-        "reachability over full configuration spaces at small n",
-    );
-
-    let mut table = Table::new(
-        "Exhaustive correctness checks",
-        [
-            "check",
-            "protocol",
-            "instances",
-            "configs_explored",
-            "result",
-        ],
-    );
-
-    // Invariant 4.3 over full reachable closures.
-    let mut explored = 0usize;
-    let params: &[(u64, u32)] = if quick {
-        &[(1, 1), (3, 1)]
-    } else {
-        &[(1, 1), (3, 1), (3, 2), (5, 1), (5, 2), (7, 1)]
-    };
-    let mut instances = 0;
-    for &(m, d) in params {
-        let avc = Avc::new(m, d).expect("valid parameters");
-        for (a, b) in [(3u64, 2u64), (2, 3), (4, 2), (1, 4), (3, 3)] {
-            let initial = Config::from_input(&avc, a, b);
-            let checked = check_invariant(&avc, &initial, 5_000_000, |c| avc.total_value(c))
-                .expect("state space within budget")
-                .unwrap_or_else(|bad| panic!("Invariant 4.3 violated for m={m}, d={d} at {bad:?}"));
-            explored += checked;
-            instances += 1;
-        }
-    }
-    table.push_row([
-        "invariant 4.3 (value sum)".to_string(),
-        format!("avc, {} parameterizations", params.len()),
-        instances.to_string(),
-        explored.to_string(),
-        "holds".to_string(),
-    ]);
-
-    // Exactness of AVC.
-    let mut explored = 0usize;
-    let mut instances = 0;
-    for &(m, d) in params {
-        let avc = Avc::new(m, d).expect("valid parameters");
-        for (a, b) in [(2u64, 1u64), (1, 2), (3, 2), (2, 3), (4, 1), (3, 3)] {
-            let v = check_exact_majority(&avc, a, b, 5_000_000).expect("within budget");
-            assert!(v.is_correct(), "AVC(m={m},d={d}) violated at a={a}, b={b}");
-            explored += v.explored;
-            instances += 1;
-        }
-    }
-    table.push_row([
-        "exact majority (Thm B.1 properties)".to_string(),
-        "avc".to_string(),
-        instances.to_string(),
-        explored.to_string(),
-        "holds".to_string(),
-    ]);
-
-    // Exactness of the four-state protocol on every instance up to n.
-    let max_n = if quick { 6 } else { 9 };
-    let mut explored = 0usize;
-    let mut instances = 0;
-    for n in 2..=max_n {
-        for a in 0..=n {
-            let v = check_exact_majority(&FourState, a, n - a, 1_000_000).expect("within budget");
-            assert!(v.is_correct(), "four-state violated at a={a}, b={}", n - a);
-            explored += v.explored;
-            instances += 1;
-        }
-    }
-    table.push_row([
-        "exact majority, all instances".to_string(),
-        "four-state".to_string(),
-        instances.to_string(),
-        explored.to_string(),
-        "holds".to_string(),
-    ]);
-
-    // Mutation study: flipping any single rule of the four-state protocol.
-    let mutation_n = if quick { 5 } else { 7 };
-    let outcome = four_state_mutation_study(mutation_n);
-    table.push_row([
-        format!("single-rule mutations (n ≤ {mutation_n})"),
-        "four-state".to_string(),
-        outcome.candidates.to_string(),
-        "-".to_string(),
-        format!(
-            "{} of {} mutants survive",
-            outcome.survivors, outcome.candidates
-        ),
-    ]);
-
-    // Family survey over the constrained four-state space of Theorem B.1:
-    // how many assignments of the four cross-output interactions survive?
-    let survey_n = if quick { 5 } else { 6 };
-    let (survey, survivors) = four_state_family_survey(survey_n);
-    table.push_row([
-        format!("constrained 4-state family (n ≤ {survey_n})"),
-        "Theorem B.1 case analysis".to_string(),
-        survey.candidates.to_string(),
-        "-".to_string(),
-        format!(
-            "{} of {} assignments correct",
-            survey.survivors, survey.candidates
-        ),
-    ]);
-
-    report(&table, &out, "mc_avc");
-    println!("surviving four-state rule assignments:");
-    for s in &survivors {
-        println!("  {s}");
-    }
-    println!("✔ all exhaustive checks passed");
+    avc_store::cli::legacy("mc_avc");
 }

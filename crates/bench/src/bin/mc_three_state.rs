@@ -2,40 +2,10 @@
 //! exhaustively enumerates all symmetric three-state protocols and verifies
 //! that none solves exact majority on every instance with `n ≤ max_n`.
 //!
-//! Usage: `cargo run --release -p avc-bench --bin mc_three_state [--quick]
-//! [--max-n N] [--out DIR]`
-
-use avc_analysis::cli::Args;
-use avc_analysis::experiments::report;
-use avc_analysis::table::Table;
-use avc_verify::enumerate::three_state_impossibility;
+//! Alias for `avc sweep mc_three_state` followed by `avc export
+//! mc_three_state` (flags: `--quick --max-n --out`), with checkpoint/resume
+//! through the result store.
 
 fn main() {
-    let args = Args::from_env();
-    let max_n = args.get_u64("max-n", if args.flag("quick") { 5 } else { 7 });
-
-    avc_bench::banner(
-        "Model check MC-1 (MNRS14 impossibility)",
-        &format!("all symmetric 3-state protocols, instances up to n = {max_n}"),
-    );
-
-    let started = std::time::Instant::now();
-    let outcome = three_state_impossibility(max_n);
-    let mut table = Table::new(
-        "Exhaustive 3-state enumeration",
-        ["candidates", "survivors", "max_n"],
-    );
-    table.push_row([
-        outcome.candidates.to_string(),
-        outcome.survivors.to_string(),
-        max_n.to_string(),
-    ]);
-    let out = avc_bench::out_dir(&args);
-    report(&table, &out, "mc_three_state");
-    println!("wall time: {:?}", started.elapsed());
-    assert_eq!(
-        outcome.survivors, 0,
-        "impossibility violated: some 3-state protocol solved exact majority!"
-    );
-    println!("✔ no three-state protocol solves exact majority (n ≤ {max_n})");
+    avc_store::cli::legacy("mc_three_state");
 }

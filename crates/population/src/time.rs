@@ -138,6 +138,56 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "nonzero")]
+    fn clock_rejects_zero_population() {
+        let _ = ContinuousClock::new(0);
+    }
+
+    #[test]
+    fn single_agent_clock_is_rate_one() {
+        // n = 1 is degenerate for interactions but the clock itself is
+        // well-defined: unit rate, strictly positive holding times.
+        let mut clock = ContinuousClock::new(1);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut total = 0.0;
+        for _ in 0..1_000 {
+            let dt = clock.tick(&mut rng);
+            assert!(dt > 0.0, "holding times are strictly positive");
+            total += dt;
+        }
+        assert_eq!(clock.elapsed(), total);
+        // 1000 events at rate 1: elapsed ≈ 1000 with sd ≈ √1000 ≈ 32.
+        assert!(
+            (clock.elapsed() - 1_000.0).abs() < 150.0,
+            "{}",
+            clock.elapsed()
+        );
+    }
+
+    #[test]
+    fn tick_many_zero_events_is_free() {
+        let mut clock = ContinuousClock::new(10);
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert_eq!(clock.tick_many(&mut rng, 0), 0.0);
+        assert_eq!(clock.elapsed(), 0.0);
+    }
+
+    #[test]
+    fn tick_many_is_sane_across_the_approximation_boundary() {
+        // k = 4096 takes the exact-sum path, k = 4097 the normal
+        // approximation; both must stay positive, finite, and near k/rate.
+        for k in [4_096u64, 4_097] {
+            let mut clock = ContinuousClock::new(1_000);
+            let mut rng = SmallRng::seed_from_u64(k);
+            let dt = clock.tick_many(&mut rng, k);
+            assert!(dt.is_finite() && dt > 0.0);
+            let mean = k as f64 / 1_000.0;
+            assert!((dt - mean).abs() < 0.5, "k={k}: dt={dt}");
+            assert_eq!(clock.elapsed(), dt);
+        }
+    }
+
+    #[test]
     fn tick_many_matches_tick_in_expectation() {
         let n = 100u64;
         let mut rng = SmallRng::seed_from_u64(23);

@@ -213,6 +213,80 @@ mod tests {
     }
 
     #[test]
+    fn already_converged_config_yields_a_single_sample() {
+        // All agents share the majority opinion from step 0: the run ends
+        // before any interaction, and the step-0 sample doubles as the
+        // terminal one (no duplicate).
+        let mut sim = CountSim::new(Voter, Config::from_input(&Voter, 7, 0));
+        let mut rng = SmallRng::seed_from_u64(2);
+        let trace = record(
+            &mut sim,
+            &mut rng,
+            10,
+            u64::MAX,
+            ConvergenceRule::OutputConsensus,
+            vec!["count_a".to_string()],
+            |counts| vec![counts[0] as f64],
+        );
+        assert_eq!(trace.samples.len(), 1);
+        assert_eq!(trace.samples[0].steps, 0);
+        assert_eq!(trace.outcome.steps, 0);
+        assert_eq!(trace.outcome.parallel_time, 0.0);
+        assert_eq!(trace.outcome.verdict, Verdict::Consensus(Opinion::A));
+    }
+
+    #[test]
+    fn max_steps_truncation_keeps_samples_strictly_increasing() {
+        // Truncate both on and off the sampling cadence; the terminal
+        // configuration must appear exactly once either way.
+        for (cadence, max_steps) in [(5u64, 10u64), (4, 10), (10, 7)] {
+            let mut sim = CountSim::new(Voter, Config::from_input(&Voter, 50, 50));
+            let mut rng = SmallRng::seed_from_u64(8);
+            let trace = record(
+                &mut sim,
+                &mut rng,
+                cadence,
+                max_steps,
+                ConvergenceRule::OutputConsensus,
+                vec!["count_a".to_string()],
+                |counts| vec![counts[0] as f64],
+            );
+            assert_eq!(trace.outcome.verdict, Verdict::MaxSteps);
+            assert_eq!(trace.outcome.steps, max_steps);
+            assert_eq!(trace.samples.last().unwrap().steps, max_steps);
+            for pair in trace.samples.windows(2) {
+                assert!(
+                    pair[0].steps < pair[1].steps,
+                    "duplicate sample at cadence={cadence}, max_steps={max_steps}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn silent_config_under_unreachable_rule_is_stuck() {
+        // All-A voter population is silent; a rule waiting for a lone B
+        // agent can never hold. The jump engine reports the dead end and
+        // the trace must surface it as `Stuck` instead of spinning.
+        let mut sim = crate::engine::JumpSim::new(Voter, Config::from_input(&Voter, 5, 0));
+        let mut rng = SmallRng::seed_from_u64(6);
+        let trace = record(
+            &mut sim,
+            &mut rng,
+            3,
+            u64::MAX,
+            ConvergenceRule::OutputCount {
+                opinion: Opinion::B,
+                count: 1,
+            },
+            vec!["count_a".to_string()],
+            |counts| vec![counts[0] as f64],
+        );
+        assert_eq!(trace.outcome.verdict, Verdict::Stuck);
+        assert_eq!(trace.samples.len(), 1, "no steps ever ran");
+    }
+
+    #[test]
     #[should_panic(expected = "cadence")]
     fn rejects_zero_cadence() {
         let mut sim = CountSim::new(Voter, Config::from_input(&Voter, 3, 2));

@@ -1,0 +1,8 @@
+//! The unified experiment CLI.
+//!
+//! Usage: `avc sweep|resume|export|ls|show|help ...` — see `avc help` or
+//! `EXPERIMENTS.md`.
+
+fn main() {
+    std::process::exit(avc_store::cli::main());
+}

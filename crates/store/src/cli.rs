@@ -1,0 +1,248 @@
+//! The `avc` command-line interface.
+//!
+//! ```text
+//! avc sweep <name> [flags]    run (or resume) a sweep, checkpointing cells
+//! avc resume <name> [flags]   alias for `sweep` — resuming IS rerunning
+//! avc export <name> [flags]   write the sweep's CSVs from the store
+//! avc ls [--cells]            list stored results by experiment
+//! avc show <hash-prefix>      inspect one stored cell
+//! avc help                    this summary plus the sweep registry
+//! ```
+//!
+//! Shared flags: `--out DIR` (CSV directory, default `results`), `--store
+//! DIR` (registry directory, default `<out>/store`), `--progress`,
+//! `--serial` / `--threads N`, plus each sweep's own flags (`--quick`,
+//! `--runs`, `--seed`, …). The legacy `avc-bench` binaries call
+//! [`legacy`], which is exactly `sweep` followed by `export`.
+
+use crate::specs;
+use crate::store::Store;
+use crate::sweep::{self, Plan};
+use avc_analysis::cli::Args;
+use avc_analysis::harness::StatsCollector;
+use std::path::{Path, PathBuf};
+
+/// The CSV output directory (`--out`, default `results`).
+fn out_dir(args: &Args) -> String {
+    args.get("out").unwrap_or("results").to_string()
+}
+
+/// The registry directory (`--store`, default `<out>/store`).
+fn store_dir(args: &Args) -> PathBuf {
+    match args.get("store") {
+        Some(dir) => PathBuf::from(dir),
+        None => Path::new(&out_dir(args)).join("store"),
+    }
+}
+
+fn collector(args: &Args) -> StatsCollector {
+    if args.flag("progress") {
+        StatsCollector::verbose()
+    } else {
+        StatsCollector::new()
+    }
+}
+
+fn build_plan(name: &str, args: &Args) -> Result<Plan, String> {
+    specs::build(name, args).ok_or_else(|| {
+        let known: Vec<&str> = specs::NAMES.iter().map(|(n, _)| *n).collect();
+        format!(
+            "unknown sweep `{name}` — known sweeps: {}",
+            known.join(", ")
+        )
+    })
+}
+
+fn cmd_sweep(name: &str, args: &Args) -> Result<(), String> {
+    let plan = build_plan(name, args)?;
+    println!("== avc sweep {name} ==");
+    println!("{}", plan.banner);
+    println!();
+    let mut store = Store::open(store_dir(args)).map_err(|e| e.to_string())?;
+    let started = std::time::Instant::now();
+    let outcome = sweep::run(&mut store, &plan, &collector(args), true)
+        .map_err(|e| format!("store append failed: {e}"))?;
+    store
+        .compact()
+        .map_err(|e| format!("store compaction failed: {e}"))?;
+    println!(
+        "sweep {name}: {} cells ran, {} cached, {:.1}s wall (store: {})",
+        outcome.ran,
+        outcome.cached,
+        started.elapsed().as_secs_f64(),
+        store.records_path().display()
+    );
+    Ok(())
+}
+
+fn cmd_export(name: &str, args: &Args) -> Result<(), String> {
+    let plan = build_plan(name, args)?;
+    let store = Store::open(store_dir(args)).map_err(|e| e.to_string())?;
+    let export = sweep::export(&store, &plan)?;
+    let out = out_dir(args);
+    for (stem, table) in &export.tables {
+        avc_analysis::experiments::report(table, &out, stem);
+    }
+    for line in &export.trailer {
+        println!("{line}");
+    }
+    Ok(())
+}
+
+fn cmd_ls(args: &Args) -> Result<(), String> {
+    let store = Store::open(store_dir(args)).map_err(|e| e.to_string())?;
+    if store.is_empty() {
+        println!("store {} is empty", store.records_path().display());
+        return Ok(());
+    }
+    // Group the latest records by experiment, keeping registry order.
+    for (name, description) in specs::NAMES {
+        let cells: Vec<_> = store
+            .iter_latest()
+            .filter(|r| r.manifest.experiment == name)
+            .collect();
+        if cells.is_empty() {
+            continue;
+        }
+        let wall: u64 = cells.iter().map(|r| r.wall_ms).sum();
+        println!(
+            "{name}: {} cells, {:.1}s compute — {description}",
+            cells.len(),
+            wall as f64 / 1e3
+        );
+        if args.flag("cells") {
+            for r in &cells {
+                println!(
+                    "  {}  {}  ({:.1}s)",
+                    &r.hash[..12],
+                    r.manifest.get("cell").unwrap_or("?"),
+                    r.wall_ms as f64 / 1e3
+                );
+            }
+        }
+    }
+    let strays = store
+        .iter_latest()
+        .filter(|r| {
+            specs::NAMES
+                .iter()
+                .all(|(n, _)| *n != r.manifest.experiment)
+        })
+        .count();
+    if strays > 0 {
+        println!("(+ {strays} cells from unregistered experiments)");
+    }
+    Ok(())
+}
+
+fn cmd_show(prefix: &str, args: &Args) -> Result<(), String> {
+    let store = Store::open(store_dir(args)).map_err(|e| e.to_string())?;
+    let hits = store.find_by_prefix(prefix);
+    match hits.as_slice() {
+        [] => Err(format!("no stored cell matches `{prefix}`")),
+        [record] => {
+            println!("{}", record.manifest.to_json().to_string_pretty());
+            println!("hash: {}", record.hash);
+            println!("wall: {:.1}s", record.wall_ms as f64 / 1e3);
+            if let Some(trials) = &record.result.trials {
+                println!(
+                    "trials: {} runs, {} converged samples, error fraction {}",
+                    trials.total_runs,
+                    trials.samples.len(),
+                    trials.error_fraction
+                );
+            }
+            for (stem, rows) in &record.result.tables {
+                println!("table {stem}: {} row(s)", rows.len());
+                for row in rows {
+                    println!("  {}", row.join(" | "));
+                }
+            }
+            for (key, value) in &record.result.values {
+                println!("value {key} = {value}");
+            }
+            for note in &record.result.notes {
+                println!("note: {note}");
+            }
+            Ok(())
+        }
+        many => {
+            println!("{} cells match `{prefix}`:", many.len());
+            for r in many {
+                println!(
+                    "  {}  {} / {}",
+                    &r.hash[..12],
+                    r.manifest.experiment,
+                    r.manifest.get("cell").unwrap_or("?")
+                );
+            }
+            Ok(())
+        }
+    }
+}
+
+fn usage() -> String {
+    let mut out = String::from(
+        "usage: avc <command> [flags]\n\
+         \n\
+         commands:\n\
+         \x20 sweep <name>    run (or resume) a sweep, checkpointing each cell\n\
+         \x20 resume <name>   alias for sweep\n\
+         \x20 export <name>   write the sweep's results/*.csv from the store\n\
+         \x20 ls [--cells]    list stored results by experiment\n\
+         \x20 show <hash>     inspect one stored cell by hash prefix\n\
+         \x20 help            this message\n\
+         \n\
+         flags: --out DIR (default results), --store DIR (default <out>/store),\n\
+         \x20      --progress, --serial | --threads N, plus per-sweep flags\n\
+         \x20      (--quick, --runs N, --seed N, ...)\n\
+         \n\
+         sweeps:\n",
+    );
+    for (name, description) in specs::NAMES {
+        out.push_str(&format!("  {name:<16} {description}\n"));
+    }
+    out
+}
+
+/// Entry point for the `avc` binary: dispatches a parsed command line and
+/// returns the process exit code.
+#[must_use]
+pub fn main() -> i32 {
+    let (positionals, args) = Args::from_env_with_positionals();
+    let command = positionals.first().map(String::as_str);
+    let target = positionals.get(1).map(String::as_str);
+    let outcome = match (command, target) {
+        (Some("sweep") | Some("resume"), Some(name)) => cmd_sweep(name, &args),
+        (Some("export"), Some(name)) => cmd_export(name, &args),
+        (Some("ls"), None) => cmd_ls(&args),
+        (Some("show"), Some(prefix)) => cmd_show(prefix, &args),
+        (Some("help") | None, _) => {
+            print!("{}", usage());
+            Ok(())
+        }
+        (Some("sweep") | Some("resume") | Some("export"), None) => {
+            Err("missing sweep name (see `avc help`)".to_string())
+        }
+        (Some("show"), None) => Err("missing hash prefix (see `avc help`)".to_string()),
+        (Some(other), _) => Err(format!("unknown command `{other}` (see `avc help`)")),
+    };
+    match outcome {
+        Ok(()) => 0,
+        Err(message) => {
+            eprintln!("avc: {message}");
+            1
+        }
+    }
+}
+
+/// The legacy single-binary behavior: run the named sweep to completion,
+/// then export its CSVs — checkpointing included. The ten `avc-bench`
+/// binaries are one-line wrappers over this.
+pub fn legacy(name: &str) {
+    let args = Args::from_env();
+    if let Err(message) = cmd_sweep(name, &args).and_then(|()| cmd_export(name, &args)) {
+        eprintln!("avc: {message}");
+        std::process::exit(1);
+    }
+}

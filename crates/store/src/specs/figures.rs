@@ -1,0 +1,318 @@
+//! Sweep specs for the paper's two figures and the dynamics trace.
+
+use super::{only_row, trials_of};
+use crate::manifest::Manifest;
+use crate::record::{f64_to_hex, CellResult};
+use crate::sweep::{Cell, Export, Plan};
+use avc_analysis::cli::Args;
+use avc_analysis::experiments::{dynamics, fig3, fig4};
+use avc_analysis::plot::ScatterPlot;
+use std::collections::BTreeMap;
+
+pub(super) fn fig3_plan(args: &Args) -> Plan {
+    let config = fig3::Config::from_args(args);
+    let mut cells = Vec::new();
+    for (ni, &n) in config.ns.iter().enumerate() {
+        for (pi, &key) in fig3::PROTOCOL_KEYS.iter().enumerate() {
+            let label = format!("n={n}/{key}");
+            let manifest = Manifest::new(
+                "fig3",
+                [
+                    ("cell", label.clone()),
+                    ("protocol", key.to_string()),
+                    (
+                        "engine",
+                        if key == "avc" { "auto" } else { "jump" }.to_string(),
+                    ),
+                    (
+                        "rule",
+                        if key == "three_state" {
+                            "state_consensus"
+                        } else {
+                            "output_consensus"
+                        }
+                        .to_string(),
+                    ),
+                    ("n", n.to_string()),
+                    ("runs", config.runs.to_string()),
+                    ("seed", config.seed.wrapping_add(ni as u64).to_string()),
+                ],
+            );
+            let config = config.clone();
+            cells.push(Cell {
+                manifest,
+                label,
+                run: Box::new(move |stats| {
+                    let cell = fig3::run_cell(&config, ni, pi, stats);
+                    let one = std::slice::from_ref(&cell);
+                    CellResult {
+                        trials: Some(trials_of(&cell.results)),
+                        tables: BTreeMap::from([
+                            (
+                                "fig3_time".to_string(),
+                                vec![only_row(&fig3::time_table(one))],
+                            ),
+                            (
+                                "fig3_error".to_string(),
+                                vec![only_row(&fig3::error_table(one))],
+                            ),
+                        ]),
+                        ..CellResult::default()
+                    }
+                }),
+            });
+        }
+    }
+
+    let banner = format!(
+        "3-state vs 4-state vs n-state AVC, eps = 1/n, {} runs per cell, n in {:?}",
+        config.runs, config.ns
+    );
+    let export_config = config;
+    Plan {
+        name: "fig3".to_string(),
+        banner,
+        cells,
+        export: Box::new(move |results| {
+            let mut time = fig3::time_table(&[]);
+            let mut error = fig3::error_table(&[]);
+            for r in results {
+                for row in r.rows("fig3_time") {
+                    time.push_row(row.clone());
+                }
+                for row in r.rows("fig3_error") {
+                    error.push_row(row.clone());
+                }
+            }
+
+            // Terminal rendering of the left panel (log–log, as in the paper).
+            let mut plot = ScatterPlot::new(
+                "Figure 3 (left): parallel convergence time vs n (log-log)",
+                64,
+                18,
+            )
+            .log_log();
+            for (pi, family) in ["3-state", "4-state", "avc"].iter().enumerate() {
+                let series: Vec<(f64, f64)> = results
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % fig3::PROTOCOL_KEYS.len() == pi)
+                    .filter_map(|(i, r)| {
+                        let n = export_config.ns[i / fig3::PROTOCOL_KEYS.len()] as f64;
+                        let mean = r.trials.as_ref()?.summary()?.mean;
+                        Some((n, mean))
+                    })
+                    .collect();
+                plot.add_series(*family, series);
+            }
+            Export {
+                tables: vec![
+                    ("fig3_time".to_string(), time),
+                    ("fig3_error".to_string(), error),
+                ],
+                trailer: vec![plot.render()],
+            }
+        }),
+    }
+}
+
+pub(super) fn fig4_plan(args: &Args) -> Plan {
+    let config = fig4::Config::from_args(args);
+    let mut cells = Vec::new();
+    for (si, &s_requested) in config.state_counts.iter().enumerate() {
+        for (ei, &eps) in config.epsilons.iter().enumerate() {
+            let label = format!("s={s_requested}/eps={eps:e}");
+            let manifest = Manifest::new(
+                "fig4",
+                [
+                    ("cell", label.clone()),
+                    ("protocol", "avc".to_string()),
+                    ("engine", "auto".to_string()),
+                    ("rule", "output_consensus".to_string()),
+                    ("n", config.n.to_string()),
+                    ("s", s_requested.to_string()),
+                    ("eps", f64_to_hex(eps)),
+                    ("eps_text", format!("{eps:e}")),
+                    ("runs", config.runs.to_string()),
+                    (
+                        "seed",
+                        (config.seed + (si as u64) * 1_000 + ei as u64).to_string(),
+                    ),
+                ],
+            );
+            let config = config.clone();
+            cells.push(Cell {
+                manifest,
+                label,
+                run: Box::new(move |stats| {
+                    let point = fig4::run_point(&config, si, ei, stats);
+                    CellResult {
+                        trials: Some(super::trials_of_summary(&point.summary)),
+                        tables: BTreeMap::from([(
+                            "fig4".to_string(),
+                            vec![only_row(&fig4::table(
+                                std::slice::from_ref(&point),
+                                config.n,
+                            ))],
+                        )]),
+                        values: BTreeMap::from([
+                            ("achieved_eps".to_string(), point.achieved_epsilon),
+                            ("s".to_string(), point.s as f64),
+                        ]),
+                        ..CellResult::default()
+                    }
+                }),
+            });
+        }
+    }
+
+    let banner = format!(
+        "AVC time vs margin, n = {}, s in {:?}, {} margins x {} runs",
+        config.n,
+        config.state_counts,
+        config.epsilons.len(),
+        config.runs
+    );
+    let export_config = config;
+    Plan {
+        name: "fig4".to_string(),
+        banner,
+        cells,
+        export: Box::new(move |results| {
+            let mut table = fig4::table(&[], export_config.n);
+            for r in results {
+                for row in r.rows("fig4") {
+                    table.push_row(row.clone());
+                }
+            }
+
+            // (s, achieved_eps, mean) triples for the two panels.
+            let points: Vec<(f64, f64, f64)> = results
+                .iter()
+                .filter_map(|r| {
+                    Some((
+                        r.value("s")?,
+                        r.value("achieved_eps")?,
+                        r.trials.as_ref()?.summary()?.mean,
+                    ))
+                })
+                .collect();
+
+            let mut left = ScatterPlot::new(
+                "Figure 4 (left): time vs eps, one series per s (log-log)",
+                64,
+                18,
+            )
+            .log_log();
+            for &s_requested in &export_config.state_counts {
+                let avc_s = avc_protocols::Avc::with_states(s_requested)
+                    .expect("valid budget")
+                    .s() as f64;
+                let series: Vec<(f64, f64)> = points
+                    .iter()
+                    .filter(|&&(s, _, _)| s == avc_s)
+                    .map(|&(_, eps, mean)| (eps, mean))
+                    .collect();
+                if !series.is_empty() {
+                    left.add_series(format!("s={avc_s}"), series);
+                }
+            }
+
+            let mut right = ScatterPlot::new(
+                "Figure 4 (right): time vs s*eps, all series (log-log)",
+                64,
+                18,
+            )
+            .log_log();
+            right.add_series(
+                "all (s, eps)",
+                points.iter().map(|&(s, eps, mean)| (s * eps, mean)),
+            );
+
+            Export {
+                tables: vec![("fig4".to_string(), table)],
+                trailer: vec![left.render(), right.render()],
+            }
+        }),
+    }
+}
+
+pub(super) fn dynamics_plan(args: &Args) -> Plan {
+    let config = dynamics::Config::from_args(args);
+    let label = format!(
+        "n={}/m={}/d={}/eps={:e}",
+        config.n, config.m, config.d, config.epsilon
+    );
+    let manifest = Manifest::new(
+        "dynamics",
+        [
+            ("cell", label.clone()),
+            ("protocol", "avc".to_string()),
+            ("engine", "count".to_string()),
+            ("rule", "output_consensus".to_string()),
+            ("n", config.n.to_string()),
+            ("m", config.m.to_string()),
+            ("d", config.d.to_string()),
+            ("eps", f64_to_hex(config.epsilon)),
+            ("eps_text", format!("{:e}", config.epsilon)),
+            ("cadence", config.cadence.to_string()),
+            ("seed", config.seed.to_string()),
+        ],
+    );
+
+    let run_config = config.clone();
+    let cell = Cell {
+        manifest,
+        label,
+        run: Box::new(move |_stats| {
+            let trace = dynamics::run(&run_config);
+            let table = dynamics::table(&trace, &run_config);
+            CellResult {
+                tables: BTreeMap::from([("dynamics".to_string(), table.rows().to_vec())]),
+                values: BTreeMap::from([(
+                    "parallel_time".to_string(),
+                    trace.outcome.parallel_time,
+                )]),
+                notes: vec![format!("{:?}", trace.outcome.verdict)],
+                ..CellResult::default()
+            }
+        }),
+    };
+
+    let banner = format!(
+        "one AVC run: n = {}, m = {}, d = {}, eps = {}",
+        config.n, config.m, config.d, config.epsilon
+    );
+    let export_config = config;
+    Plan {
+        name: "dynamics".to_string(),
+        banner,
+        cells: vec![cell],
+        export: Box::new(move |results| {
+            let r = results[0];
+            // Rebuild the titled table around the stored rows.
+            let empty = avc_population::trace::Trace {
+                samples: Vec::new(),
+                names: dynamics::STATISTICS.iter().map(|s| s.to_string()).collect(),
+                outcome: avc_population::spec::RunOutcome {
+                    steps: 0,
+                    parallel_time: 0.0,
+                    verdict: avc_population::spec::Verdict::MaxSteps,
+                },
+            };
+            let mut table = dynamics::table(&empty, &export_config);
+            for row in r.rows("dynamics") {
+                table.push_row(row.clone());
+            }
+            let verdict = r.notes.first().cloned().unwrap_or_default();
+            let trailer = format!(
+                "run converged: {verdict} at parallel time {:.1}",
+                r.value("parallel_time").unwrap_or(f64::NAN)
+            );
+            Export {
+                tables: vec![("dynamics".to_string(), table)],
+                trailer: vec![trailer],
+            }
+        }),
+    }
+}

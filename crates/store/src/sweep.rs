@@ -1,0 +1,248 @@
+//! The sweep engine: checkpointed execution of a cell grid plus export.
+//!
+//! A [`Plan`] enumerates an experiment's cells (each with a [`Manifest`]
+//! identity and a closure that computes its [`CellResult`]) and knows how to
+//! assemble the final tables from the full, ordered result list. Running a
+//! plan consults the [`Store`] before every cell: completed cells are
+//! skipped, missing ones run and are appended durably *before* the next
+//! cell starts. Killing the process at any point therefore loses at most
+//! the in-flight cell, and a rerun of the same command resumes there —
+//! cells are seeded independently of each other and of the `Parallelism`
+//! setting, so the resumed sweep's export is byte-identical to an
+//! uninterrupted run's.
+
+use crate::manifest::Manifest;
+use crate::record::{CellResult, Record};
+use crate::store::Store;
+use avc_analysis::harness::StatsCollector;
+use avc_analysis::table::Table;
+use std::io;
+
+/// One runnable cell of a sweep.
+pub struct Cell {
+    /// The cell's content-addressed identity.
+    pub manifest: Manifest,
+    /// Short human label (also stored in the manifest under `cell`).
+    pub label: String,
+    /// Computes the cell. Must depend only on the manifest's parameters.
+    pub run: Box<dyn Fn(&StatsCollector) -> CellResult>,
+}
+
+/// Everything `avc export` produces for a sweep.
+pub struct Export {
+    /// `(file_stem, table)` pairs to write as `<out>/<stem>.csv`.
+    pub tables: Vec<(String, Table)>,
+    /// Extra stdout lines (terminal plots, fitted slopes, check verdicts).
+    pub trailer: Vec<String>,
+}
+
+/// A fully-specified sweep: cells plus the export assembly.
+pub struct Plan {
+    /// Sweep spec name (`fig3`, …).
+    pub name: String,
+    /// One-line banner description.
+    pub banner: String,
+    /// Cells in deterministic grid order.
+    pub cells: Vec<Cell>,
+    /// Assembles the export from results ordered as [`Plan::cells`].
+    #[allow(clippy::type_complexity)]
+    pub export: Box<dyn Fn(&[&CellResult]) -> Export>,
+}
+
+/// What [`run`] did for each cell class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SweepOutcome {
+    /// Cells found complete in the store and skipped.
+    pub cached: usize,
+    /// Cells executed this invocation.
+    pub ran: usize,
+}
+
+/// Runs every missing cell of `plan`, checkpointing each into `store` as it
+/// completes. Progress lines go to stderr when `verbose`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the store append; the sweep stops at the
+/// first failed append (completed cells stay durable).
+pub fn run(
+    store: &mut Store,
+    plan: &Plan,
+    stats: &StatsCollector,
+    verbose: bool,
+) -> io::Result<SweepOutcome> {
+    let mut outcome = SweepOutcome::default();
+    let total = plan.cells.len();
+    for (i, cell) in plan.cells.iter().enumerate() {
+        let hash = cell.manifest.hash();
+        if store.get(&hash).is_some() {
+            outcome.cached += 1;
+            if verbose {
+                eprintln!(
+                    "[cell {}/{total}] {} — cached ({})",
+                    i + 1,
+                    cell.label,
+                    &hash[..12]
+                );
+            }
+            continue;
+        }
+        let started = std::time::Instant::now();
+        let result = (cell.run)(stats);
+        let wall_ms = started.elapsed().as_millis() as u64;
+        store.append(Record::new(cell.manifest.clone(), result, wall_ms))?;
+        outcome.ran += 1;
+        if verbose {
+            eprintln!(
+                "[cell {}/{total}] {} — ran in {:.1}s ({})",
+                i + 1,
+                cell.label,
+                wall_ms as f64 / 1e3,
+                &hash[..12]
+            );
+        }
+    }
+    Ok(outcome)
+}
+
+/// Collects the ordered results for `plan` from the store.
+///
+/// # Errors
+///
+/// Returns the labels and hashes of missing cells (the `avc export`
+/// error message).
+pub fn collect<'s>(store: &'s Store, plan: &Plan) -> Result<Vec<&'s CellResult>, String> {
+    let mut results = Vec::with_capacity(plan.cells.len());
+    let mut missing = Vec::new();
+    for cell in &plan.cells {
+        match store.get(&cell.manifest.hash()) {
+            Some(record) => results.push(&record.result),
+            None => missing.push(format!(
+                "  {} ({})",
+                cell.label,
+                &cell.manifest.hash()[..12]
+            )),
+        }
+    }
+    if missing.is_empty() {
+        Ok(results)
+    } else {
+        Err(format!(
+            "{} of {} cells missing from the store — run `avc sweep {}` first:\n{}",
+            missing.len(),
+            plan.cells.len(),
+            plan.name,
+            missing.join("\n")
+        ))
+    }
+}
+
+/// Builds the export for `plan` from the store.
+///
+/// # Errors
+///
+/// As [`collect`].
+pub fn export(store: &Store, plan: &Plan) -> Result<Export, String> {
+    let results = collect(store, plan)?;
+    Ok((plan.export)(&results))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell as StdCell;
+    use std::rc::Rc;
+
+    fn counting_plan(counter: Rc<StdCell<u32>>) -> Plan {
+        let cells = (0..3u64)
+            .map(|i| {
+                let counter = counter.clone();
+                Cell {
+                    manifest: Manifest::new("demo", [("i", i.to_string())]),
+                    label: format!("i={i}"),
+                    run: Box::new(move |_| {
+                        counter.set(counter.get() + 1);
+                        CellResult {
+                            notes: vec![format!("cell {i}")],
+                            ..CellResult::default()
+                        }
+                    }),
+                }
+            })
+            .collect();
+        Plan {
+            name: "demo".to_string(),
+            banner: "demo sweep".to_string(),
+            cells,
+            export: Box::new(|results| {
+                let mut t = Table::new("demo", ["note"]);
+                for r in results {
+                    t.push_row([r.notes[0].clone()]);
+                }
+                Export {
+                    tables: vec![("demo".to_string(), t)],
+                    trailer: vec![],
+                }
+            }),
+        }
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("avc-sweep-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn second_run_is_fully_cached() {
+        let dir = temp_dir("cached");
+        let counter = Rc::new(StdCell::new(0));
+        let plan = counting_plan(counter.clone());
+        let stats = StatsCollector::new();
+
+        let mut store = Store::open(&dir).unwrap();
+        let first = run(&mut store, &plan, &stats, false).unwrap();
+        assert_eq!((first.ran, first.cached), (3, 0));
+        assert_eq!(counter.get(), 3);
+
+        // Fresh open, same plan: everything cached, closures never invoked.
+        let mut store = Store::open(&dir).unwrap();
+        let second = run(&mut store, &plan, &stats, false).unwrap();
+        assert_eq!((second.ran, second.cached), (0, 3));
+        assert_eq!(counter.get(), 3);
+
+        let exported = export(&store, &plan).unwrap();
+        assert_eq!(exported.tables[0].1.num_rows(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn partial_store_resumes_only_missing_cells() {
+        let dir = temp_dir("partial");
+        let counter = Rc::new(StdCell::new(0));
+        let plan = counting_plan(counter.clone());
+        let stats = StatsCollector::new();
+
+        // Simulate an interrupted sweep: only cell 0 durable.
+        {
+            let mut store = Store::open(&dir).unwrap();
+            let first_cell = &plan.cells[0];
+            let result = (first_cell.run)(&stats);
+            store
+                .append(Record::new(first_cell.manifest.clone(), result, 1))
+                .unwrap();
+        }
+        assert_eq!(counter.get(), 1);
+
+        let mut store = Store::open(&dir).unwrap();
+        assert!(export(&store, &plan)
+            .map(|_| ())
+            .unwrap_err()
+            .contains("2 of 3"));
+        let outcome = run(&mut store, &plan, &stats, false).unwrap();
+        assert_eq!((outcome.ran, outcome.cached), (2, 1));
+        assert_eq!(counter.get(), 3);
+        assert!(export(&store, &plan).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

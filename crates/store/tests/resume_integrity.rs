@@ -1,0 +1,133 @@
+//! Kill-and-resume integrity: `SIGKILL` an `avc sweep` mid-cell, resume it
+//! at a *different* parallelism, and require the exported CSVs to be
+//! byte-identical to an uninterrupted reference run.
+//!
+//! This is the crash-safety contract end to end: the store loses at most
+//! the in-flight cell, the resumed sweep recomputes exactly the missing
+//! cells, and per-cell seeding makes the worker count irrelevant.
+
+use avc_store::store::Store;
+use std::path::Path;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Flags chosen so the sweep has three cells of roughly 0.4s / 0.5s / 4s
+/// on one core: the first record lands fast and the kill window after it
+/// is wide.
+const SWEEP_FLAGS: [&str; 4] = ["--ns", "5001", "--runs", "80"];
+const TOTAL_CELLS: usize = 3;
+
+fn avc(dir: &Path, args: &[&str]) -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_avc"));
+    cmd.args(args)
+        .args(SWEEP_FLAGS)
+        .args(["--out", dir.to_str().expect("utf-8 temp path")]);
+    cmd
+}
+
+fn read_csvs(dir: &Path) -> (Vec<u8>, Vec<u8>) {
+    let read = |stem: &str| {
+        let path = dir.join(format!("{stem}.csv"));
+        std::fs::read(&path).unwrap_or_else(|e| panic!("missing {}: {e}", path.display()))
+    };
+    (read("fig3_time"), read("fig3_error"))
+}
+
+fn record_count(dir: &Path) -> usize {
+    std::fs::read_to_string(dir.join("store/records.jsonl"))
+        .map(|text| text.lines().filter(|l| !l.trim().is_empty()).count())
+        .unwrap_or(0)
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("avc-resume-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn killed_sweep_resumes_to_byte_identical_export() {
+    // Uninterrupted reference, serial workers.
+    let reference = temp_dir("reference");
+    let status = avc(&reference, &["sweep", "fig3", "--serial"])
+        .status()
+        .expect("spawn avc");
+    assert!(status.success(), "reference sweep failed");
+    let status = avc(&reference, &["export", "fig3"])
+        .stdout(Stdio::null())
+        .status()
+        .expect("spawn avc");
+    assert!(status.success(), "reference export failed");
+    let (ref_time, ref_error) = read_csvs(&reference);
+
+    // Interrupted run: SIGKILL once the first cell is durable and the next
+    // one is (very likely) in flight.
+    let victim = temp_dir("victim");
+    let mut child = avc(&victim, &["sweep", "fig3", "--serial"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn avc");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while record_count(&victim) == 0 {
+        assert!(Instant::now() < deadline, "no cell completed within 60s");
+        if child.try_wait().expect("poll child").is_some() {
+            panic!("sweep finished before any kill could land");
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    std::thread::sleep(Duration::from_millis(200));
+    child.kill().expect("SIGKILL the sweep"); // SIGKILL on unix: no cleanup runs
+    let _ = child.wait();
+
+    // The store must hold a durable, loadable prefix of the grid.
+    let survived = record_count(&victim);
+    assert!(
+        survived < TOTAL_CELLS,
+        "kill landed after the sweep finished; widen the sweep to keep this test honest"
+    );
+    let store = Store::open(victim.join("store")).expect("killed store still parses");
+    assert_eq!(store.len(), survived);
+
+    // Export must refuse while cells are missing.
+    let output = avc(&victim, &["export", "fig3"])
+        .output()
+        .expect("spawn avc");
+    assert!(
+        !output.status.success(),
+        "export of a partial store must fail"
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("missing from the store"),
+        "unexpected export error: {stderr}"
+    );
+
+    // Resume at a different worker count; only missing cells may run.
+    let output = avc(&victim, &["sweep", "fig3", "--threads", "2"])
+        .output()
+        .expect("spawn avc");
+    assert!(output.status.success(), "resume failed");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert_eq!(
+        stderr.matches("— cached").count(),
+        survived,
+        "resume recomputed a cell that was already durable: {stderr}"
+    );
+
+    let status = avc(&victim, &["export", "fig3"])
+        .stdout(Stdio::null())
+        .status()
+        .expect("spawn avc");
+    assert!(status.success(), "post-resume export failed");
+    let (victim_time, victim_error) = read_csvs(&victim);
+    assert_eq!(victim_time, ref_time, "fig3_time.csv differs after resume");
+    assert_eq!(
+        victim_error, ref_error,
+        "fig3_error.csv differs after resume"
+    );
+
+    let _ = std::fs::remove_dir_all(&reference);
+    let _ = std::fs::remove_dir_all(&victim);
+}

@@ -12,7 +12,9 @@
 //!   protocol, the three-state approximate protocol, the voter model;
 //! * [`verify`] — exhaustive reachability model checking, protocol-space
 //!   enumeration, and the knowledge-set lower-bound machinery;
-//! * [`analysis`] — the experiment harness, statistics, and table output.
+//! * [`analysis`] — the experiment harness, statistics, and table output;
+//! * [`store`] — the crash-safe experiment registry behind the `avc`
+//!   sweep CLI (checkpoint/resume, content-addressed cells).
 //!
 //! # Quickstart
 //!
@@ -40,6 +42,7 @@
 pub use avc_analysis as analysis;
 pub use avc_population as population;
 pub use avc_protocols as protocols;
+pub use avc_store as store;
 pub use avc_verify as verify;
 
 /// The most common imports in one place.

@@ -1,5 +1,5 @@
 //! Golden-trace regression tests: tiny fixed-seed [`CountSim`] runs with
-//! checked-in expected count trajectories for all four protocols. Any edit
+//! checked-in expected count trajectories for all six protocols. Any edit
 //! that changes a transition function, the pair sampler, or the RNG stream
 //! shifts these traces and fails loudly.
 //!
@@ -10,7 +10,7 @@
 use avc::population::engine::{CountSim, Simulator};
 use avc::population::rngutil::SeedSequence;
 use avc::population::{Config, Protocol};
-use avc::protocols::{Avc, FourState, ThreeState, Voter};
+use avc::protocols::{Avc, Epidemic, FourState, LeaderElection, ThreeState, Voter};
 
 /// Runs `protocol` from `(a, b)` on [`CountSim`] with trial stream 0 of
 /// `SeedSequence::new(seed)` and records `steps counts` every `stride`
@@ -64,6 +64,32 @@ const EXPECTED_THREE_STATE: &str = "\
 24 [7, 2, 6]
 30 [8, 1, 6]";
 
+const EXPECTED_LEADER_ELECTION: &str = "\
+0 [15, 0]
+6 [9, 6]
+12 [8, 7]
+18 [6, 9]
+24 [5, 10]
+30 [4, 11]
+36 [4, 11]
+42 [3, 12]
+48 [3, 12]
+54 [2, 13]
+60 [2, 13]";
+
+const EXPECTED_EPIDEMIC: &str = "\
+0 [3, 12]
+6 [4, 11]
+12 [4, 11]
+18 [5, 10]
+24 [9, 6]
+30 [9, 6]
+36 [10, 5]
+42 [11, 4]
+48 [12, 3]
+54 [14, 1]
+60 [14, 1]";
+
 const EXPECTED_AVC: &str = "\
 0 [6, 0, 0, 0, 0, 0, 0, 9]
 6 [4, 0, 1, 0, 2, 1, 0, 7]
@@ -96,6 +122,24 @@ fn avc_trace_is_stable() {
     assert_eq!(trace(&avc, 9, 6, 104, 30, 6), EXPECTED_AVC);
 }
 
+/// Leader election starts from the all-leaders configuration (every agent
+/// maps from opinion A), so the trace pins the fratricide dynamics from the
+/// worst case.
+#[test]
+fn leader_election_trace_is_stable() {
+    assert_eq!(
+        trace(&LeaderElection, 15, 0, 105, 60, 6),
+        EXPECTED_LEADER_ELECTION
+    );
+}
+
+/// One-way infection from three seeds; pins the one-sided (initiator-only)
+/// transition orientation alongside the sampler stream.
+#[test]
+fn epidemic_trace_is_stable() {
+    assert_eq!(trace(&Epidemic, 3, 12, 109, 60, 6), EXPECTED_EPIDEMIC);
+}
+
 /// Regeneration helper (see the module docs). Ignored by default.
 #[test]
 #[ignore = "prints the current traces for manual regeneration"]
@@ -108,4 +152,9 @@ fn print_traces() {
     );
     let avc = Avc::new(5, 1).expect("valid parameters");
     println!("avc:\n{}\n", trace(&avc, 9, 6, 104, 30, 6));
+    println!(
+        "leader_election:\n{}\n",
+        trace(&LeaderElection, 15, 0, 105, 60, 6)
+    );
+    println!("epidemic:\n{}\n", trace(&Epidemic, 3, 12, 109, 60, 6));
 }
