@@ -11,7 +11,10 @@
 //!
 //! This experiment records those statistics along a single seeded run,
 //! producing a time-series table (plus the constant value-sum column that
-//! witnesses Invariant 4.3 live).
+//! witnesses Invariant 4.3 live). Sampling rides the chunked run driver:
+//! [`record`] plugs a recording observer into `avc_population::driver`,
+//! whose chunk targets honour the cadence without perturbing the RNG
+//! stream, so the trace is bit-identical to the old per-step recorder's.
 
 use crate::table::{fmt_num, Table};
 use avc_population::engine::CountSim;

@@ -10,6 +10,12 @@
 //! reporting the mean parallel convergence time (left panel) and the
 //! fraction of runs converging to the wrong final state (right panel) over
 //! 101 runs.
+//!
+//! Trials execute through the chunked run driver (see
+//! `avc_population::driver`): each engine's monomorphized chunk loop stops
+//! at the exact step its convergence rule first holds, so these results are
+//! independent of chunking and of the pre-driver per-step loop they
+//! replaced.
 
 use crate::harness::{
     run_trials_with_stats, EngineKind, Parallelism, StatsCollector, TrialPlan, TrialResults,

@@ -6,6 +6,9 @@
 //! `ε` — one curve per `s`, each `Θ(1/ε)` for small `ε` and shifted down as
 //! `s` grows; the right panel plots the same data against the product `s·ε`,
 //! collapsing the curves and supporting the `Θ̃(1/(sε))` claim.
+//!
+//! Trials execute through the chunked run driver (`avc_population::driver`),
+//! as in [`fig3`](crate::experiments::fig3).
 
 use crate::harness::{run_trials_with_stats, EngineKind, Parallelism, StatsCollector, TrialPlan};
 use crate::stats::Summary;

@@ -6,14 +6,14 @@
 //! with very different spectral gaps (clique, star, random-regular, grid,
 //! cycle) and reports both, demonstrating the slowdown tracks `1/gap`.
 
-use crate::harness::{run_indexed_with_stats, Parallelism, StatsCollector};
+use crate::harness::{drive_to_consensus, run_indexed_with_stats, Parallelism, StatsCollector};
 use crate::stats::Summary;
 use crate::table::{fmt_num, Table};
-use avc_population::engine::{AgentSim, Simulator};
+use avc_population::engine::AgentSim;
 use avc_population::graph::Graph;
 use avc_population::rngutil::SeedSequence;
 use avc_population::spectral::{spectral_gap, PowerIterationOptions};
-use avc_population::{Config as PopulationConfig, MajorityInstance};
+use avc_population::{Config as PopulationConfig, ConvergenceRule, MajorityInstance};
 use avc_protocols::FourState;
 
 /// Parameters for the graph/gap experiment.
@@ -156,7 +156,12 @@ pub fn run_point(config: &Config, gi: usize, stats: &StatsCollector) -> Point {
         let mut rng = topology_seeds.rng_for(trial);
         let initial = PopulationConfig::from_input(&FourState, inst.a(), inst.b());
         let mut sim = AgentSim::new(FourState, initial, graph_ref.clone());
-        let out = sim.run_to_consensus(&mut rng, config.max_steps);
+        let out = drive_to_consensus(
+            &mut sim,
+            ConvergenceRule::OutputConsensus,
+            &mut rng,
+            config.max_steps,
+        );
         (out, out.steps)
     });
     stats.record(&batch);

@@ -12,7 +12,10 @@
 //! scheduling**. `tests/parallel_determinism.rs` enforces this.
 
 use crate::stats::{fraction, Summary};
-use avc_population::engine::{AdaptiveSim, AgentSim, CountSim, JumpSim, Simulator, TauLeapSim};
+use avc_population::driver::{Driver, NullObserver, Observer};
+use avc_population::engine::{
+    AdaptiveSim, AgentSim, ChunkedSimulator, CountSim, JumpSim, TauLeapSim,
+};
 use avc_population::graph::Graph;
 use avc_population::rngutil::SeedSequence;
 use avc_population::spec::RunOutcome;
@@ -474,6 +477,10 @@ impl TrialResults {
 }
 
 /// Runs one simulation to convergence on the chosen engine.
+///
+/// Goes through [`Driver::run`] with the concrete `SmallRng`, so every
+/// engine executes its fully monomorphized chunk loop — the trial hot path
+/// has no per-step dynamic dispatch.
 pub fn run_one<P: Protocol + Clone>(
     protocol: &P,
     config: Config,
@@ -482,25 +489,65 @@ pub fn run_one<P: Protocol + Clone>(
     rng: &mut rand::rngs::SmallRng,
     max_steps: u64,
 ) -> RunOutcome {
+    run_one_observed(
+        protocol,
+        config,
+        engine,
+        rule,
+        rng,
+        max_steps,
+        &mut NullObserver,
+    )
+}
+
+/// As [`run_one`], but feeding driver progress to `observer`.
+pub fn run_one_observed<P: Protocol + Clone, O: Observer + ?Sized>(
+    protocol: &P,
+    config: Config,
+    engine: EngineKind,
+    rule: ConvergenceRule,
+    rng: &mut rand::rngs::SmallRng,
+    max_steps: u64,
+    observer: &mut O,
+) -> RunOutcome {
+    let driver = Driver::new(rule).with_max_steps(max_steps);
     match engine {
         EngineKind::Agent => {
             let n = config.population() as usize;
-            AgentSim::new(protocol.clone(), config, Graph::clique(n))
-                .run_to_consensus_with(rng, max_steps, rule)
+            let mut sim = AgentSim::new(protocol.clone(), config, Graph::clique(n));
+            driver.run(&mut sim, rng, observer)
         }
         EngineKind::Count => {
-            CountSim::new(protocol.clone(), config).run_to_consensus_with(rng, max_steps, rule)
+            let mut sim = CountSim::new(protocol.clone(), config);
+            driver.run(&mut sim, rng, observer)
         }
         EngineKind::Jump => {
-            JumpSim::new(protocol.clone(), config).run_to_consensus_with(rng, max_steps, rule)
+            let mut sim = JumpSim::new(protocol.clone(), config);
+            driver.run(&mut sim, rng, observer)
         }
         EngineKind::TauLeap => {
-            TauLeapSim::new(protocol.clone(), config).run_to_consensus_with(rng, max_steps, rule)
+            let mut sim = TauLeapSim::new(protocol.clone(), config);
+            driver.run(&mut sim, rng, observer)
         }
         EngineKind::Auto | EngineKind::Adaptive => {
-            AdaptiveSim::new(protocol.clone(), config).run_to_consensus_with(rng, max_steps, rule)
+            let mut sim = AdaptiveSim::new(protocol.clone(), config);
+            driver.run(&mut sim, rng, observer)
         }
     }
+}
+
+/// Runs an already-constructed engine to convergence on the monomorphized
+/// driver path (convenience for callers that build their own simulator,
+/// e.g. on a non-clique graph).
+pub fn drive_to_consensus<S: ChunkedSimulator + ?Sized>(
+    sim: &mut S,
+    rule: ConvergenceRule,
+    rng: &mut rand::rngs::SmallRng,
+    max_steps: u64,
+) -> RunOutcome {
+    Driver::new(rule)
+        .with_max_steps(max_steps)
+        .run(sim, rng, &mut NullObserver)
 }
 
 /// Runs a batch of independent trials of `protocol` on the plan's instance.

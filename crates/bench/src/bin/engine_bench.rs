@@ -1,0 +1,283 @@
+//! Engine microbenchmark: legacy per-step loop vs chunked driver loop.
+//!
+//! Measures every engine on a Figure-3-shaped workload (four-state protocol,
+//! one-extra instance, output-consensus rule, bounded step budget) under two
+//! stepping regimes that consume the RNG identically:
+//!
+//! * **legacy** — [`advance_upto_step_by_step`]: one `advance` call per
+//!   scheduler step through `&mut dyn RngCore`, the pre-driver loop shape;
+//! * **chunked** — [`Driver::run`] over the engine's monomorphized
+//!   `ChunkedSimulator::advance_chunk` with a concrete `SmallRng`.
+//!
+//! Both runs of a repetition start from the same seed and must finish at the
+//! same step count and majority count — the benchmark asserts this, so it
+//! doubles as an equivalence check.
+//!
+//! Flags: `--quick` (small population only, fewer reps), `--out PATH` (write
+//! the JSON report), `--check PATH` (compare against a committed report and
+//! fail if any engine's speedup regressed by more than 25%).
+
+use avc_population::driver::{Driver, NullObserver};
+use avc_population::engine::{
+    advance_upto_step_by_step, AdaptiveSim, AgentSim, CountSim, JumpSim, Simulator, StopCondition,
+    TauLeapSim,
+};
+use avc_population::{Config, ConvergenceRule, MajorityInstance};
+use avc_protocols::FourState;
+use avc_store::json::Json;
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+use std::time::Instant;
+
+/// The convergence rule of the Figure 3 workload.
+const RULE: ConvergenceRule = ConvergenceRule::OutputConsensus;
+/// Seed shared by the legacy and chunked halves of each repetition.
+const SEED: u64 = 42;
+/// The tolerated speedup regression factor for `--check`.
+const TOLERANCE: f64 = 1.25;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Engine {
+    Agent,
+    Count,
+    Jump,
+    Adaptive,
+    TauLeap,
+}
+
+impl Engine {
+    const ALL: [Engine; 5] = [
+        Engine::Agent,
+        Engine::Count,
+        Engine::Jump,
+        Engine::Adaptive,
+        Engine::TauLeap,
+    ];
+
+    fn name(self) -> &'static str {
+        match self {
+            Engine::Agent => "agent",
+            Engine::Count => "count",
+            Engine::Jump => "jump",
+            Engine::Adaptive => "adaptive",
+            Engine::TauLeap => "tau_leap",
+        }
+    }
+
+    /// Step budget keeping each measurement bounded; the per-agent engine
+    /// pays every scheduler step, so it gets a tighter cap at scale.
+    fn max_steps(self, n: u64) -> u64 {
+        match self {
+            Engine::Agent if n > 10_000 => 2_000_000,
+            _ if n > 10_000 => 20_000_000,
+            _ => 4_000_000,
+        }
+    }
+}
+
+/// One measured (engine, n) cell.
+struct Entry {
+    engine: &'static str,
+    n: u64,
+    max_steps: u64,
+    steps: u64,
+    legacy_ms: f64,
+    chunked_ms: f64,
+}
+
+impl Entry {
+    fn speedup(&self) -> f64 {
+        self.legacy_ms / self.chunked_ms
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("engine", Json::str(self.engine)),
+            ("n", Json::Int(self.n as i64)),
+            ("max_steps", Json::Int(self.max_steps as i64)),
+            ("steps", Json::Int(self.steps as i64)),
+            ("legacy_ms", Json::str(format!("{:.3}", self.legacy_ms))),
+            ("chunked_ms", Json::str(format!("{:.3}", self.chunked_ms))),
+            ("speedup", Json::str(format!("{:.3}", self.speedup()))),
+        ])
+    }
+}
+
+fn build(engine: Engine, n: u64) -> Box<dyn Simulator> {
+    let inst = MajorityInstance::one_extra(n);
+    let config = Config::from_input(&FourState, inst.a(), inst.b());
+    match engine {
+        Engine::Agent => Box::new(AgentSim::on_clique(FourState, config)),
+        Engine::Count => Box::new(CountSim::new(FourState, config)),
+        Engine::Jump => Box::new(JumpSim::new(FourState, config)),
+        Engine::Adaptive => Box::new(AdaptiveSim::new(FourState, config)),
+        Engine::TauLeap => Box::new(TauLeapSim::new(FourState, config)),
+    }
+}
+
+/// Runs the legacy per-step loop: dyn-dispatched `advance` through a
+/// `&mut dyn RngCore`, exactly the shape of the pre-driver harness.
+fn run_legacy(engine: Engine, n: u64, max_steps: u64) -> (f64, u64, u64) {
+    let mut sim = build(engine, n);
+    let mut rng = SmallRng::seed_from_u64(SEED);
+    let stop = StopCondition::for_rule(RULE, sim.population()).with_max_steps(max_steps);
+    let started = Instant::now();
+    let _ = advance_upto_step_by_step(sim.as_mut(), &mut rng as &mut dyn RngCore, stop);
+    let elapsed = started.elapsed().as_secs_f64() * 1e3;
+    (elapsed, sim.steps(), sim.count_a())
+}
+
+/// Runs the chunked driver loop, monomorphized per engine over `SmallRng`.
+fn run_chunked(engine: Engine, n: u64, max_steps: u64) -> (f64, u64, u64) {
+    let inst = MajorityInstance::one_extra(n);
+    let config = Config::from_input(&FourState, inst.a(), inst.b());
+    let driver = Driver::new(RULE).with_max_steps(max_steps);
+    let mut rng = SmallRng::seed_from_u64(SEED);
+    macro_rules! timed {
+        ($sim:expr) => {{
+            let mut sim = $sim;
+            let started = Instant::now();
+            let _ = driver.run(&mut sim, &mut rng, &mut NullObserver);
+            let elapsed = started.elapsed().as_secs_f64() * 1e3;
+            (elapsed, sim.steps(), sim.count_a())
+        }};
+    }
+    match engine {
+        Engine::Agent => timed!(AgentSim::on_clique(FourState, config)),
+        Engine::Count => timed!(CountSim::new(FourState, config)),
+        Engine::Jump => timed!(JumpSim::new(FourState, config)),
+        Engine::Adaptive => timed!(AdaptiveSim::new(FourState, config)),
+        Engine::TauLeap => timed!(TauLeapSim::new(FourState, config)),
+    }
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+fn measure(engine: Engine, n: u64, reps: usize) -> Entry {
+    let max_steps = engine.max_steps(n);
+    let mut legacy = Vec::with_capacity(reps);
+    let mut chunked = Vec::with_capacity(reps);
+    let mut steps = 0;
+    for _ in 0..reps {
+        let (lt, ls, la) = run_legacy(engine, n, max_steps);
+        let (ct, cs, ca) = run_chunked(engine, n, max_steps);
+        assert_eq!(
+            (ls, la),
+            (cs, ca),
+            "{}/{n}: legacy and chunked runs diverged",
+            engine.name()
+        );
+        legacy.push(lt);
+        chunked.push(ct);
+        steps = cs;
+    }
+    Entry {
+        engine: engine.name(),
+        n,
+        max_steps,
+        steps,
+        legacy_ms: median(&mut legacy),
+        chunked_ms: median(&mut chunked),
+    }
+}
+
+/// Compares freshly measured speedups to a committed report: every engine
+/// present in both must retain at least `committed / TOLERANCE`.
+fn check(entries: &[Entry], committed_path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(committed_path)
+        .map_err(|e| format!("cannot read {committed_path}: {e}"))?;
+    let committed = Json::parse(&text)?;
+    let committed = committed
+        .get("entries")
+        .and_then(Json::as_arr)
+        .ok_or("committed report has no entries array")?;
+    let mut compared = 0;
+    for old in committed {
+        let (engine, n) = (
+            old.get("engine").and_then(Json::as_str).unwrap_or(""),
+            old.get("n").and_then(Json::as_int).unwrap_or(0),
+        );
+        let Some(new) = entries
+            .iter()
+            .find(|e| e.engine == engine && e.n as i64 == n)
+        else {
+            continue; // quick mode measures a subset of the committed grid
+        };
+        let old_speedup: f64 = old
+            .get("speedup")
+            .and_then(Json::as_str)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| format!("{engine}/{n}: malformed committed speedup"))?;
+        let floor = old_speedup / TOLERANCE;
+        println!(
+            "check {engine}/{n}: committed {old_speedup:.3}x, floor {floor:.3}x, current {:.3}x",
+            new.speedup()
+        );
+        if new.speedup() < floor {
+            return Err(format!(
+                "{engine}/{n}: speedup regressed to {:.3}x (committed {old_speedup:.3}x, floor {floor:.3}x)",
+                new.speedup()
+            ));
+        }
+        compared += 1;
+    }
+    if compared == 0 {
+        return Err("no overlapping entries between current and committed reports".into());
+    }
+    println!("perf check passed ({compared} cells within {TOLERANCE}x of committed)");
+    Ok(())
+}
+
+fn main() {
+    let args = avc_analysis::cli::Args::from_env();
+    let quick = args.flag("quick");
+    let (ns, reps): (&[u64], usize) = if quick {
+        (&[1_001], 3)
+    } else {
+        (&[1_001, 100_001], 5)
+    };
+
+    let mut entries = Vec::new();
+    for &n in ns {
+        for engine in Engine::ALL {
+            let entry = measure(engine, n, reps);
+            println!(
+                "{:>8} n={:<7} steps={:<9} legacy {:>9.3} ms  chunked {:>9.3} ms  speedup {:.3}x",
+                entry.engine,
+                entry.n,
+                entry.steps,
+                entry.legacy_ms,
+                entry.chunked_ms,
+                entry.speedup()
+            );
+            entries.push(entry);
+        }
+    }
+
+    let report = Json::obj([
+        ("bench", Json::str("engine_bench")),
+        ("mode", Json::str(if quick { "quick" } else { "full" })),
+        ("protocol", Json::str("four_state")),
+        ("rule", Json::str("output_consensus")),
+        ("seed", Json::Int(SEED as i64)),
+        (
+            "entries",
+            Json::Arr(entries.iter().map(Entry::to_json).collect()),
+        ),
+    ]);
+
+    if let Some(path) = args.get("out") {
+        std::fs::write(path, report.to_string_pretty() + "\n").expect("write report");
+        println!("[written to {path}]");
+    }
+
+    if let Some(path) = args.get("check") {
+        if let Err(message) = check(&entries, path) {
+            eprintln!("perf check FAILED: {message}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -2,7 +2,9 @@
 //! silent steps dominate.
 
 use crate::config::Config;
-use crate::engine::{CountSim, JumpSim, Simulator};
+use crate::engine::{
+    AdvanceReport, ChunkedSimulator, CountSim, JumpSim, Simulator, StopCondition, StopReason,
+};
 use crate::protocol::{Opinion, Protocol, StateId};
 use rand::RngCore;
 
@@ -150,6 +152,49 @@ impl<P: Protocol + Clone> Simulator for AdaptiveSim<P> {
         };
         self.maybe_switch();
         advanced
+    }
+
+    fn advance_upto(&mut self, rng: &mut dyn RngCore, stop: StopCondition) -> AdvanceReport {
+        self.advance_chunk(rng, stop)
+    }
+}
+
+impl<P: Protocol + Clone> ChunkedSimulator for AdaptiveSim<P> {
+    fn advance_chunk<R: RngCore + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        stop: StopCondition,
+    ) -> AdvanceReport {
+        let (steps0, events0) = (self.steps(), self.events());
+        // Dense chunks are additionally bounded by the next window boundary
+        // so the productive-fraction estimate is evaluated at exactly the
+        // steps the per-step path would evaluate it (the handoff consumes
+        // no randomness, so the trajectory is unaffected either way).
+        let reason = loop {
+            let window_end = self.window_start_steps.saturating_add(WINDOW);
+            let reason = match &mut self.inner {
+                Inner::Dense(sim) => {
+                    let budget = stop.max_steps.min(window_end);
+                    sim.advance_chunk(rng, stop.with_max_steps(budget)).reason
+                }
+                Inner::Sparse(sim) => break sim.advance_chunk(rng, stop).reason,
+                Inner::Switching => unreachable!("observed mid-handoff"),
+            };
+            match reason {
+                StopReason::StepBudget => {
+                    self.maybe_switch();
+                    if self.steps() >= stop.max_steps {
+                        break StopReason::StepBudget;
+                    }
+                }
+                other => break other,
+            }
+        };
+        AdvanceReport {
+            steps: self.steps() - steps0,
+            events: self.events() - events0,
+            reason,
+        }
     }
 }
 

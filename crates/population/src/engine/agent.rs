@@ -1,7 +1,7 @@
 //! Per-agent simulation engine.
 
 use crate::config::Config;
-use crate::engine::Simulator;
+use crate::engine::{AdvanceReport, ChunkedSimulator, Simulator, StopCondition, StopReason};
 use crate::graph::Graph;
 use crate::protocol::{Opinion, Protocol, StateId};
 use rand::RngCore;
@@ -158,6 +158,25 @@ impl<P: Protocol> AgentSim<P> {
             self.unanimous = None;
         }
     }
+
+    /// One scheduler step, generic over the RNG so chunked loops inline the
+    /// pair sampling end to end.
+    #[inline]
+    fn step<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        let (u, v) = self.graph.sample_pair(rng);
+        self.steps += 1;
+        let (su, sv) = (self.states[u], self.states[v]);
+        let (nu, nv) = self.protocol.transition(su, sv);
+        debug_assert!(
+            nu < self.protocol.num_states() && nv < self.protocol.num_states(),
+            "transition left the state space"
+        );
+        if !((nu == su && nv == sv) || (nu == sv && nv == su)) {
+            self.events += 1;
+        }
+        self.set_state(u, nu);
+        self.set_state(v, nv);
+    }
 }
 
 impl<P: Protocol> Simulator for AgentSim<P> {
@@ -200,20 +219,38 @@ impl<P: Protocol> Simulator for AgentSim<P> {
     }
 
     fn advance(&mut self, rng: &mut dyn RngCore) -> u64 {
-        let (u, v) = self.graph.sample_pair(rng);
-        self.steps += 1;
-        let (su, sv) = (self.states[u], self.states[v]);
-        let (nu, nv) = self.protocol.transition(su, sv);
-        debug_assert!(
-            nu < self.protocol.num_states() && nv < self.protocol.num_states(),
-            "transition left the state space"
-        );
-        if !((nu == su && nv == sv) || (nu == sv && nv == su)) {
-            self.events += 1;
-        }
-        self.set_state(u, nu);
-        self.set_state(v, nv);
+        self.step(rng);
         1
+    }
+
+    fn advance_upto(&mut self, rng: &mut dyn RngCore, stop: StopCondition) -> AdvanceReport {
+        self.advance_chunk(rng, stop)
+    }
+}
+
+impl<P: Protocol> ChunkedSimulator for AgentSim<P> {
+    fn advance_chunk<R: RngCore + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        stop: StopCondition,
+    ) -> AdvanceReport {
+        let (steps0, events0) = (self.steps, self.events);
+        // Like the real scheduler, the engine keeps drawing pairs on a
+        // silent configuration, so the loop never reports `Silent`.
+        let reason = loop {
+            if stop.predicate_hit(self.count_a, self.unanimous.is_some()) {
+                break StopReason::Predicate;
+            }
+            if self.steps >= stop.max_steps {
+                break StopReason::StepBudget;
+            }
+            self.step(rng);
+        };
+        AdvanceReport {
+            steps: self.steps - steps0,
+            events: self.events - events0,
+            reason,
+        }
     }
 }
 

@@ -1,7 +1,7 @@
 //! Species-count simulation engine for the complete graph.
 
 use crate::config::Config;
-use crate::engine::Simulator;
+use crate::engine::{AdvanceReport, ChunkedSimulator, Simulator, StopCondition, StopReason};
 use crate::protocol::{Opinion, Protocol, StateId};
 use crate::sampler::FenwickSampler;
 use rand::{Rng, RngCore};
@@ -105,6 +105,45 @@ impl<P: Protocol> CountSim<P> {
             self.unanimous = Some(state);
         }
     }
+
+    /// One scheduler step, generic over the RNG so chunked loops inline the
+    /// draws end to end.
+    #[inline]
+    fn step<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        self.steps += 1;
+        let total = self.sampler.total();
+        // First agent by species, proportional to counts.
+        let i = self.sampler.select(rng.gen_range(0..total)) as StateId;
+        // Second agent among the remaining n−1, proportional to counts with
+        // one agent of species i removed. Instead of materialising that
+        // distribution in the tree (two `add` walks per step), invert its
+        // CDF directly: removing one agent of species i shifts every prefix
+        // sum at or past i down by one, so the inverse at t is `select(t)`
+        // when that lands before i and `select(t+1)` otherwise — the same
+        // species from the same single draw.
+        let t = rng.gen_range(0..total - 1);
+        let s0 = self.sampler.select(t) as StateId;
+        let j = if s0 < i {
+            s0
+        } else {
+            self.sampler.select(t + 1) as StateId
+        };
+
+        let (x, y) = self.protocol.transition(i, j);
+        debug_assert!(
+            x < self.protocol.num_states() && y < self.protocol.num_states(),
+            "transition left the state space"
+        );
+        if (x == i && y == j) || (x == j && y == i) {
+            return; // configuration unchanged
+        }
+        self.events += 1;
+        self.unanimous = None;
+        self.bump(i, -1);
+        self.bump(j, -1);
+        self.bump(x, 1);
+        self.bump(y, 1);
+    }
 }
 
 impl<P: Protocol> Simulator for CountSim<P> {
@@ -141,30 +180,39 @@ impl<P: Protocol> Simulator for CountSim<P> {
     }
 
     fn advance(&mut self, rng: &mut dyn RngCore) -> u64 {
-        self.steps += 1;
-        // First agent by species, proportional to counts.
-        let i = self.sampler.select(rng.gen_range(0..self.sampler.total())) as StateId;
-        // Second agent among the remaining n−1, proportional to counts with
-        // one agent of species i removed.
-        self.sampler.add(i as usize, -1);
-        let j = self.sampler.select(rng.gen_range(0..self.sampler.total())) as StateId;
-        self.sampler.add(i as usize, 1);
-
-        let (x, y) = self.protocol.transition(i, j);
-        debug_assert!(
-            x < self.protocol.num_states() && y < self.protocol.num_states(),
-            "transition left the state space"
-        );
-        if (x == i && y == j) || (x == j && y == i) {
-            return 1; // configuration unchanged
-        }
-        self.events += 1;
-        self.unanimous = None;
-        self.bump(i, -1);
-        self.bump(j, -1);
-        self.bump(x, 1);
-        self.bump(y, 1);
+        self.step(rng);
         1
+    }
+
+    fn advance_upto(&mut self, rng: &mut dyn RngCore, stop: StopCondition) -> AdvanceReport {
+        self.advance_chunk(rng, stop)
+    }
+}
+
+impl<P: Protocol> ChunkedSimulator for CountSim<P> {
+    fn advance_chunk<R: RngCore + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        stop: StopCondition,
+    ) -> AdvanceReport {
+        let (steps0, events0) = (self.steps, self.events);
+        // Every step advances exactly one scheduler step, so the loop can
+        // never report `Silent` — a silent configuration just keeps taking
+        // (explicit) silent steps until the budget, like the scheduler does.
+        let reason = loop {
+            if stop.predicate_hit(self.count_a, self.unanimous.is_some()) {
+                break StopReason::Predicate;
+            }
+            if self.steps >= stop.max_steps {
+                break StopReason::StepBudget;
+            }
+            self.step(rng);
+        };
+        AdvanceReport {
+            steps: self.steps - steps0,
+            events: self.events - events0,
+            reason,
+        }
     }
 }
 

@@ -1,7 +1,7 @@
 //! Jump-chain simulation engine with null-step skipping.
 
 use crate::config::Config;
-use crate::engine::Simulator;
+use crate::engine::{AdvanceReport, ChunkedSimulator, Simulator, StopCondition, StopReason};
 use crate::protocol::{Opinion, Protocol, StateId};
 use rand::{Rng, RngCore};
 use rand_distr::{Distribution, Geometric};
@@ -201,7 +201,11 @@ impl<P: Protocol> JumpSim<P> {
 
     /// Samples a productive ordered species pair given total productive
     /// weight `w_prod > 0`.
-    fn sample_productive(&mut self, rng: &mut dyn RngCore, w_prod: u64) -> (StateId, StateId) {
+    fn sample_productive<R: RngCore + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        w_prod: u64,
+    ) -> (StateId, StateId) {
         let mut r = rng.gen_range(0..w_prod);
         let mut chosen_i = None;
         for idx in 0..self.live.len() {
@@ -264,42 +268,12 @@ impl<P: Protocol> JumpSim<P> {
             false
         }
     }
-}
 
-impl<P: Protocol> Simulator for JumpSim<P> {
-    fn population(&self) -> u64 {
-        self.n
-    }
-
-    fn steps(&self) -> u64 {
-        self.steps
-    }
-
-    fn events(&self) -> u64 {
-        self.events
-    }
-
-    fn counts(&self) -> &[u64] {
-        &self.counts
-    }
-
-    fn count_a(&self) -> u64 {
-        self.count_a
-    }
-
-    fn unanimous_state(&self) -> Option<StateId> {
-        self.unanimous
-    }
-
-    fn state_output(&self, state: StateId) -> Opinion {
-        self.protocol.output(state)
-    }
-
-    fn config_is_silent(&self) -> bool {
-        self.null_weight() == self.n * (self.n - 1)
-    }
-
-    fn advance(&mut self, rng: &mut dyn RngCore) -> u64 {
+    /// One jump: skips the geometric run of silent steps and applies one
+    /// productive interaction. Returns steps advanced, `0` if silent.
+    /// Generic over the RNG so chunked loops inline the draws end to end.
+    #[inline]
+    fn step<R: RngCore + ?Sized>(&mut self, rng: &mut R) -> u64 {
         let w_total = self.n * (self.n - 1);
         let w_null = self.null_weight();
         debug_assert!(w_null <= w_total, "null weight exceeds total");
@@ -390,6 +364,79 @@ impl<P: Protocol> Simulator for JumpSim<P> {
         let advanced = skipped.saturating_add(1);
         self.steps = self.steps.saturating_add(advanced);
         advanced
+    }
+}
+
+impl<P: Protocol> Simulator for JumpSim<P> {
+    fn population(&self) -> u64 {
+        self.n
+    }
+
+    fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    fn events(&self) -> u64 {
+        self.events
+    }
+
+    fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    fn count_a(&self) -> u64 {
+        self.count_a
+    }
+
+    fn unanimous_state(&self) -> Option<StateId> {
+        self.unanimous
+    }
+
+    fn state_output(&self, state: StateId) -> Opinion {
+        self.protocol.output(state)
+    }
+
+    fn config_is_silent(&self) -> bool {
+        self.null_weight() == self.n * (self.n - 1)
+    }
+
+    fn advance(&mut self, rng: &mut dyn RngCore) -> u64 {
+        self.step(rng)
+    }
+
+    fn advance_upto(&mut self, rng: &mut dyn RngCore, stop: StopCondition) -> AdvanceReport {
+        self.advance_chunk(rng, stop)
+    }
+}
+
+impl<P: Protocol> ChunkedSimulator for JumpSim<P> {
+    fn advance_chunk<R: RngCore + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        stop: StopCondition,
+    ) -> AdvanceReport {
+        let (steps0, events0) = (self.steps, self.events);
+        // One jump lands exactly on a productive step, so `count_a` and
+        // unanimity change only at step boundaries the loop observes: the
+        // chunk stops at the exact step a predicate first holds. The step
+        // *budget* can be overshot by the final jump's skipped-silent-steps
+        // batch (checked before each jump, like the single-step path).
+        let reason = loop {
+            if stop.predicate_hit(self.count_a, self.unanimous.is_some()) {
+                break StopReason::Predicate;
+            }
+            if self.steps >= stop.max_steps {
+                break StopReason::StepBudget;
+            }
+            if self.step(rng) == 0 {
+                break StopReason::Silent;
+            }
+        };
+        AdvanceReport {
+            steps: self.steps - steps0,
+            events: self.events - events0,
+            reason,
+        }
     }
 }
 

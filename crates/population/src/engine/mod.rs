@@ -31,10 +31,196 @@ use crate::protocol::Opinion;
 use crate::spec::{ConvergenceRule, RunOutcome, Verdict};
 use rand::RngCore;
 
+/// Inline-checkable stopping rule for a chunked advance.
+///
+/// A chunk stops at the *first* step where any armed predicate holds
+/// (`reason = `[`StopReason::Predicate`]), or — predicates checked first —
+/// at the first step where `steps ≥ max_steps`
+/// (`reason = `[`StopReason::StepBudget`]). The predicates are the
+/// count-space projections of the [`ConvergenceRule`] variants
+/// (see [`StopCondition::for_rule`]):
+///
+/// * `a_le` / `a_ge` / `a_eq` — thresholds on `count_a` (agents whose
+///   output is [`Opinion::A`]);
+/// * `unanimity` — all agents share one *state* (not just one output).
+///
+/// Engines evaluate these inline in their monomorphized loops — no dyn
+/// dispatch, no RNG consumption — so stopping at the exact boundary step is
+/// free and trajectories are bit-identical to single-step driving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StopCondition {
+    /// Stop once `steps ≥ max_steps` (checked *after* the predicates, and
+    /// *before* each step — batching engines may still overshoot it within
+    /// one batch; see [`Simulator::advance_upto`]).
+    pub max_steps: u64,
+    /// Stop when `count_a ≤ a_le`.
+    pub a_le: Option<u64>,
+    /// Stop when `count_a ≥ a_ge`.
+    pub a_ge: Option<u64>,
+    /// Stop when `count_a == a_eq`.
+    pub a_eq: Option<u64>,
+    /// Stop when all agents share one state.
+    pub unanimity: bool,
+}
+
+impl Default for StopCondition {
+    fn default() -> StopCondition {
+        StopCondition {
+            max_steps: u64::MAX,
+            a_le: None,
+            a_ge: None,
+            a_eq: None,
+            unanimity: false,
+        }
+    }
+}
+
+impl StopCondition {
+    /// A condition with no predicates and no step budget (never stops).
+    #[must_use]
+    pub fn never() -> StopCondition {
+        StopCondition::default()
+    }
+
+    /// Replaces the step budget.
+    #[must_use]
+    pub fn with_max_steps(mut self, max_steps: u64) -> StopCondition {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Arms the `count_a ≤ lo` predicate.
+    #[must_use]
+    pub fn when_a_at_most(mut self, lo: u64) -> StopCondition {
+        self.a_le = Some(lo);
+        self
+    }
+
+    /// Arms the `count_a ≥ hi` predicate.
+    #[must_use]
+    pub fn when_a_at_least(mut self, hi: u64) -> StopCondition {
+        self.a_ge = Some(hi);
+        self
+    }
+
+    /// Arms the `count_a == c` predicate.
+    #[must_use]
+    pub fn when_a_exactly(mut self, c: u64) -> StopCondition {
+        self.a_eq = Some(c);
+        self
+    }
+
+    /// Arms the state-unanimity predicate.
+    #[must_use]
+    pub fn when_unanimous(mut self) -> StopCondition {
+        self.unanimity = true;
+        self
+    }
+
+    /// The predicates under which `rule` first holds, for population `n`
+    /// (no step budget).
+    ///
+    /// [`ConvergenceRule::Silence`] has no count-space predicate — the
+    /// driver checks `config_is_silent` at its own cadence instead.
+    /// An unsatisfiable [`ConvergenceRule::OutputCount`] (more agents
+    /// demanded than exist) arms nothing.
+    #[must_use]
+    pub fn for_rule(rule: ConvergenceRule, n: u64) -> StopCondition {
+        let cond = StopCondition::never();
+        match rule {
+            ConvergenceRule::OutputConsensus => cond.when_a_at_most(0).when_a_at_least(n),
+            ConvergenceRule::StateConsensus => cond.when_unanimous(),
+            ConvergenceRule::Silence => cond,
+            ConvergenceRule::OutputCount { opinion, count } => {
+                let target = match opinion {
+                    Opinion::A => Some(count),
+                    Opinion::B => n.checked_sub(count),
+                };
+                match target {
+                    Some(c) => cond.when_a_exactly(c),
+                    None => cond,
+                }
+            }
+        }
+    }
+
+    /// Whether any armed predicate holds for the given configuration
+    /// summary. Cheap enough for per-step use in tight loops.
+    #[inline]
+    #[must_use]
+    pub fn predicate_hit(&self, count_a: u64, unanimous: bool) -> bool {
+        (self.unanimity && unanimous)
+            || self.a_le.is_some_and(|lo| count_a <= lo)
+            || self.a_ge.is_some_and(|hi| count_a >= hi)
+            || self.a_eq.is_some_and(|c| count_a == c)
+    }
+}
+
+/// Why a chunked advance returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// A [`StopCondition`] predicate holds (checked before the budget).
+    Predicate,
+    /// `steps ≥ max_steps` (batching engines may have overshot the budget
+    /// within their final batch; the report still counts true steps).
+    StepBudget,
+    /// The configuration is silent: no interaction can change it.
+    Silent,
+}
+
+/// What one [`Simulator::advance_upto`] call did.
+///
+/// Both counters are **deltas** for this call, not totals; totals stay
+/// available via [`Simulator::steps`] / [`Simulator::events`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdvanceReport {
+    /// Scheduler steps advanced by this call (including skipped silent
+    /// steps).
+    pub steps: u64,
+    /// Productive interactions executed by this call.
+    pub events: u64,
+    /// Why the chunk stopped.
+    pub reason: StopReason,
+}
+
+/// Reference implementation of [`Simulator::advance_upto`]: the exact
+/// check-then-step order every chunked loop must reproduce, driven one
+/// `advance` at a time.
+///
+/// Kept public so tests can pin chunked implementations against it; engines
+/// override `advance_upto` with monomorphized loops that consume the RNG
+/// identically.
+pub fn advance_upto_step_by_step<S: Simulator + ?Sized>(
+    sim: &mut S,
+    rng: &mut dyn RngCore,
+    stop: StopCondition,
+) -> AdvanceReport {
+    let (steps0, events0) = (sim.steps(), sim.events());
+    let reason = loop {
+        if stop.predicate_hit(sim.count_a(), sim.unanimous_state().is_some()) {
+            break StopReason::Predicate;
+        }
+        if sim.steps() >= stop.max_steps {
+            break StopReason::StepBudget;
+        }
+        if sim.advance(rng) == 0 {
+            break StopReason::Silent;
+        }
+    };
+    AdvanceReport {
+        steps: sim.steps() - steps0,
+        events: sim.events() - events0,
+        reason,
+    }
+}
+
 /// A population-protocol simulation in progress.
 ///
 /// The trait is object safe so heterogeneous engines can be driven by the
 /// same experiment harness; randomness is injected as `&mut dyn RngCore`.
+/// Hot paths that know the concrete engine and RNG types should go through
+/// [`ChunkedSimulator`] (via [`crate::driver::Driver::run`]) instead, which
+/// monomorphizes the inner loop end to end.
 pub trait Simulator {
     /// Number of agents `n`.
     fn population(&self) -> u64;
@@ -74,74 +260,39 @@ pub trait Simulator {
     /// silent (terminal) and the simulation cannot progress.
     fn advance(&mut self, rng: &mut dyn RngCore) -> u64;
 
+    /// Advances repeatedly until `stop` says to stop, checking the
+    /// predicates *before* the budget *before* each step.
+    ///
+    /// Consumes the RNG identically to driving [`Simulator::advance`] one
+    /// step at a time (the default does exactly that; engines override it
+    /// with a loop monomorphized via [`ChunkedSimulator::advance_chunk`]),
+    /// so the chunk boundary never perturbs the trajectory and the run
+    /// stops at the exact step a predicate first holds.
+    ///
+    /// Engines that batch steps ([`JumpSim`], [`TauLeapSim`]) may overshoot
+    /// `stop.max_steps` within their final batch; the report counts the
+    /// true steps taken either way.
+    fn advance_upto(&mut self, rng: &mut dyn RngCore, stop: StopCondition) -> AdvanceReport {
+        advance_upto_step_by_step(self, rng, stop)
+    }
+
     /// Runs until the convergence rule holds or `max_steps` is exceeded.
     ///
     /// Note that engines that skip silent steps in batches may overshoot
     /// `max_steps`; the reported [`RunOutcome::steps`] is always the true
     /// step count at the moment the run stopped.
+    ///
+    /// This is the dyn-dispatch entry point; it delegates to
+    /// [`crate::driver::Driver`], which owns the rule-evaluation loop.
     fn run_to_consensus_with(
         &mut self,
         rng: &mut dyn RngCore,
         max_steps: u64,
         rule: ConvergenceRule,
     ) -> RunOutcome {
-        let n = self.population();
-        // Cadence for the (expensive) explicit silence check.
-        let mut next_silence_check = self.steps();
-        let verdict = loop {
-            match rule {
-                ConvergenceRule::OutputConsensus => {
-                    let a = self.count_a();
-                    if a == n {
-                        break Verdict::Consensus(Opinion::A);
-                    }
-                    if a == 0 {
-                        break Verdict::Consensus(Opinion::B);
-                    }
-                }
-                ConvergenceRule::StateConsensus => {
-                    if let Some(state) = self.unanimous_state() {
-                        break Verdict::Consensus(self.state_output(state));
-                    }
-                }
-                ConvergenceRule::Silence => {
-                    if self.steps() >= next_silence_check {
-                        if self.config_is_silent() {
-                            break silent_verdict(self, n);
-                        }
-                        next_silence_check = self.steps().saturating_add(n);
-                    }
-                }
-                ConvergenceRule::OutputCount { opinion, count } => {
-                    let with_opinion = match opinion {
-                        Opinion::A => self.count_a(),
-                        Opinion::B => n - self.count_a(),
-                    };
-                    if with_opinion == count {
-                        break Verdict::Consensus(opinion);
-                    }
-                }
-            }
-            if self.steps() >= max_steps {
-                break Verdict::MaxSteps;
-            }
-            if self.advance(rng) == 0 {
-                // Terminal (silent) configuration.
-                break match rule {
-                    ConvergenceRule::Silence => silent_verdict(self, n),
-                    _ => {
-                        // The rule was checked above and did not hold, and it
-                        // never will: the configuration can no longer change.
-                        Verdict::Stuck
-                    }
-                };
-            }
-        };
-        RunOutcome {
-            steps: self.steps(),
-            parallel_time: crate::time::parallel_time(self.steps(), n),
-            verdict,
-        }
+        crate::driver::Driver::new(rule)
+            .with_max_steps(max_steps)
+            .run_dyn(self, rng, &mut crate::driver::NullObserver)
     }
 
     /// Runs under [`ConvergenceRule::OutputConsensus`] (the paper's
@@ -151,7 +302,29 @@ pub trait Simulator {
     }
 }
 
-fn silent_verdict<S: Simulator + ?Sized>(sim: &S, n: u64) -> Verdict {
+/// A [`Simulator`] whose chunked advance is generic over the RNG type.
+///
+/// This is the monomorphized fast path: with a concrete `R` the per-step
+/// RNG draws, predicate checks, and engine bookkeeping all inline into one
+/// tight loop with zero dynamic dispatch. The trait is deliberately *not*
+/// object safe — callers that only have a `dyn Simulator` use
+/// [`Simulator::advance_upto`] instead, which every engine overrides to
+/// forward here (with `R = dyn RngCore`, still hoisting the per-step
+/// virtual `advance` call out of the loop).
+pub trait ChunkedSimulator: Simulator {
+    /// As [`Simulator::advance_upto`], monomorphized over the RNG.
+    ///
+    /// Implementations must reproduce the exact check-then-step order of
+    /// [`advance_upto_step_by_step`] and consume the RNG identically
+    /// (pinned by `tests/advance_upto_equivalence.rs`).
+    fn advance_chunk<R: RngCore + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        stop: StopCondition,
+    ) -> AdvanceReport;
+}
+
+pub(crate) fn silent_verdict<S: Simulator + ?Sized>(sim: &S, n: u64) -> Verdict {
     let a = sim.count_a();
     if a == n {
         Verdict::Consensus(Opinion::A)

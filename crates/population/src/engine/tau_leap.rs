@@ -17,7 +17,7 @@
 //! verification tools) uses the exact engines.
 
 use crate::config::Config;
-use crate::engine::Simulator;
+use crate::engine::{AdvanceReport, ChunkedSimulator, Simulator, StopCondition, StopReason};
 use crate::protocol::{Opinion, Protocol, StateId};
 use rand::{Rng, RngCore};
 use rand_distr::{Distribution, Poisson};
@@ -240,42 +240,12 @@ impl<P: Protocol> TauLeapSim<P> {
             }
         }
     }
-}
 
-impl<P: Protocol> Simulator for TauLeapSim<P> {
-    fn population(&self) -> u64 {
-        self.n
-    }
-
-    fn steps(&self) -> u64 {
-        self.steps
-    }
-
-    fn events(&self) -> u64 {
-        self.events
-    }
-
-    fn counts(&self) -> &[u64] {
-        &self.counts
-    }
-
-    fn count_a(&self) -> u64 {
-        self.count_a
-    }
-
-    fn unanimous_state(&self) -> Option<StateId> {
-        self.unanimous
-    }
-
-    fn state_output(&self, state: StateId) -> Opinion {
-        self.protocol.output(state)
-    }
-
-    fn config_is_silent(&self) -> bool {
-        crate::engine::brute_force_silent(&self.protocol, &self.counts)
-    }
-
-    fn advance(&mut self, rng: &mut dyn RngCore) -> u64 {
+    /// One leap (or exact-step fallback). Returns steps advanced, `0` if
+    /// silent. Generic over the RNG so chunked loops inline the Poisson
+    /// draws end to end.
+    #[inline]
+    fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> u64 {
         let channels = self.channels();
         if channels.is_empty() {
             return 0;
@@ -331,6 +301,79 @@ impl<P: Protocol> Simulator for TauLeapSim<P> {
             return advanced;
         }
         self.exact_step(rng, &channels)
+    }
+}
+
+impl<P: Protocol> Simulator for TauLeapSim<P> {
+    fn population(&self) -> u64 {
+        self.n
+    }
+
+    fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    fn events(&self) -> u64 {
+        self.events
+    }
+
+    fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    fn count_a(&self) -> u64 {
+        self.count_a
+    }
+
+    fn unanimous_state(&self) -> Option<StateId> {
+        self.unanimous
+    }
+
+    fn state_output(&self, state: StateId) -> Opinion {
+        self.protocol.output(state)
+    }
+
+    fn config_is_silent(&self) -> bool {
+        crate::engine::brute_force_silent(&self.protocol, &self.counts)
+    }
+
+    fn advance(&mut self, rng: &mut dyn RngCore) -> u64 {
+        self.step(rng)
+    }
+
+    fn advance_upto(&mut self, rng: &mut dyn RngCore, stop: StopCondition) -> AdvanceReport {
+        self.advance_chunk(rng, stop)
+    }
+}
+
+impl<P: Protocol> ChunkedSimulator for TauLeapSim<P> {
+    fn advance_chunk<R: RngCore + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        stop: StopCondition,
+    ) -> AdvanceReport {
+        let (steps0, events0) = (self.steps, self.events);
+        // Configuration state is only observable at leap boundaries, so
+        // predicates resolve at the first boundary where they hold; both
+        // the budget and (because whole leaps apply at once) predicate
+        // crossings can land past their exact step — inherent to the
+        // engine's approximation, not to chunking.
+        let reason = loop {
+            if stop.predicate_hit(self.count_a, self.unanimous.is_some()) {
+                break StopReason::Predicate;
+            }
+            if self.steps >= stop.max_steps {
+                break StopReason::StepBudget;
+            }
+            if self.step(rng) == 0 {
+                break StopReason::Silent;
+            }
+        };
+        AdvanceReport {
+            steps: self.steps - steps0,
+            events: self.events - events0,
+            reason,
+        }
     }
 }
 

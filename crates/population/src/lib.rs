@@ -65,6 +65,7 @@
 
 pub mod cached;
 pub mod config;
+pub mod driver;
 pub mod engine;
 pub mod graph;
 pub mod protocol;

@@ -3,12 +3,12 @@
 //! The paper's analysis (§4) reasons about the *trajectory* of derived
 //! quantities — the maximum weight per sign, the number of strong /
 //! intermediate / weak nodes — not just the convergence time. This module
-//! drives any [`Simulator`] while sampling a user probe at a fixed step
+//! drives any [`ChunkedSimulator`] while sampling a user probe at a fixed step
 //! cadence, producing the data behind the dynamics experiments.
 
-use crate::engine::Simulator;
-use crate::protocol::Opinion;
-use crate::spec::{ConvergenceRule, RunOutcome, Verdict};
+use crate::driver::{Driver, DriverEvent, Observer, SimView};
+use crate::engine::{AdvanceReport, ChunkedSimulator};
+use crate::spec::{ConvergenceRule, RunOutcome};
 use rand::RngCore;
 
 /// One sampled point of a trajectory.
@@ -50,105 +50,101 @@ impl Trace {
     }
 }
 
+/// The recording [`Observer`]: samples the probe on the driver's cadence
+/// and always captures the terminal configuration exactly once.
+struct Recorder<'n, F> {
+    cadence: u64,
+    names: &'n [String],
+    probe: F,
+    samples: Vec<Sample>,
+    next_sample: u64,
+}
+
+impl<F: FnMut(&[u64]) -> Vec<f64>> Recorder<'_, F> {
+    fn take(&mut self, view: &SimView<'_>) {
+        let values = (self.probe)(view.counts);
+        assert_eq!(values.len(), self.names.len(), "probe arity mismatch");
+        self.samples.push(Sample {
+            steps: view.steps,
+            parallel_time: view.parallel_time(),
+            values,
+        });
+    }
+
+    fn take_if_due(&mut self, view: &SimView<'_>) {
+        if view.steps >= self.next_sample {
+            self.take(view);
+            self.next_sample = view.steps.saturating_add(self.cadence);
+        }
+    }
+}
+
+impl<F: FnMut(&[u64]) -> Vec<f64>> Observer for Recorder<'_, F> {
+    fn cadence(&self) -> Option<u64> {
+        Some(self.cadence)
+    }
+
+    fn on_chunk(&mut self, view: &SimView<'_>, _report: &AdvanceReport) {
+        self.take_if_due(view);
+    }
+
+    fn on_event(&mut self, view: &SimView<'_>, event: &DriverEvent) {
+        match event {
+            DriverEvent::Started => self.take_if_due(view),
+            // Always include the terminal configuration (deduplicated
+            // against a cadence sample landing on the same step).
+            DriverEvent::Finished(_) => {
+                if self.samples.last().map(|s| s.steps) != Some(view.steps) {
+                    self.take(view);
+                }
+            }
+        }
+    }
+}
+
 /// Drives `sim` to convergence under `rule`, sampling `probe(counts)` every
 /// `cadence` steps (and at step 0 and at the final configuration).
 ///
 /// The probe receives the species counts and returns one value per
-/// statistic named in `names`.
+/// statistic named in `names`. The stepping is owned by
+/// [`Driver`]; this function just plugs in a recording observer
+/// (with a per-step silence cadence, so [`ConvergenceRule::Silence`] is
+/// checked before every advance exactly as a sampled trace expects).
 ///
 /// # Panics
 ///
 /// Panics if `cadence` is zero or the probe returns a vector of the wrong
 /// length.
-pub fn record<S: Simulator + ?Sized>(
+pub fn record<S, R>(
     sim: &mut S,
-    rng: &mut dyn RngCore,
+    rng: &mut R,
     cadence: u64,
     max_steps: u64,
     rule: ConvergenceRule,
     names: Vec<String>,
-    mut probe: impl FnMut(&[u64]) -> Vec<f64>,
-) -> Trace {
+    probe: impl FnMut(&[u64]) -> Vec<f64>,
+) -> Trace
+where
+    S: ChunkedSimulator + ?Sized,
+    R: RngCore + ?Sized,
+{
     assert!(cadence > 0, "cadence must be positive");
-    let n = sim.population();
-    let mut samples = Vec::new();
-    let mut next_sample = sim.steps();
-
-    let mut take = |sim: &S, samples: &mut Vec<Sample>| {
-        let values = probe(sim.counts());
-        assert_eq!(values.len(), names.len(), "probe arity mismatch");
-        samples.push(Sample {
-            steps: sim.steps(),
-            parallel_time: sim.steps() as f64 / n as f64,
-            values,
-        });
+    let mut recorder = Recorder {
+        cadence,
+        names: &names,
+        probe,
+        samples: Vec::new(),
+        next_sample: sim.steps(),
     };
-
-    let verdict = loop {
-        if sim.steps() >= next_sample {
-            take(sim, &mut samples);
-            next_sample = sim.steps().saturating_add(cadence);
-        }
-        let converged = match rule {
-            ConvergenceRule::OutputConsensus => {
-                let a = sim.count_a();
-                if a == n {
-                    Some(Verdict::Consensus(Opinion::A))
-                } else if a == 0 {
-                    Some(Verdict::Consensus(Opinion::B))
-                } else {
-                    None
-                }
-            }
-            ConvergenceRule::StateConsensus => sim
-                .unanimous_state()
-                .map(|s| Verdict::Consensus(sim.state_output(s))),
-            ConvergenceRule::Silence => {
-                if sim.config_is_silent() {
-                    let a = sim.count_a();
-                    Some(if a == n {
-                        Verdict::Consensus(Opinion::A)
-                    } else if a == 0 {
-                        Verdict::Consensus(Opinion::B)
-                    } else {
-                        Verdict::Stuck
-                    })
-                } else {
-                    None
-                }
-            }
-            ConvergenceRule::OutputCount { opinion, count } => {
-                let with_opinion = match opinion {
-                    Opinion::A => sim.count_a(),
-                    Opinion::B => n - sim.count_a(),
-                };
-                (with_opinion == count).then_some(Verdict::Consensus(opinion))
-            }
-        };
-        if let Some(v) = converged {
-            break v;
-        }
-        if sim.steps() >= max_steps {
-            break Verdict::MaxSteps;
-        }
-        if sim.advance(rng) == 0 {
-            break Verdict::Stuck;
-        }
-    };
-
-    // Always include the terminal configuration.
-    if samples.last().map(|s| s.steps) != Some(sim.steps()) {
-        take(sim, &mut samples);
-    }
-
+    let outcome = Driver::new(rule)
+        .with_max_steps(max_steps)
+        .check_silence_every(1)
+        .run(sim, rng, &mut recorder);
+    let samples = recorder.samples;
     Trace {
         names,
         samples,
-        outcome: RunOutcome {
-            steps: sim.steps(),
-            parallel_time: sim.steps() as f64 / n as f64,
-            verdict,
-        },
+        outcome,
     }
 }
 
@@ -158,6 +154,8 @@ mod tests {
     use crate::config::Config;
     use crate::engine::CountSim;
     use crate::protocol::tests_support::Voter;
+    use crate::protocol::Opinion;
+    use crate::spec::Verdict;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
 

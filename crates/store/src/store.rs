@@ -2,7 +2,7 @@
 //!
 //! Layout: `<dir>/records.jsonl`, one record per line, append-ordered. Every
 //! mutation rewrites the whole file through
-//! [`atomic_write`](avc_analysis::io::atomic_write) (write temp sibling,
+//! [`avc_analysis::io::atomic_write`] (write temp sibling,
 //! fsync, rename), so a reader — including a resumed sweep after `kill -9` —
 //! always sees a complete prefix of history, never a torn line. A torn tail
 //! can still exist if the file was ever appended by external tooling; the

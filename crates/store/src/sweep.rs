@@ -10,6 +10,12 @@
 //! cells are seeded independently of each other and of the `Parallelism`
 //! setting, so the resumed sweep's export is byte-identical to an
 //! uninterrupted run's.
+//!
+//! Cell closures are clients of the chunked run driver
+//! (`avc_population::driver::Driver`) via the analysis harness: per-trial
+//! stepping is monomorphized inside each engine, and checkpoints see only
+//! the driver's `RunOutcome`s, which are chunking-invariant — the resume
+//! byte-identity above is unaffected by how the driver slices a run.
 
 use crate::manifest::Manifest;
 use crate::record::{CellResult, Record};
