@@ -17,6 +17,7 @@
 //! stream, so the trace is bit-identical to the old per-step recorder's.
 
 use crate::table::{fmt_num, Table};
+use avc_population::cached::Cached;
 use avc_population::engine::CountSim;
 use avc_population::trace::{record, Trace};
 use avc_population::{Config as PopulationConfig, ConvergenceRule, MajorityInstance, StateId};
@@ -113,18 +114,38 @@ pub fn run(config: &Config) -> Trace {
     let avc = Avc::new(config.m, config.d).expect("valid AVC parameters");
     let instance = MajorityInstance::with_margin(config.n, config.epsilon);
     let initial = PopulationConfig::from_input(&avc, instance.a(), instance.b());
-    let mut sim = CountSim::new(avc.clone(), initial);
     let mut rng = SmallRng::seed_from_u64(config.seed);
+    let probe_avc = avc.clone();
+    let columns: Vec<String> = STATISTICS.iter().map(|s| s.to_string()).collect();
 
-    record(
-        &mut sim,
-        &mut rng,
-        config.cadence,
-        u64::MAX,
-        ConvergenceRule::OutputConsensus,
-        STATISTICS.iter().map(|s| s.to_string()).collect(),
-        move |counts| probe(&avc, counts),
-    )
+    // Small-m instances run on the dense transition table; the wrap changes
+    // no RNG draws, so the trace is identical either way.
+    match Cached::try_new(avc) {
+        Ok(cached) => {
+            let mut sim = CountSim::new(cached, initial);
+            record(
+                &mut sim,
+                &mut rng,
+                config.cadence,
+                u64::MAX,
+                ConvergenceRule::OutputConsensus,
+                columns,
+                move |counts| probe(&probe_avc, counts),
+            )
+        }
+        Err(plain) => {
+            let mut sim = CountSim::new(plain, initial);
+            record(
+                &mut sim,
+                &mut rng,
+                config.cadence,
+                u64::MAX,
+                ConvergenceRule::OutputConsensus,
+                columns,
+                move |counts| probe(&probe_avc, counts),
+            )
+        }
+    }
 }
 
 /// Computes the [`STATISTICS`] vector from AVC species counts.

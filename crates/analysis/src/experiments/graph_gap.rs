@@ -9,6 +9,7 @@
 use crate::harness::{drive_to_consensus, run_indexed_with_stats, Parallelism, StatsCollector};
 use crate::stats::Summary;
 use crate::table::{fmt_num, Table};
+use avc_population::cached::Cached;
 use avc_population::engine::AgentSim;
 use avc_population::graph::Graph;
 use avc_population::rngutil::SeedSequence;
@@ -152,10 +153,13 @@ pub fn run_point(config: &Config, gi: usize, stats: &StatsCollector) -> Point {
     let gap = spectral_gap(&graph, PowerIterationOptions::default());
     let topology_seeds = seeds.child(gi as u64);
     let graph_ref = &graph;
+    // One shared transition table for every trial of this topology.
+    let protocol = Cached::new(FourState);
+    let protocol_ref = &protocol;
     let (outcomes, batch) = run_indexed_with_stats(config.runs, config.parallelism, |trial| {
         let mut rng = topology_seeds.rng_for(trial);
         let initial = PopulationConfig::from_input(&FourState, inst.a(), inst.b());
-        let mut sim = AgentSim::new(FourState, initial, graph_ref.clone());
+        let mut sim = AgentSim::new(protocol_ref, initial, graph_ref.clone());
         let out = drive_to_consensus(
             &mut sim,
             ConvergenceRule::OutputConsensus,

@@ -12,6 +12,7 @@
 //! scheduling**. `tests/parallel_determinism.rs` enforces this.
 
 use crate::stats::{fraction, Summary};
+use avc_population::cached::Cached;
 use avc_population::driver::{Driver, NullObserver, Observer};
 use avc_population::engine::{
     AdaptiveSim, AgentSim, ChunkedSimulator, CountSim, JumpSim, TauLeapSim,
@@ -480,7 +481,11 @@ impl TrialResults {
 ///
 /// Goes through [`Driver::run`] with the concrete `SmallRng`, so every
 /// engine executes its fully monomorphized chunk loop — the trial hot path
-/// has no per-step dynamic dispatch.
+/// has no per-step dynamic dispatch. Protocols whose state space fits under
+/// [`Cached::MAX_TABLE_ENTRIES`](avc_population::cached::MAX_TABLE_ENTRIES)
+/// are wrapped in a [`Cached`] dense transition table before the engine is
+/// built; larger ones keep the arithmetic path. The wrap changes no RNG
+/// draws and no results — only per-step cost.
 pub fn run_one<P: Protocol + Clone>(
     protocol: &P,
     config: Config,
@@ -510,27 +515,46 @@ pub fn run_one_observed<P: Protocol + Clone, O: Observer + ?Sized>(
     max_steps: u64,
     observer: &mut O,
 ) -> RunOutcome {
+    match Cached::try_new(protocol.clone()) {
+        Ok(cached) => run_engine_observed(&cached, config, engine, rule, rng, max_steps, observer),
+        Err(plain) => run_engine_observed(&plain, config, engine, rule, rng, max_steps, observer),
+    }
+}
+
+/// Builds the chosen engine over an already-dispatched protocol (cached or
+/// arithmetic) and drives it to convergence. `protocol` is taken by value so
+/// batch callers can pass a `&Cached<P>` — engines over a shared reference
+/// reuse one table across every trial of a batch.
+fn run_engine_observed<P: Protocol + Clone, O: Observer + ?Sized>(
+    protocol: P,
+    config: Config,
+    engine: EngineKind,
+    rule: ConvergenceRule,
+    rng: &mut rand::rngs::SmallRng,
+    max_steps: u64,
+    observer: &mut O,
+) -> RunOutcome {
     let driver = Driver::new(rule).with_max_steps(max_steps);
     match engine {
         EngineKind::Agent => {
             let n = config.population() as usize;
-            let mut sim = AgentSim::new(protocol.clone(), config, Graph::clique(n));
+            let mut sim = AgentSim::new(protocol, config, Graph::clique(n));
             driver.run(&mut sim, rng, observer)
         }
         EngineKind::Count => {
-            let mut sim = CountSim::new(protocol.clone(), config);
+            let mut sim = CountSim::new(protocol, config);
             driver.run(&mut sim, rng, observer)
         }
         EngineKind::Jump => {
-            let mut sim = JumpSim::new(protocol.clone(), config);
+            let mut sim = JumpSim::new(protocol, config);
             driver.run(&mut sim, rng, observer)
         }
         EngineKind::TauLeap => {
-            let mut sim = TauLeapSim::new(protocol.clone(), config);
+            let mut sim = TauLeapSim::new(protocol, config);
             driver.run(&mut sim, rng, observer)
         }
         EngineKind::Auto | EngineKind::Adaptive => {
-            let mut sim = AdaptiveSim::new(protocol.clone(), config);
+            let mut sim = AdaptiveSim::new(protocol, config);
             driver.run(&mut sim, rng, observer)
         }
     }
@@ -585,10 +609,32 @@ fn run_trials_core<P: Protocol + Clone + Sync>(
 ) -> (TrialResults, BatchStats) {
     let seeds = SeedSequence::new(plan.seed);
     let instance = plan.instance;
+    // Build the dense transition cache once per batch; worker threads share
+    // it by reference, so even a maximal (128 MiB) table is paid for once.
+    let dispatch = Cached::try_new(protocol.clone());
     let (outcomes, batch) = run_indexed_with_stats(plan.runs, plan.parallelism, |trial| {
         let mut rng = seeds.rng_for(trial);
         let config = Config::from_input(protocol, instance.a(), instance.b());
-        let outcome = run_one(protocol, config, engine, rule, &mut rng, plan.max_steps);
+        let outcome = match &dispatch {
+            Ok(cached) => run_engine_observed(
+                cached,
+                config,
+                engine,
+                rule,
+                &mut rng,
+                plan.max_steps,
+                &mut NullObserver,
+            ),
+            Err(plain) => run_engine_observed(
+                plain,
+                config,
+                engine,
+                rule,
+                &mut rng,
+                plan.max_steps,
+                &mut NullObserver,
+            ),
+        };
         (outcome, outcome.steps)
     });
     let results = TrialResults {

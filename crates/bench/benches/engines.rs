@@ -2,6 +2,7 @@
 //! per-run cost on matched workloads, quantifying the null-step-skipping
 //! speedup that makes the paper-scale Figure 3 runs feasible.
 
+use avc_population::cached::Cached;
 use avc_population::engine::{AdaptiveSim, AgentSim, CountSim, JumpSim, Simulator};
 use avc_population::{Config, MajorityInstance};
 use avc_protocols::{Avc, FourState};
@@ -18,7 +19,7 @@ fn bench_step_cost(c: &mut Criterion) {
     group.bench_function("agent", |b| {
         b.iter(|| {
             let config = Config::from_input(&FourState, inst.a(), inst.b());
-            let mut sim = AgentSim::on_clique(FourState, config);
+            let mut sim = AgentSim::on_clique(Cached::new(FourState), config);
             let mut rng = SmallRng::seed_from_u64(1);
             for _ in 0..10_000 {
                 sim.advance(&mut rng);
@@ -29,7 +30,7 @@ fn bench_step_cost(c: &mut Criterion) {
     group.bench_function("count", |b| {
         b.iter(|| {
             let config = Config::from_input(&FourState, inst.a(), inst.b());
-            let mut sim = CountSim::new(FourState, config);
+            let mut sim = CountSim::new(Cached::new(FourState), config);
             let mut rng = SmallRng::seed_from_u64(1);
             for _ in 0..10_000 {
                 sim.advance(&mut rng);
@@ -50,7 +51,7 @@ fn bench_four_state_convergence(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("jump", n), &n, |b, _| {
             b.iter(|| {
                 let config = Config::from_input(&FourState, inst.a(), inst.b());
-                let mut sim = JumpSim::new(FourState, config);
+                let mut sim = JumpSim::new(Cached::new(FourState), config);
                 let mut rng = SmallRng::seed_from_u64(2);
                 sim.run_to_consensus(&mut rng, u64::MAX).steps
             })
@@ -58,7 +59,7 @@ fn bench_four_state_convergence(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("count", n), &n, |b, _| {
             b.iter(|| {
                 let config = Config::from_input(&FourState, inst.a(), inst.b());
-                let mut sim = CountSim::new(FourState, config);
+                let mut sim = CountSim::new(Cached::new(FourState), config);
                 let mut rng = SmallRng::seed_from_u64(2);
                 sim.run_to_consensus(&mut rng, u64::MAX).steps
             })
@@ -66,7 +67,7 @@ fn bench_four_state_convergence(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("adaptive", n), &n, |b, _| {
             b.iter(|| {
                 let config = Config::from_input(&FourState, inst.a(), inst.b());
-                let mut sim = AdaptiveSim::new(FourState, config);
+                let mut sim = AdaptiveSim::new(Cached::new(FourState), config);
                 let mut rng = SmallRng::seed_from_u64(2);
                 sim.run_to_consensus(&mut rng, u64::MAX).steps
             })
@@ -81,11 +82,14 @@ fn bench_avc_convergence(c: &mut Criterion) {
     group.sample_size(10);
     let inst = MajorityInstance::one_extra(10_001);
     let avc = Avc::with_states(66).expect("valid budget");
+    // Built once; cloning the table per iteration is a flat memcpy, matching
+    // how the harness shares one table across a trial batch.
+    let cached = Cached::new(avc.clone());
 
     group.bench_function("count", |b| {
         b.iter(|| {
             let config = Config::from_input(&avc, inst.a(), inst.b());
-            let mut sim = CountSim::new(avc.clone(), config);
+            let mut sim = CountSim::new(cached.clone(), config);
             let mut rng = SmallRng::seed_from_u64(3);
             sim.run_to_consensus(&mut rng, u64::MAX).steps
         })
@@ -93,7 +97,7 @@ fn bench_avc_convergence(c: &mut Criterion) {
     group.bench_function("jump", |b| {
         b.iter(|| {
             let config = Config::from_input(&avc, inst.a(), inst.b());
-            let mut sim = JumpSim::new(avc.clone(), config);
+            let mut sim = JumpSim::new(cached.clone(), config);
             let mut rng = SmallRng::seed_from_u64(3);
             sim.run_to_consensus(&mut rng, u64::MAX).steps
         })
@@ -101,7 +105,7 @@ fn bench_avc_convergence(c: &mut Criterion) {
     group.bench_function("adaptive", |b| {
         b.iter(|| {
             let config = Config::from_input(&avc, inst.a(), inst.b());
-            let mut sim = AdaptiveSim::new(avc.clone(), config);
+            let mut sim = AdaptiveSim::new(cached.clone(), config);
             let mut rng = SmallRng::seed_from_u64(3);
             sim.run_to_consensus(&mut rng, u64::MAX).steps
         })

@@ -13,20 +13,29 @@
 //! same step count and majority count — the benchmark asserts this, so it
 //! doubles as an equivalence check.
 //!
+//! Both halves run the protocol through the [`Cached`] dense transition
+//! table, exactly like the experiment harness does.
+//!
 //! Flags: `--quick` (small population only, fewer reps), `--out PATH` (write
 //! the JSON report), `--check PATH` (compare against a committed report and
-//! fail if any engine's speedup regressed by more than 25%).
+//! fail if any engine's speedup regressed by more than 25%), `--profile`
+//! (per-phase breakdown — sampling vs transition vs bookkeeping — for the
+//! agent and count engines, appended to the report).
 
+use avc_population::cached::Cached;
 use avc_population::driver::{Driver, NullObserver};
 use avc_population::engine::{
     advance_upto_step_by_step, AdaptiveSim, AgentSim, CountSim, JumpSim, Simulator, StopCondition,
     TauLeapSim,
 };
-use avc_population::{Config, ConvergenceRule, MajorityInstance};
+use avc_population::graph::Graph;
+use avc_population::sampler::FenwickSampler;
+use avc_population::{Config, ConvergenceRule, MajorityInstance, Protocol};
 use avc_protocols::FourState;
 use avc_store::json::Json;
 use rand::rngs::SmallRng;
-use rand::{RngCore, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
+use std::hint::black_box;
 use std::time::Instant;
 
 /// The convergence rule of the Figure 3 workload.
@@ -106,12 +115,13 @@ impl Entry {
 fn build(engine: Engine, n: u64) -> Box<dyn Simulator> {
     let inst = MajorityInstance::one_extra(n);
     let config = Config::from_input(&FourState, inst.a(), inst.b());
+    let protocol = Cached::new(FourState);
     match engine {
-        Engine::Agent => Box::new(AgentSim::on_clique(FourState, config)),
-        Engine::Count => Box::new(CountSim::new(FourState, config)),
-        Engine::Jump => Box::new(JumpSim::new(FourState, config)),
-        Engine::Adaptive => Box::new(AdaptiveSim::new(FourState, config)),
-        Engine::TauLeap => Box::new(TauLeapSim::new(FourState, config)),
+        Engine::Agent => Box::new(AgentSim::on_clique(protocol, config)),
+        Engine::Count => Box::new(CountSim::new(protocol, config)),
+        Engine::Jump => Box::new(JumpSim::new(protocol, config)),
+        Engine::Adaptive => Box::new(AdaptiveSim::new(protocol, config)),
+        Engine::TauLeap => Box::new(TauLeapSim::new(protocol, config)),
     }
 }
 
@@ -131,6 +141,7 @@ fn run_legacy(engine: Engine, n: u64, max_steps: u64) -> (f64, u64, u64) {
 fn run_chunked(engine: Engine, n: u64, max_steps: u64) -> (f64, u64, u64) {
     let inst = MajorityInstance::one_extra(n);
     let config = Config::from_input(&FourState, inst.a(), inst.b());
+    let protocol = Cached::new(FourState);
     let driver = Driver::new(RULE).with_max_steps(max_steps);
     let mut rng = SmallRng::seed_from_u64(SEED);
     macro_rules! timed {
@@ -143,17 +154,132 @@ fn run_chunked(engine: Engine, n: u64, max_steps: u64) -> (f64, u64, u64) {
         }};
     }
     match engine {
-        Engine::Agent => timed!(AgentSim::on_clique(FourState, config)),
-        Engine::Count => timed!(CountSim::new(FourState, config)),
-        Engine::Jump => timed!(JumpSim::new(FourState, config)),
-        Engine::Adaptive => timed!(AdaptiveSim::new(FourState, config)),
-        Engine::TauLeap => timed!(TauLeapSim::new(FourState, config)),
+        Engine::Agent => timed!(AgentSim::on_clique(protocol, config)),
+        Engine::Count => timed!(CountSim::new(protocol, config)),
+        Engine::Jump => timed!(JumpSim::new(protocol, config)),
+        Engine::Adaptive => timed!(AdaptiveSim::new(protocol, config)),
+        Engine::TauLeap => timed!(TauLeapSim::new(protocol, config)),
     }
 }
 
 fn median(samples: &mut [f64]) -> f64 {
     samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
     samples[samples.len() / 2]
+}
+
+/// Per-phase cost breakdown of one engine's chunked hot loop.
+///
+/// The full run is timed as usual; the sampling and transition phases are
+/// then *replayed in isolation* for the same number of steps (sampling
+/// against a frozen initial distribution / the interaction graph, transition
+/// as flat table lookups over pseudo-random pairs). Bookkeeping is the
+/// remainder, clamped at zero — replays on frozen state are approximations,
+/// not exact slices of the real loop.
+struct Profile {
+    engine: &'static str,
+    n: u64,
+    steps: u64,
+    total_ms: f64,
+    sampling_ms: f64,
+    transition_ms: f64,
+    bookkeeping_ms: f64,
+}
+
+impl Profile {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("engine", Json::str(self.engine)),
+            ("n", Json::Int(self.n as i64)),
+            ("steps", Json::Int(self.steps as i64)),
+            ("total_ms", Json::str(format!("{:.3}", self.total_ms))),
+            ("sampling_ms", Json::str(format!("{:.3}", self.sampling_ms))),
+            (
+                "transition_ms",
+                Json::str(format!("{:.3}", self.transition_ms)),
+            ),
+            (
+                "bookkeeping_ms",
+                Json::str(format!("{:.3}", self.bookkeeping_ms)),
+            ),
+        ])
+    }
+}
+
+/// Times `steps` transition lookups over pseudo-random state pairs.
+fn replay_transitions(protocol: &Cached<FourState>, steps: u64) -> f64 {
+    let s = protocol.num_states();
+    let mut rng = SmallRng::seed_from_u64(SEED ^ 0x5eed);
+    let started = Instant::now();
+    for _ in 0..steps {
+        let bits = rng.next_u32();
+        let a = bits % s;
+        let b = (bits >> 16) % s;
+        black_box(protocol.transition(a, b));
+    }
+    started.elapsed().as_secs_f64() * 1e3
+}
+
+/// Times `steps` iterations of the count engine's two sampling draws
+/// (first-agent `select`, second-agent fused `select_pair`) against the
+/// frozen initial distribution.
+fn replay_count_sampling(n: u64, steps: u64) -> f64 {
+    let inst = MajorityInstance::one_extra(n);
+    let config = Config::from_input(&FourState, inst.a(), inst.b());
+    let sampler = FenwickSampler::from_weights(config.as_slice());
+    let total = sampler.total();
+    let mut rng = SmallRng::seed_from_u64(SEED);
+    let started = Instant::now();
+    for _ in 0..steps {
+        black_box(sampler.select(rng.gen_range(0..total)));
+        black_box(sampler.select_pair(rng.gen_range(0..total - 1)));
+    }
+    started.elapsed().as_secs_f64() * 1e3
+}
+
+/// Times `steps` ordered-pair draws on the clique graph.
+fn replay_agent_sampling(n: u64, steps: u64) -> f64 {
+    let graph = Graph::clique(n as usize);
+    let mut rng = SmallRng::seed_from_u64(SEED);
+    let started = Instant::now();
+    for _ in 0..steps {
+        black_box(graph.sample_pair(&mut rng));
+    }
+    started.elapsed().as_secs_f64() * 1e3
+}
+
+/// Profiles one engine at population `n` (agent and count only — the other
+/// engines interleave their phases, so an isolated replay would not
+/// correspond to any slice of their real loop).
+fn profile(engine: Engine, n: u64, reps: usize) -> Profile {
+    let max_steps = engine.max_steps(n);
+    let protocol = Cached::new(FourState);
+    let mut total = Vec::with_capacity(reps);
+    let mut sampling = Vec::with_capacity(reps);
+    let mut transition = Vec::with_capacity(reps);
+    let mut steps = 0;
+    for _ in 0..reps {
+        let (t, s, _) = run_chunked(engine, n, max_steps);
+        total.push(t);
+        steps = s;
+        sampling.push(match engine {
+            Engine::Count => replay_count_sampling(n, s),
+            Engine::Agent => replay_agent_sampling(n, s),
+            _ => unreachable!("profile covers agent and count only"),
+        });
+        transition.push(replay_transitions(&protocol, s));
+    }
+    let total_ms = median(&mut total);
+    let sampling_ms = median(&mut sampling);
+    let transition_ms = median(&mut transition);
+    Profile {
+        engine: engine.name(),
+        n,
+        steps,
+        total_ms,
+        sampling_ms,
+        transition_ms,
+        bookkeeping_ms: (total_ms - sampling_ms - transition_ms).max(0.0),
+    }
 }
 
 fn measure(engine: Engine, n: u64, reps: usize) -> Entry {
@@ -257,7 +383,21 @@ fn main() {
         }
     }
 
-    let report = Json::obj([
+    let mut profiles = Vec::new();
+    if args.flag("profile") {
+        for &n in ns {
+            for engine in [Engine::Agent, Engine::Count] {
+                let p = profile(engine, n, reps);
+                println!(
+                    "{:>8} n={:<7} profile: total {:>9.3} ms = sampling {:>8.3} + transition {:>8.3} + bookkeeping {:>8.3}",
+                    p.engine, p.n, p.total_ms, p.sampling_ms, p.transition_ms, p.bookkeeping_ms
+                );
+                profiles.push(p);
+            }
+        }
+    }
+
+    let mut fields = vec![
         ("bench", Json::str("engine_bench")),
         ("mode", Json::str(if quick { "quick" } else { "full" })),
         ("protocol", Json::str("four_state")),
@@ -267,7 +407,14 @@ fn main() {
             "entries",
             Json::Arr(entries.iter().map(Entry::to_json).collect()),
         ),
-    ]);
+    ];
+    if !profiles.is_empty() {
+        fields.push((
+            "profile",
+            Json::Arr(profiles.iter().map(Profile::to_json).collect()),
+        ));
+    }
+    let report = Json::obj(fields);
 
     if let Some(path) = args.get("out") {
         std::fs::write(path, report.to_string_pretty() + "\n").expect("write report");

@@ -30,40 +30,77 @@ pub struct Cached<P> {
     table: Vec<(StateId, StateId)>,
     outputs: Vec<Opinion>,
     inputs: (StateId, StateId),
+    /// Row-major bitset over ordered state pairs: bit `(a, b)` is set iff
+    /// the interaction `δ(a, b)` is *productive* (not silent). Rows are
+    /// padded to a whole number of `u64` words so a row scan is word-wise.
+    productive: Vec<u64>,
+    /// `u64` words per bitset row: `ceil(num_states / 64)`.
+    words_per_row: usize,
 }
 
 /// Keep tables at or below this many entries (`s ≤ 4096`).
-const MAX_TABLE_ENTRIES: u64 = 4_096 * 4_096;
+pub const MAX_TABLE_ENTRIES: u64 = 4_096 * 4_096;
 
 impl<P: Protocol> Cached<P> {
+    /// Whether a protocol with `num_states` states fits under
+    /// [`MAX_TABLE_ENTRIES`] and can therefore be cached.
+    #[must_use]
+    pub fn fits(num_states: u32) -> bool {
+        (num_states as u64) * (num_states as u64) <= MAX_TABLE_ENTRIES
+    }
+
     /// Precomputes the full transition table of `inner`.
     ///
     /// # Panics
     ///
     /// Panics if the protocol has more than 4 096 states (the table would
     /// exceed 128 MiB; at that size the arithmetic transition is cheaper
-    /// than the cache misses anyway).
+    /// than the cache misses anyway). Use [`Cached::try_new`] to fall back
+    /// to the arithmetic protocol instead.
     pub fn new(inner: P) -> Cached<P> {
+        match Cached::try_new(inner) {
+            Ok(cached) => cached,
+            Err(inner) => panic!(
+                "state space too large to cache: {} states",
+                inner.num_states()
+            ),
+        }
+    }
+
+    /// Precomputes the full transition table of `inner`, or hands the
+    /// protocol back unchanged when its `s²` table would exceed
+    /// [`MAX_TABLE_ENTRIES`].
+    ///
+    /// This is the dispatch point used by the harness: protocols that fit
+    /// run on the table, larger ones keep the arithmetic path.
+    pub fn try_new(inner: P) -> Result<Cached<P>, P> {
         let s = inner.num_states();
-        assert!(
-            (s as u64) * (s as u64) <= MAX_TABLE_ENTRIES,
-            "state space too large to cache: {s} states"
-        );
+        if !Cached::<P>::fits(s) {
+            return Err(inner);
+        }
+        let words_per_row = (s as usize).div_ceil(64);
         let mut table = Vec::with_capacity((s as usize) * (s as usize));
+        let mut productive = vec![0u64; (s as usize) * words_per_row];
         for a in 0..s {
             for b in 0..s {
                 table.push(inner.transition(a, b));
+                if !inner.is_silent(a, b) {
+                    let row = a as usize * words_per_row;
+                    productive[row + (b as usize >> 6)] |= 1u64 << (b & 63);
+                }
             }
         }
         let outputs = (0..s).map(|q| inner.output(q)).collect();
         let inputs = (inner.input(Opinion::A), inner.input(Opinion::B));
-        Cached {
+        Ok(Cached {
             inner,
             num_states: s,
             table,
             outputs,
             inputs,
-        }
+            productive,
+            words_per_row,
+        })
     }
 
     /// The wrapped protocol.
@@ -103,6 +140,39 @@ impl<P: Protocol> Protocol for Cached<P> {
 
     fn name(&self) -> &str {
         self.inner.name()
+    }
+
+    fn is_silent(&self, a: StateId, b: StateId) -> bool {
+        let word = self.productive[a as usize * self.words_per_row + (b as usize >> 6)];
+        word & (1u64 << (b & 63)) == 0
+    }
+
+    fn config_silent(&self, counts: &[u64]) -> bool {
+        // Word-wise scan of the productive-pair bitset restricted to live
+        // species: O(live · s/64) instead of O(live²) transition probes.
+        let w = self.words_per_row;
+        let mut live = vec![0u64; w];
+        let mut live_idx = Vec::new();
+        for (q, &c) in counts.iter().enumerate() {
+            if c > 0 {
+                live[q >> 6] |= 1u64 << (q & 63);
+                live_idx.push(q);
+            }
+        }
+        for &a in &live_idx {
+            let row = &self.productive[a * w..(a + 1) * w];
+            for (k, (&r, &l)) in row.iter().zip(&live).enumerate() {
+                let mut hits = r & l;
+                // A productive self-pair (a, a) needs two agents in `a`.
+                if counts[a] < 2 && (a >> 6) == k {
+                    hits &= !(1u64 << (a & 63));
+                }
+                if hits != 0 {
+                    return false;
+                }
+            }
+        }
+        true
     }
 }
 

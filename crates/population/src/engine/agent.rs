@@ -32,13 +32,152 @@ use rand::RngCore;
 pub struct AgentSim<P> {
     protocol: P,
     graph: Graph,
-    states: Vec<StateId>,
+    states: States,
     counts: Vec<u64>,
     output_a: Vec<bool>,
     count_a: u64,
     unanimous: Option<StateId>,
     steps: u64,
     events: u64,
+}
+
+/// Per-agent state storage, randomly indexed twice per step. When every
+/// state id fits in a byte (true for all constant-state protocols) the
+/// array is kept 4× denser so more of it stays in close cache levels.
+#[derive(Debug, Clone)]
+enum States {
+    Narrow(Vec<u8>),
+    Wide(Vec<StateId>),
+}
+
+impl States {
+    fn new(states: Vec<StateId>, num_states: u32) -> States {
+        if num_states <= u8::MAX as u32 + 1 {
+            States::Narrow(states.into_iter().map(|s| s as u8).collect())
+        } else {
+            States::Wide(states)
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            States::Narrow(v) => v.len(),
+            States::Wide(v) => v.len(),
+        }
+    }
+
+    fn get(&self, agent: usize) -> StateId {
+        match self {
+            States::Narrow(v) => v[agent] as StateId,
+            States::Wide(v) => v[agent],
+        }
+    }
+}
+
+/// A fixed-width cell a `StateId` round-trips through losslessly (the
+/// narrow impl is only constructed when every id fits).
+trait StateCell: Copy + Eq {
+    fn pack(id: StateId) -> Self;
+    fn unpack(self) -> StateId;
+}
+
+impl StateCell for u8 {
+    #[inline(always)]
+    fn pack(id: StateId) -> u8 {
+        id as u8
+    }
+    #[inline(always)]
+    fn unpack(self) -> StateId {
+        self as StateId
+    }
+}
+
+impl StateCell for StateId {
+    #[inline(always)]
+    fn pack(id: StateId) -> StateId {
+        id
+    }
+    #[inline(always)]
+    fn unpack(self) -> StateId {
+        self
+    }
+}
+
+/// The monomorphized hot loop, generic over the cell width so the narrow
+/// path pays no dispatch per access. Field references are passed split so
+/// the enum match happens once per chunk, not once per step.
+#[allow(clippy::too_many_arguments)]
+fn chunk_loop<C: StateCell, P: Protocol, R: RngCore + ?Sized>(
+    protocol: &P,
+    graph: &Graph,
+    states: &mut [C],
+    counts: &mut [u64],
+    output_a: &[bool],
+    count_a: &mut u64,
+    unanimous: &mut Option<StateId>,
+    steps: &mut u64,
+    events: &mut u64,
+    rng: &mut R,
+    stop: StopCondition,
+) -> StopReason {
+    let n = states.len() as u64;
+    // Like the real scheduler, the engine keeps drawing pairs on a silent
+    // configuration, so the loop never reports `Silent`.
+    loop {
+        if stop.predicate_hit(*count_a, unanimous.is_some()) {
+            return StopReason::Predicate;
+        }
+        if *steps >= stop.max_steps {
+            return StopReason::StepBudget;
+        }
+        // The predicate reads count_a and unanimity, which only move on
+        // productive events — so it cannot fire mid-stretch, and the inner
+        // loop burns silent steps against the budget alone.
+        let events_before = *events;
+        while *events == events_before && *steps < stop.max_steps {
+            let (u, v) = graph.sample_pair(rng);
+            *steps += 1;
+            let (su, sv) = (states[u].unpack(), states[v].unpack());
+            let (nu, nv) = protocol.transition(su, sv);
+            debug_assert!(
+                nu < protocol.num_states() && nv < protocol.num_states(),
+                "transition left the state space"
+            );
+            if (nu == su && nv == sv) || (nu == sv && nv == su) {
+                // Silent interaction: the count multiset is untouched, so
+                // the counts / count_a / unanimity bookkeeping is already
+                // correct. Only a token swap moves the per-agent states
+                // (and a silent pair with `nu != su` is necessarily a
+                // swap); skipping the stores otherwise keeps both cache
+                // lines clean.
+                if nu != su {
+                    states[u] = C::pack(nu);
+                    states[v] = C::pack(nv);
+                }
+                continue;
+            }
+            *events += 1;
+            for (agent, to) in [(u, nu), (v, nv)] {
+                let from = states[agent].unpack();
+                if from == to {
+                    continue;
+                }
+                states[agent] = C::pack(to);
+                counts[from as usize] -= 1;
+                counts[to as usize] += 1;
+                match (output_a[from as usize], output_a[to as usize]) {
+                    (true, false) => *count_a -= 1,
+                    (false, true) => *count_a += 1,
+                    _ => {}
+                }
+                *unanimous = if counts[to as usize] == n {
+                    Some(to)
+                } else {
+                    None
+                };
+            }
+        }
+    }
 }
 
 impl<P: Protocol> AgentSim<P> {
@@ -110,7 +249,7 @@ impl<P: Protocol> AgentSim<P> {
         AgentSim {
             protocol,
             graph,
-            states,
+            states: States::new(states, s),
             counts,
             output_a,
             count_a,
@@ -136,46 +275,7 @@ impl<P: Protocol> AgentSim<P> {
     ///
     /// Panics if `agent` is out of range.
     pub fn state_of(&self, agent: usize) -> StateId {
-        self.states[agent]
-    }
-
-    fn set_state(&mut self, agent: usize, to: StateId) {
-        let from = self.states[agent];
-        if from == to {
-            return;
-        }
-        self.states[agent] = to;
-        self.counts[from as usize] -= 1;
-        self.counts[to as usize] += 1;
-        match (self.output_a[from as usize], self.output_a[to as usize]) {
-            (true, false) => self.count_a -= 1,
-            (false, true) => self.count_a += 1,
-            _ => {}
-        }
-        if self.counts[to as usize] == self.states.len() as u64 {
-            self.unanimous = Some(to);
-        } else {
-            self.unanimous = None;
-        }
-    }
-
-    /// One scheduler step, generic over the RNG so chunked loops inline the
-    /// pair sampling end to end.
-    #[inline]
-    fn step<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
-        let (u, v) = self.graph.sample_pair(rng);
-        self.steps += 1;
-        let (su, sv) = (self.states[u], self.states[v]);
-        let (nu, nv) = self.protocol.transition(su, sv);
-        debug_assert!(
-            nu < self.protocol.num_states() && nv < self.protocol.num_states(),
-            "transition left the state space"
-        );
-        if !((nu == su && nv == sv) || (nu == sv && nv == su)) {
-            self.events += 1;
-        }
-        self.set_state(u, nu);
-        self.set_state(v, nv);
+        self.states.get(agent)
     }
 }
 
@@ -215,11 +315,14 @@ impl<P: Protocol> Simulator for AgentSim<P> {
         // configuration whose only productive species pairs sit on
         // non-adjacent agents is silent yet reported as live. The run loop
         // still terminates in that case via its step bound.
-        crate::engine::brute_force_silent(&self.protocol, &self.counts)
+        self.protocol.config_silent(&self.counts)
     }
 
     fn advance(&mut self, rng: &mut dyn RngCore) -> u64 {
-        self.step(rng);
+        // One scheduler step: a one-step budget with no predicates armed
+        // consumes the RNG identically to a dedicated single-step path.
+        let stop = StopCondition::never().with_max_steps(self.steps + 1);
+        self.advance_chunk(rng, stop);
         1
     }
 
@@ -235,16 +338,33 @@ impl<P: Protocol> ChunkedSimulator for AgentSim<P> {
         stop: StopCondition,
     ) -> AdvanceReport {
         let (steps0, events0) = (self.steps, self.events);
-        // Like the real scheduler, the engine keeps drawing pairs on a
-        // silent configuration, so the loop never reports `Silent`.
-        let reason = loop {
-            if stop.predicate_hit(self.count_a, self.unanimous.is_some()) {
-                break StopReason::Predicate;
-            }
-            if self.steps >= stop.max_steps {
-                break StopReason::StepBudget;
-            }
-            self.step(rng);
+        let reason = match &mut self.states {
+            States::Narrow(v) => chunk_loop(
+                &self.protocol,
+                &self.graph,
+                v,
+                &mut self.counts,
+                &self.output_a,
+                &mut self.count_a,
+                &mut self.unanimous,
+                &mut self.steps,
+                &mut self.events,
+                rng,
+                stop,
+            ),
+            States::Wide(v) => chunk_loop(
+                &self.protocol,
+                &self.graph,
+                v,
+                &mut self.counts,
+                &self.output_a,
+                &mut self.count_a,
+                &mut self.unanimous,
+                &mut self.steps,
+                &mut self.events,
+                rng,
+                stop,
+            ),
         };
         AdvanceReport {
             steps: self.steps - steps0,

@@ -120,13 +120,14 @@ impl<P: Protocol> CountSim<P> {
         // CDF directly: removing one agent of species i shifts every prefix
         // sum at or past i down by one, so the inverse at t is `select(t)`
         // when that lands before i and `select(t+1)` otherwise — the same
-        // species from the same single draw.
+        // species from the same single draw. Both inverse-CDF answers come
+        // out of one fused tree descent.
         let t = rng.gen_range(0..total - 1);
-        let s0 = self.sampler.select(t) as StateId;
-        let j = if s0 < i {
-            s0
+        let (s0, s1) = self.sampler.select_pair(t);
+        let j = if (s0 as StateId) < i {
+            s0 as StateId
         } else {
-            self.sampler.select(t + 1) as StateId
+            s1 as StateId
         };
 
         let (x, y) = self.protocol.transition(i, j);
@@ -176,7 +177,7 @@ impl<P: Protocol> Simulator for CountSim<P> {
     }
 
     fn config_is_silent(&self) -> bool {
-        crate::engine::brute_force_silent(&self.protocol, &self.counts)
+        self.protocol.config_silent(&self.counts)
     }
 
     fn advance(&mut self, rng: &mut dyn RngCore) -> u64 {
@@ -206,7 +207,13 @@ impl<P: Protocol> ChunkedSimulator for CountSim<P> {
             if self.steps >= stop.max_steps {
                 break StopReason::StepBudget;
             }
-            self.step(rng);
+            // The predicate reads count_a and unanimity, which only move on
+            // productive events — so it cannot fire mid-stretch, and the
+            // inner loop burns silent steps against the budget alone.
+            let events_before = self.events;
+            while self.events == events_before && self.steps < stop.max_steps {
+                self.step(rng);
+            }
         };
         AdvanceReport {
             steps: self.steps - steps0,

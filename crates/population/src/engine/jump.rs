@@ -9,22 +9,6 @@ use rand_distr::{Distribution, Geometric};
 /// Sentinel for "state not in the live list".
 const NOT_LIVE: u32 = u32::MAX;
 
-/// Cache of the silent-pair predicate.
-///
-/// For protocols with at most `MATRIX_LIMIT` states the predicate is
-/// memoized in a dense byte matrix; beyond that it is recomputed on demand
-/// (transition functions in this workspace are cheap arithmetic).
-#[derive(Debug, Clone)]
-enum SilentCache {
-    Matrix(Vec<u8>),
-    Direct,
-}
-
-const MATRIX_LIMIT: u32 = 2_048;
-const UNKNOWN: u8 = 0;
-const SILENT: u8 = 1;
-const PRODUCTIVE: u8 = 2;
-
 /// A count-based engine that skips *silent* steps in geometric batches.
 ///
 /// In the discrete model, a step whose sampled pair reacts to itself (up to
@@ -70,7 +54,6 @@ pub struct JumpSim<P> {
     /// the ordered pair `(i, state(y))` is silent, i.e.
     /// `Σ_j silent(i,j) · (c_j − [i = j])`. Stale for dead states.
     null_row: Vec<u64>,
-    silent_cache: SilentCache,
     output_a: Vec<bool>,
     count_a: u64,
     unanimous: Option<StateId>,
@@ -104,18 +87,12 @@ impl<P: Protocol> JumpSim<P> {
             .map(|(&c, _)| c)
             .sum();
         let unanimous = counts.iter().position(|&c| c == n).map(|i| i as StateId);
-        let silent_cache = if s <= MATRIX_LIMIT {
-            SilentCache::Matrix(vec![UNKNOWN; (s as usize) * (s as usize)])
-        } else {
-            SilentCache::Direct
-        };
         let mut sim = JumpSim {
             protocol,
             counts,
             live: Vec::new(),
             live_pos: vec![NOT_LIVE; s as usize],
             null_row: vec![0; s as usize],
-            silent_cache,
             output_a,
             count_a,
             unanimous,
@@ -160,27 +137,18 @@ impl<P: Protocol> JumpSim<P> {
         self.events = events;
     }
 
-    fn silent(&mut self, a: StateId, b: StateId) -> bool {
-        match &mut self.silent_cache {
-            SilentCache::Matrix(m) => {
-                let s = self.live_pos.len();
-                let idx = a as usize * s + b as usize;
-                match m[idx] {
-                    SILENT => true,
-                    PRODUCTIVE => false,
-                    _ => {
-                        let silent = self.protocol.is_silent(a, b);
-                        m[idx] = if silent { SILENT } else { PRODUCTIVE };
-                        silent
-                    }
-                }
-            }
-            SilentCache::Direct => self.protocol.is_silent(a, b),
-        }
+    /// The silent-pair predicate.
+    ///
+    /// No private memoization: the harness wraps cacheable protocols in
+    /// [`Cached`](crate::cached::Cached), whose `is_silent` override is a
+    /// precomputed bitset lookup. Arithmetic protocols above the table bound
+    /// recompute on demand (their transitions are cheap).
+    fn silent(&self, a: StateId, b: StateId) -> bool {
+        self.protocol.is_silent(a, b)
     }
 
     /// Recomputes `null_row[i]` from scratch over live states.
-    fn compute_null_row(&mut self, i: StateId) -> u64 {
+    fn compute_null_row(&self, i: StateId) -> u64 {
         let mut row = 0;
         for idx in 0..self.live.len() {
             let j = self.live[idx];
@@ -202,7 +170,7 @@ impl<P: Protocol> JumpSim<P> {
     /// Samples a productive ordered species pair given total productive
     /// weight `w_prod > 0`.
     fn sample_productive<R: RngCore + ?Sized>(
-        &mut self,
+        &self,
         rng: &mut R,
         w_prod: u64,
     ) -> (StateId, StateId) {

@@ -338,29 +338,9 @@ pub(crate) fn silent_verdict<S: Simulator + ?Sized>(sim: &S, n: u64) -> Verdict 
 /// Whether a configuration (given as species counts) is silent under
 /// `protocol`: no ordered pair of distinct agents can change it.
 ///
-/// Brute force over live species pairs — `O(live²)` — intended for
-/// analysis and verification tools, not hot loops.
+/// Delegates to [`Protocol::config_silent`](crate::Protocol::config_silent):
+/// brute force over live species pairs by default, a precomputed bitset scan
+/// for [`Cached`](crate::cached::Cached) protocols.
 pub fn config_silent<P: crate::Protocol>(protocol: &P, counts: &[u64]) -> bool {
-    brute_force_silent(protocol, counts)
-}
-
-/// Computes the silence of a configuration by brute force over live pairs.
-pub(crate) fn brute_force_silent<P: crate::Protocol>(protocol: &P, counts: &[u64]) -> bool {
-    let live: Vec<u32> = counts
-        .iter()
-        .enumerate()
-        .filter(|(_, &c)| c > 0)
-        .map(|(i, _)| i as u32)
-        .collect();
-    for &i in &live {
-        for &j in &live {
-            if i == j && counts[i as usize] < 2 {
-                continue;
-            }
-            if !protocol.is_silent(i, j) {
-                return false;
-            }
-        }
-    }
-    true
+    protocol.config_silent(counts)
 }

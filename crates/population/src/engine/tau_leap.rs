@@ -334,7 +334,7 @@ impl<P: Protocol> Simulator for TauLeapSim<P> {
     }
 
     fn config_is_silent(&self) -> bool {
-        crate::engine::brute_force_silent(&self.protocol, &self.counts)
+        self.protocol.config_silent(&self.counts)
     }
 
     fn advance(&mut self, rng: &mut dyn RngCore) -> u64 {

@@ -110,6 +110,34 @@ pub trait Protocol {
         let (x, y) = self.transition(a, b);
         (x == a && y == b) || (x == b && y == a)
     }
+
+    /// Whether a configuration, given as per-state agent counts, is *silent*:
+    /// no ordered pair of distinct agents can change it.
+    ///
+    /// This default brute-forces every ordered pair of live species in
+    /// `O(live²)` calls to [`Protocol::is_silent`] (a self-pair `(q, q)`
+    /// counts only when at least two agents occupy `q`).
+    /// [`Cached`](crate::cached::Cached) overrides it with a scan of its
+    /// precomputed productive-pair bitset.
+    fn config_silent(&self, counts: &[u64]) -> bool {
+        let live: Vec<StateId> = counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(q, _)| q as StateId)
+            .collect();
+        for &a in &live {
+            for &b in &live {
+                if a == b && counts[a as usize] < 2 {
+                    continue;
+                }
+                if !self.is_silent(a, b) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
 }
 
 impl<P: Protocol + ?Sized> Protocol for &P {
@@ -133,6 +161,9 @@ impl<P: Protocol + ?Sized> Protocol for &P {
     }
     fn is_silent(&self, a: StateId, b: StateId) -> bool {
         (**self).is_silent(a, b)
+    }
+    fn config_silent(&self, counts: &[u64]) -> bool {
+        (**self).config_silent(counts)
     }
 }
 

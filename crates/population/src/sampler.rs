@@ -4,6 +4,14 @@
 //! probability proportional to its agent count, under counts that change by
 //! ±1 after every interaction. A Fenwick tree supports both the point update
 //! and the inverse-CDF draw in `O(log s)`.
+//!
+//! For small state spaces (`len <= 64`, which covers every constant-state
+//! protocol in the paper) the inverse-CDF draw instead does a branchless
+//! linear scan over a flat copy of the weights: at that size the whole
+//! distribution is one or two cache lines, and the scan's independent
+//! adds beat the tree descent's chain of dependent loads by a wide margin.
+//! Both paths compute the same function, so which one runs is invisible to
+//! callers and to the RNG stream.
 
 use rand::Rng;
 
@@ -26,28 +34,39 @@ use rand::Rng;
 #[derive(Debug, Clone)]
 pub struct FenwickSampler {
     /// `tree[i]` holds the sum of a block of weights ending at index `i`
-    /// (1-based Fenwick layout; `tree[0]` is unused).
+    /// (1-based Fenwick layout; `tree[0]` is unused). The tree is padded to
+    /// a power-of-two capacity with zero-weight categories so the inverse-CDF
+    /// descent needs no bounds checks and every level's probe is a plain
+    /// load — the padding is invisible to callers (`len` stays the logical
+    /// category count, and padded categories can never be selected because
+    /// their weight is zero).
     tree: Vec<u64>,
+    /// Plain copy of the current weights. Serves `weight()` in O(1) and the
+    /// linear-scan select fast path for small `len`.
+    leaves: Vec<u64>,
     len: usize,
     total: u64,
-    /// Largest power of two `≤ len`, used for the O(log s) inverse-CDF walk.
+    /// Padded capacity: the smallest power of two `≥ len` (`0` when empty).
     top_bit: usize,
 }
+
+/// At or below this many categories, `select`/`select_pair` scan the flat
+/// weight array instead of descending the tree: a branchless cumulative
+/// scan over one or two cache lines beats the tree's chain of dependent
+/// loads. Above it, the `O(log len)` descent wins.
+const LINEAR_SCAN_LIMIT: usize = 64;
 
 impl FenwickSampler {
     /// Creates a sampler over `len` categories, all with weight zero.
     #[must_use]
     pub fn new(len: usize) -> FenwickSampler {
-        let top_bit = if len == 0 {
-            0
-        } else {
-            usize::BITS as usize - 1 - len.leading_zeros() as usize
-        };
+        let top_bit = if len == 0 { 0 } else { len.next_power_of_two() };
         FenwickSampler {
-            tree: vec![0; len + 1],
+            tree: vec![0; top_bit + 1],
+            leaves: vec![0; len],
             len,
             total: 0,
-            top_bit: 1 << top_bit,
+            top_bit,
         }
     }
 
@@ -55,15 +74,20 @@ impl FenwickSampler {
     #[must_use]
     pub fn from_weights(weights: &[u64]) -> FenwickSampler {
         let mut sampler = FenwickSampler::new(weights.len());
-        // O(len) bulk build: accumulate each leaf into its parent block.
+        // O(capacity) bulk build: seed the leaves, then accumulate each node
+        // into its parent block (padded nodes carry partial sums of real
+        // leaves, so they propagate too).
+        sampler.leaves.copy_from_slice(weights);
         for (i, &w) in weights.iter().enumerate() {
-            sampler.tree[i + 1] += w;
-            let parent = (i + 1) + ((i + 1) & (i + 1).wrapping_neg());
-            if parent <= weights.len() {
-                let v = sampler.tree[i + 1];
+            sampler.tree[i + 1] = w;
+            sampler.total += w;
+        }
+        for i in 1..=sampler.top_bit {
+            let parent = i + (i & i.wrapping_neg());
+            if parent <= sampler.top_bit {
+                let v = sampler.tree[i];
                 sampler.tree[parent] += v;
             }
-            sampler.total += w;
         }
         sampler
     }
@@ -96,8 +120,9 @@ impl FenwickSampler {
         if delta >= 0 {
             let d = delta as u64;
             self.total += d;
+            self.leaves[index] += d;
             let mut i = index + 1;
-            while i <= self.len {
+            while i <= self.top_bit {
                 self.tree[i] += d;
                 i += i & i.wrapping_neg();
             }
@@ -105,8 +130,9 @@ impl FenwickSampler {
             let d = delta.unsigned_abs();
             assert!(self.weight(index) >= d, "weight underflow at index {index}");
             self.total -= d;
+            self.leaves[index] -= d;
             let mut i = index + 1;
-            while i <= self.len {
+            while i <= self.top_bit {
                 self.tree[i] -= d;
                 i += i & i.wrapping_neg();
             }
@@ -116,7 +142,7 @@ impl FenwickSampler {
     /// Current weight of category `index`.
     #[must_use]
     pub fn weight(&self, index: usize) -> u64 {
-        self.prefix_sum(index + 1) - self.prefix_sum(index)
+        self.leaves[index]
     }
 
     /// Sum of weights of categories `0..end`.
@@ -138,19 +164,84 @@ impl FenwickSampler {
     ///
     /// Panics if `target >= total()`.
     #[must_use]
-    pub fn select(&self, mut target: u64) -> usize {
+    pub fn select(&self, target: u64) -> usize {
         assert!(target < self.total, "select target beyond total weight");
-        let mut pos = 0;
-        let mut step = self.top_bit;
-        while step > 0 {
-            let next = pos + step;
-            if next <= self.len && self.tree[next] <= target {
-                target -= self.tree[next];
-                pos = next;
+        if self.len <= LINEAR_SCAN_LIMIT {
+            // Branchless cumulative scan: count the categories whose
+            // inclusive prefix sum is still `<= target`; that count is the
+            // selected index. No data-dependent branches, no dependent loads.
+            let mut acc = 0u64;
+            let mut pos = 0usize;
+            for &w in &self.leaves {
+                acc += w;
+                pos += (acc <= target) as usize;
             }
+            return pos;
+        }
+        let mut rem = target;
+        let mut pos = 0;
+        // The padded root `tree[top_bit]` is the full sum, which a target
+        // `< total` can never take, so the descent starts one level below.
+        let mut step = self.top_bit >> 1;
+        // Branchless descent: with the tree padded to a power of two,
+        // `pos + step` is always in bounds, and the take/skip decision is a
+        // mask instead of a data-dependent branch. Padded categories have
+        // weight zero, so a target `< total` can never land on one.
+        while step > 0 {
+            let v = self.tree[pos + step];
+            let take = (v <= rem) as u64;
+            rem -= v & take.wrapping_neg();
+            pos += step & (take as usize).wrapping_neg();
             step >>= 1;
         }
         pos // 0-based index of the selected category
+    }
+
+    /// Runs the inverse-CDF walks for `target` and `target + 1` in a single
+    /// fused descent, returning `(select(target), select(target + 1))`.
+    ///
+    /// The two walkers probe the same tree node at every level until their
+    /// paths diverge, so the second answer is nearly free compared to two
+    /// independent walks. The results are bit-identical to calling
+    /// [`FenwickSampler::select`] twice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target + 1 >= total()`.
+    #[must_use]
+    pub fn select_pair(&self, target: u64) -> (usize, usize) {
+        assert!(
+            target < self.total && target + 1 < self.total,
+            "select_pair target beyond total weight"
+        );
+        if self.len <= LINEAR_SCAN_LIMIT {
+            let mut acc = 0u64;
+            let mut pos0 = 0usize;
+            let mut pos1 = 0usize;
+            for &w in &self.leaves {
+                acc += w;
+                pos0 += (acc <= target) as usize;
+                pos1 += (acc <= target + 1) as usize;
+            }
+            return (pos0, pos1);
+        }
+        let mut rem0 = target;
+        let mut rem1 = target + 1;
+        let mut pos0 = 0;
+        let mut pos1 = 0;
+        let mut step = self.top_bit >> 1;
+        while step > 0 {
+            let v0 = self.tree[pos0 + step];
+            let take0 = (v0 <= rem0) as u64;
+            rem0 -= v0 & take0.wrapping_neg();
+            pos0 += step & (take0 as usize).wrapping_neg();
+            let v1 = self.tree[pos1 + step];
+            let take1 = (v1 <= rem1) as u64;
+            rem1 -= v1 & take1.wrapping_neg();
+            pos1 += step & (take1 as usize).wrapping_neg();
+            step >>= 1;
+        }
+        (pos0, pos1)
     }
 
     /// Draws a category with probability proportional to its weight.
@@ -250,6 +341,142 @@ mod tests {
         assert!((hits[0] as f64 / trials as f64 - 0.1).abs() < 0.02);
         assert!((hits[1] as f64 / trials as f64 - 0.3).abs() < 0.02);
         assert!((hits[2] as f64 / trials as f64 - 0.6).abs() < 0.02);
+    }
+
+    #[test]
+    fn new_zero_categories_is_inert() {
+        let s = FenwickSampler::new(0);
+        assert_eq!(s.len(), 0);
+        assert!(s.is_empty());
+        assert_eq!(s.total(), 0);
+        assert_eq!(s.top_bit, 0);
+        assert_eq!(s.prefix_sum(0), 0);
+        assert_eq!(s.prefix_sum(10), 0);
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert_eq!(s.sample(&mut rng), None);
+    }
+
+    #[test]
+    fn top_bit_is_padded_capacity() {
+        assert_eq!(FenwickSampler::new(0).top_bit, 0);
+        for (len, expected) in [
+            (1usize, 1usize),
+            (2, 2),
+            (3, 4),
+            (4, 4),
+            (5, 8),
+            (7, 8),
+            (8, 8),
+            (9, 16),
+            (100, 128),
+            (1000, 1024),
+            (1024, 1024),
+        ] {
+            let s = FenwickSampler::new(len);
+            assert_eq!(s.top_bit, expected, "len {len}");
+            assert_eq!(s.tree.len(), expected + 1, "len {len}");
+        }
+    }
+
+    #[test]
+    fn single_category_absorbs_everything() {
+        let mut s = FenwickSampler::from_weights(&[7]);
+        assert_eq!(s.total(), 7);
+        for t in 0..7 {
+            assert_eq!(s.select(t), 0);
+        }
+        for t in 0..6 {
+            assert_eq!(s.select_pair(t), (0, 0));
+        }
+        s.add(0, -7);
+        assert_eq!(s.total(), 0);
+        let mut rng = SmallRng::seed_from_u64(5);
+        assert_eq!(s.sample(&mut rng), None);
+    }
+
+    #[test]
+    fn total_weight_one_always_hits_the_unit_category() {
+        let s = FenwickSampler::from_weights(&[0, 0, 1, 0]);
+        assert_eq!(s.total(), 1);
+        assert_eq!(s.select(0), 2);
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..50 {
+            assert_eq!(s.sample(&mut rng), Some(2));
+        }
+    }
+
+    #[test]
+    fn weight_to_zero_and_back_is_consistent() {
+        let mut s = FenwickSampler::from_weights(&[4, 6, 2]);
+        s.add(1, -6);
+        assert_eq!(s.weight(1), 0);
+        assert_eq!(s.total(), 6);
+        // With category 1 empty, targets inside what used to be its range
+        // must fall through to category 2.
+        assert_eq!(s.select(3), 0);
+        assert_eq!(s.select(4), 2);
+        assert_eq!(s.select(5), 2);
+        s.add(1, 6);
+        assert_eq!(s.weight(1), 6);
+        assert_eq!(s.total(), 12);
+        assert_eq!(s.select(4), 1);
+        assert_eq!(s.select(10), 2);
+        // The tree must be bit-identical to a fresh build of the same
+        // weights, including the padded parents.
+        let fresh = FenwickSampler::from_weights(&[4, 6, 2]);
+        assert_eq!(s.tree, fresh.tree);
+    }
+
+    #[test]
+    fn select_pair_matches_two_independent_walks() {
+        let mut rng = SmallRng::seed_from_u64(2024);
+        use rand::Rng;
+        for len in [1usize, 2, 3, 5, 8, 13, 64, 257] {
+            let weights: Vec<u64> = (0..len).map(|_| rng.gen_range(0..5)).collect();
+            let s = FenwickSampler::from_weights(&weights);
+            if s.total() < 2 {
+                continue;
+            }
+            for _ in 0..200 {
+                let t = rng.gen_range(0..s.total() - 1);
+                assert_eq!(s.select_pair(t), (s.select(t), s.select(t + 1)));
+            }
+        }
+    }
+
+    /// The linear-scan fast path and the tree descent must agree exactly;
+    /// straddle the cutoff and force both paths onto the same weights by
+    /// appending zero-weight categories to push `len` past the limit.
+    #[test]
+    fn linear_scan_agrees_with_tree_descent_across_the_cutoff() {
+        let mut rng = SmallRng::seed_from_u64(77);
+        use rand::Rng;
+        for len in [1usize, 4, 63, 64, 65, 128] {
+            let weights: Vec<u64> = (0..len).map(|_| rng.gen_range(0..5)).collect();
+            let small = FenwickSampler::from_weights(&weights);
+            let mut padded = weights.clone();
+            padded.resize(len.max(LINEAR_SCAN_LIMIT + 1), 0);
+            let large = FenwickSampler::from_weights(&padded);
+            assert!(large.len() > LINEAR_SCAN_LIMIT);
+            assert_eq!(small.total(), large.total());
+            for t in 0..small.total() {
+                assert_eq!(small.select(t), large.select(t), "len {len} target {t}");
+            }
+            for t in 0..small.total().saturating_sub(1) {
+                assert_eq!(
+                    small.select_pair(t),
+                    large.select_pair(t),
+                    "len {len} target {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond total")]
+    fn select_pair_rejects_target_whose_successor_overflows_total() {
+        let s = FenwickSampler::from_weights(&[1, 1]);
+        let _ = s.select_pair(1);
     }
 
     #[test]

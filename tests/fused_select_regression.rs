@@ -1,0 +1,107 @@
+//! Pins the fused double-select rewrite of `CountSim`'s second-agent draw.
+//!
+//! PR 4 replaced the two independent Fenwick walks — `select(t)` then
+//! conditionally `select(t + 1)` — with one fused `select_pair(t)` descent.
+//! The optimization is only sound if it is invisible: the same `(i, j)`
+//! species pair must come out of the same RNG draws, so that golden traces
+//! and every seeded experiment stay byte-identical. This test drives the
+//! real engine against an independent replica of the *old* two-walk step
+//! loop and checks counts and RNG stream stay in lockstep.
+
+use avc_population::engine::{CountSim, Simulator};
+use avc_population::sampler::FenwickSampler;
+use avc_population::{Config, Protocol, StateId};
+use avc_protocols::{FourState, ThreeState};
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// One step of the pre-PR-4 `CountSim` loop: identical draws, but the
+/// second agent's species is resolved with two independent `select` walks.
+fn old_style_step<P: Protocol>(
+    protocol: &P,
+    counts: &mut [u64],
+    sampler: &mut FenwickSampler,
+    rng: &mut SmallRng,
+) {
+    let total = sampler.total();
+    let i = sampler.select(rng.gen_range(0..total)) as StateId;
+    let t = rng.gen_range(0..total - 1);
+    let s0 = sampler.select(t) as StateId;
+    let j = if s0 < i {
+        s0
+    } else {
+        sampler.select(t + 1) as StateId
+    };
+    let (x, y) = protocol.transition(i, j);
+    if (x == i && y == j) || (x == j && y == i) {
+        return;
+    }
+    for (k, d) in [(i, -1i64), (j, -1), (x, 1), (y, 1)] {
+        counts[k as usize] = (counts[k as usize] as i64 + d) as u64;
+        sampler.add(k as usize, d);
+    }
+}
+
+/// Runs `steps` steps on both implementations from the same seed and
+/// asserts identical configurations throughout and an identical RNG stream
+/// afterwards.
+fn assert_lockstep<P: Protocol + Clone>(protocol: P, a: u64, b: u64, seed: u64, steps: u64) {
+    let config = Config::from_input(&protocol, a, b);
+    let mut counts: Vec<u64> = config.as_slice().to_vec();
+    let mut sampler = FenwickSampler::from_weights(&counts);
+    let mut sim = CountSim::new(protocol.clone(), config);
+    let mut rng_new = SmallRng::seed_from_u64(seed);
+    let mut rng_old = SmallRng::seed_from_u64(seed);
+    for step in 0..steps {
+        sim.advance(&mut rng_new);
+        old_style_step(&protocol, &mut counts, &mut sampler, &mut rng_old);
+        assert_eq!(
+            sim.counts(),
+            counts.as_slice(),
+            "configurations diverged at step {step}"
+        );
+    }
+    // Same draws consumed: the streams must continue identically.
+    for _ in 0..8 {
+        assert_eq!(
+            rng_new.next_u64(),
+            rng_old.next_u64(),
+            "RNG streams diverged"
+        );
+    }
+}
+
+#[test]
+fn fused_select_is_invisible_on_four_state() {
+    for seed in 0..5 {
+        assert_lockstep(FourState, 60, 41, seed, 4_000);
+    }
+}
+
+#[test]
+fn fused_select_is_invisible_on_three_state() {
+    // Asymmetric protocol: initiator/responder order matters, so any (i, j)
+    // swap introduced by the fused walk would show up immediately.
+    for seed in 5..10 {
+        assert_lockstep(ThreeState::new(), 35, 25, seed, 4_000);
+    }
+}
+
+#[test]
+fn select_pair_matches_two_walks_on_random_weights() {
+    let mut rng = SmallRng::seed_from_u64(99);
+    for _ in 0..50 {
+        let len = rng.gen_range(1..200usize);
+        let weights: Vec<u64> = (0..len).map(|_| rng.gen_range(0..7)).collect();
+        let sampler = FenwickSampler::from_weights(&weights);
+        if sampler.total() < 2 {
+            continue;
+        }
+        for _ in 0..100 {
+            let t = rng.gen_range(0..sampler.total() - 1);
+            let (p0, p1) = sampler.select_pair(t);
+            assert_eq!(p0, sampler.select(t));
+            assert_eq!(p1, sampler.select(t + 1));
+        }
+    }
+}
