@@ -13,6 +13,7 @@
 //! | [`ablation_d`] | §6 discussion: sensitivity of AVC to the level count `d` |
 //! | [`dynamics`] | §4 analysis structure: weight halving + population split along a run |
 //! | [`graph_gap`] | \[DV12]: four-state time vs interaction-graph spectral gap |
+//! | [`robustness`] | §2 model discussion: exactness under adversarial schedulers and injected faults |
 //!
 //! [`Table`]: crate::table::Table
 
@@ -22,6 +23,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod four_state_scaling;
 pub mod graph_gap;
+pub mod robustness;
 pub mod three_state_error;
 
 /// Writes a table as CSV under `results/` and prints its markdown rendering.

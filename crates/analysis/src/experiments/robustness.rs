@@ -1,0 +1,595 @@
+//! Protocol robustness under adversarial schedulers and injected faults.
+//!
+//! The paper proves AVC exact under the uniform scheduler, and the
+//! four-state baseline is exact under any *fair* scheduler \[DV12]. This
+//! experiment probes both protocols across a grid of scenarios: four
+//! adversarial (but fair, fault-free) schedulers from
+//! [`avc_population::sched`], plus crash/revive and state-corruption fault
+//! scenarios from [`avc_population::faults`]. Reported per cell: the
+//! wrong-consensus fraction (exactness violations), timeout count, and the
+//! convergence-time summary, from which the export derives per-scenario
+//! *slowdown factors* relative to the uniform baseline.
+//!
+//! Headline structure of the results: both protocols stay exact in every
+//! cell; AVC additionally *stalls* (times out in a frozen mixed
+//! configuration, never answering wrong) when the schedule is restricted
+//! to a sparse interaction graph, while the four-state protocol converges
+//! on any connected graph per \[DV12].
+//!
+//! Every scenario is deterministic per seed: schedulers draw all
+//! randomness from the trial RNG, and fault injection draws none, so a
+//! cell replays bit-identically — the property the checkpoint/resume
+//! byte-identity of the `robustness` sweep spec rests on.
+
+use crate::harness::{run_indexed_with_stats, Parallelism, StatsCollector};
+use crate::stats::Summary;
+use crate::table::{fmt_num, Table};
+use avc_population::cached::Cached;
+use avc_population::driver::{Driver, NullObserver};
+use avc_population::engine::AgentSim;
+use avc_population::faults::{Fault, FaultPlan};
+use avc_population::graph::Graph;
+use avc_population::rngutil::SeedSequence;
+use avc_population::sched::{BiasedPair, EpochBatched, GraphRestricted, LaggardStarving};
+use avc_population::spec::RunOutcome;
+use avc_population::{
+    Config as PopulationConfig, ConvergenceRule, MajorityInstance, Opinion, Protocol,
+};
+use avc_protocols::{Avc, FourState};
+
+/// Protocols measured, in cell order. AVC runs with `m = 7, d = 1`
+/// (10 states — exactness is parameter-independent; speed is not the
+/// subject here).
+pub const PROTOCOLS: [&str; 2] = ["avc", "four_state"];
+
+/// Parameters for the robustness experiment.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Population size (odd, so the majority instance is never a tie).
+    pub n: u64,
+    /// Margin.
+    pub epsilon: f64,
+    /// Runs per (protocol, scenario) cell.
+    pub runs: u64,
+    /// Master seed.
+    pub seed: u64,
+    /// Step budget per run (slow scenarios are reported as timeouts).
+    pub max_steps: u64,
+    /// Thread sharding of each cell's trials (results are unaffected).
+    pub parallelism: Parallelism,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            n: 201,
+            epsilon: 0.2,
+            runs: 25,
+            seed: 77,
+            max_steps: 100_000_000,
+            parallelism: Parallelism::default(),
+        }
+    }
+}
+
+impl Config {
+    /// A downscaled configuration for smoke tests and CI.
+    #[must_use]
+    pub fn quick() -> Config {
+        Config {
+            n: 41,
+            epsilon: 0.5,
+            runs: 6,
+            seed: 77,
+            max_steps: 10_000_000,
+            parallelism: Parallelism::default(),
+        }
+    }
+
+    /// Builds a configuration from parsed CLI arguments (`--quick`, `--n`,
+    /// `--runs`, `--seed`, `--serial`/`--threads`).
+    #[must_use]
+    pub fn from_args(args: &crate::cli::Args) -> Config {
+        let mut config = if args.flag("quick") {
+            Config::quick()
+        } else {
+            Config::default()
+        };
+        config.n = args.get_u64("n", config.n);
+        config.runs = args.get_u64("runs", config.runs);
+        config.seed = args.get_u64("seed", config.seed);
+        config.parallelism = args.parallelism();
+        config
+    }
+}
+
+/// How one scenario perturbs the run (parameters already resolved for a
+/// concrete population size).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioKind {
+    /// The uniform baseline every slowdown factor is measured against.
+    Uniform,
+    /// [`BiasedPair`] hammering a hot clique of `hot` agents.
+    Biased {
+        /// Hot-set size.
+        hot: usize,
+        /// Probability a step stays inside the hot set.
+        bias: f64,
+    },
+    /// [`LaggardStarving`] the `laggards` highest-numbered agents.
+    Starved {
+        /// Starved-set size.
+        laggards: usize,
+        /// Steps between laggard-eligible slots.
+        period: u64,
+    },
+    /// [`EpochBatched`] random perfect matchings.
+    Epoch,
+    /// [`GraphRestricted`] to the star (all traffic through one center).
+    StarRestricted,
+    /// [`GraphRestricted`] to the cycle (worst standard spectral gap).
+    CycleRestricted,
+    /// Crash `agents` agents at step `crash_at`, revive them all at
+    /// `revive_at` (uniform scheduling throughout).
+    CrashRevive {
+        /// Number of crashed agents (ids `0..agents`).
+        agents: usize,
+        /// Crash step.
+        crash_at: u64,
+        /// Revive step.
+        revive_at: u64,
+    },
+    /// At step `at`, corrupt `agents` agents from the initial-A state to
+    /// the initial-B state (uniform scheduling throughout).
+    Corrupt {
+        /// Number of corrupted agents (clamped to the source count).
+        agents: u64,
+        /// Corruption step.
+        at: u64,
+    },
+}
+
+/// One row of the scenario grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Short cell label (`uniform`, `biased`, `crash_revive`, …).
+    pub label: String,
+    /// The perturbation.
+    pub kind: ScenarioKind,
+}
+
+impl Scenario {
+    /// Whether the scenario injects faults (as opposed to only skewing
+    /// the schedule).
+    #[must_use]
+    pub fn is_faulty(&self) -> bool {
+        matches!(
+            self.kind,
+            ScenarioKind::CrashRevive { .. } | ScenarioKind::Corrupt { .. }
+        )
+    }
+
+    /// The scenario's scheduler description, for manifests and tables.
+    #[must_use]
+    pub fn scheduler_spec(&self) -> String {
+        match &self.kind {
+            ScenarioKind::Biased { hot, bias } => format!("biased(hot={hot},bias={bias})"),
+            ScenarioKind::Starved { laggards, period } => {
+                format!("starved(laggards={laggards},period={period})")
+            }
+            ScenarioKind::Epoch => "epoch".to_string(),
+            ScenarioKind::StarRestricted => "restricted(star)".to_string(),
+            ScenarioKind::CycleRestricted => "restricted(cycle)".to_string(),
+            ScenarioKind::Uniform
+            | ScenarioKind::CrashRevive { .. }
+            | ScenarioKind::Corrupt { .. } => "uniform".to_string(),
+        }
+    }
+
+    /// The scenario's fault-plan description, for manifests and tables
+    /// (`none` for fault-free scenarios).
+    #[must_use]
+    pub fn fault_spec(&self) -> String {
+        match &self.kind {
+            ScenarioKind::CrashRevive {
+                agents,
+                crash_at,
+                revive_at,
+            } => format!("crash_revive(agents={agents},crash_at={crash_at},revive_at={revive_at})"),
+            ScenarioKind::Corrupt { agents, at } => {
+                format!("corrupt(agents={agents},at={at},A->B)")
+            }
+            _ => "none".to_string(),
+        }
+    }
+}
+
+/// The scenario grid at population `n` (parameters scale with `n`).
+#[must_use]
+pub fn scenarios(n: u64) -> Vec<Scenario> {
+    let mk = |label: &str, kind| Scenario {
+        label: label.to_string(),
+        kind,
+    };
+    vec![
+        mk("uniform", ScenarioKind::Uniform),
+        mk(
+            "biased",
+            ScenarioKind::Biased {
+                hot: (n as usize / 10).max(2),
+                bias: 0.5,
+            },
+        ),
+        mk(
+            "starved",
+            ScenarioKind::Starved {
+                laggards: (n as usize / 4).max(1),
+                period: 16,
+            },
+        ),
+        mk("epoch", ScenarioKind::Epoch),
+        mk("star_restricted", ScenarioKind::StarRestricted),
+        mk("cycle_restricted", ScenarioKind::CycleRestricted),
+        mk(
+            "crash_revive",
+            ScenarioKind::CrashRevive {
+                agents: (n as usize / 10).max(1),
+                crash_at: n,
+                revive_at: 20 * n,
+            },
+        ),
+        mk(
+            "corrupt",
+            ScenarioKind::Corrupt {
+                agents: (n / 20).max(1),
+                at: n,
+            },
+        ),
+    ]
+}
+
+/// One (protocol, scenario) cell's measurement.
+///
+/// Exactness and convergence are reported separately: a run that
+/// *converges to the wrong majority* violates exactness
+/// (`wrong_fraction`), while a run that never converges within the step
+/// budget is a `timeout` — AVC under graph-restricted schedules stalls in
+/// mixed configurations (its transition structure assumes the clique) but
+/// never reports a wrong answer.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Protocol name (an entry of [`PROTOCOLS`]).
+    pub protocol: String,
+    /// The scenario measured.
+    pub scenario: Scenario,
+    /// Fraction of runs converging to the *wrong* majority (exactness
+    /// violations).
+    pub wrong_fraction: f64,
+    /// Runs that hit the step budget without converging.
+    pub timeouts: u64,
+    /// Parallel-time summary over converged runs (`None` if every run hit
+    /// the budget).
+    pub summary: Option<Summary>,
+    /// Runs attempted.
+    pub runs: u64,
+}
+
+/// Runs one trial of `protocol` under `scenario`.
+///
+/// # Panics
+///
+/// Panics if a fault is rejected by the engine (mis-specified scenario).
+pub fn run_scenario<P: Protocol>(
+    protocol: &P,
+    a: u64,
+    b: u64,
+    scenario: &ScenarioKind,
+    max_steps: u64,
+    rng: &mut rand::rngs::SmallRng,
+) -> RunOutcome {
+    let initial = PopulationConfig::from_input(protocol, a, b);
+    let n = initial.population() as usize;
+    let graph = Graph::clique(n);
+    let driver = Driver::new(ConvergenceRule::OutputConsensus).with_max_steps(max_steps);
+    let obs = &mut NullObserver;
+    match scenario {
+        ScenarioKind::Uniform => driver.run(&mut AgentSim::new(protocol, initial, graph), rng, obs),
+        ScenarioKind::Biased { hot, bias } => {
+            let sched = BiasedPair::new(*hot, *bias);
+            driver.run(
+                &mut AgentSim::with_scheduler(protocol, initial, graph, sched),
+                rng,
+                obs,
+            )
+        }
+        ScenarioKind::Starved { laggards, period } => {
+            let sched = LaggardStarving::new(*laggards, *period);
+            driver.run(
+                &mut AgentSim::with_scheduler(protocol, initial, graph, sched),
+                rng,
+                obs,
+            )
+        }
+        ScenarioKind::Epoch => driver.run(
+            &mut AgentSim::with_scheduler(protocol, initial, graph, EpochBatched::new()),
+            rng,
+            obs,
+        ),
+        ScenarioKind::StarRestricted => {
+            let sched = GraphRestricted::new(Graph::star(n));
+            driver.run(
+                &mut AgentSim::with_scheduler(protocol, initial, graph, sched),
+                rng,
+                obs,
+            )
+        }
+        ScenarioKind::CycleRestricted => {
+            let sched = GraphRestricted::new(Graph::cycle(n));
+            driver.run(
+                &mut AgentSim::with_scheduler(protocol, initial, graph, sched),
+                rng,
+                obs,
+            )
+        }
+        ScenarioKind::CrashRevive {
+            agents,
+            crash_at,
+            revive_at,
+        } => {
+            let mut events = Vec::with_capacity(2 * agents);
+            for agent in 0..*agents {
+                events.push(avc_population::faults::FaultEvent {
+                    at_step: *crash_at,
+                    fault: Fault::Crash { agent },
+                });
+                events.push(avc_population::faults::FaultEvent {
+                    at_step: *revive_at,
+                    fault: Fault::Revive { agent },
+                });
+            }
+            let mut plan = FaultPlan::from_events(events);
+            driver.run_faulted(
+                &mut AgentSim::new(protocol, initial, graph),
+                rng,
+                obs,
+                &mut plan,
+            )
+        }
+        ScenarioKind::Corrupt { agents, at } => {
+            let mut plan = FaultPlan::new().at(
+                *at,
+                Fault::Corrupt {
+                    from: protocol.input(Opinion::A),
+                    to: protocol.input(Opinion::B),
+                    agents: *agents,
+                },
+            );
+            driver.run_faulted(
+                &mut AgentSim::new(protocol, initial, graph),
+                rng,
+                obs,
+                &mut plan,
+            )
+        }
+    }
+}
+
+/// Runs the experiment.
+#[must_use]
+pub fn run(config: &Config) -> Vec<Point> {
+    run_with_stats(config, &StatsCollector::new())
+}
+
+/// As [`run`], folding per-cell throughput telemetry into `stats`.
+#[must_use]
+pub fn run_with_stats(config: &Config, stats: &StatsCollector) -> Vec<Point> {
+    let num_scenarios = scenarios(config.n).len();
+    (0..PROTOCOLS.len())
+        .flat_map(|pi| (0..num_scenarios).map(move |si| (pi, si)))
+        .map(|(pi, si)| run_point(config, pi, si, stats))
+        .collect()
+}
+
+/// One cell's raw trial outcomes. The protocol's transition table is
+/// shared (read-only) across the cell's threads.
+fn measure<P: Protocol + Sync>(
+    config: &Config,
+    protocol: &P,
+    inst: &MajorityInstance,
+    scenario: &ScenarioKind,
+    cell_seeds: &SeedSequence,
+) -> (Vec<RunOutcome>, crate::harness::BatchStats) {
+    run_indexed_with_stats(config.runs, config.parallelism, |trial| {
+        let mut rng = cell_seeds.rng_for(trial);
+        let out = run_scenario(
+            protocol,
+            inst.a(),
+            inst.b(),
+            scenario,
+            config.max_steps,
+            &mut rng,
+        );
+        (out, out.steps)
+    })
+}
+
+/// Runs one cell; `pi` indexes [`PROTOCOLS`], `si` indexes
+/// [`scenarios`]`(config.n)`. Trial seeds derive from `(pi, si)` alone, so
+/// a cell reruns identically in isolation (the basis of
+/// checkpoint/resume).
+///
+/// # Panics
+///
+/// Panics if either index is out of range.
+#[must_use]
+pub fn run_point(config: &Config, pi: usize, si: usize, stats: &StatsCollector) -> Point {
+    let scenario = scenarios(config.n)
+        .into_iter()
+        .nth(si)
+        .expect("scenario index in range");
+    let num_scenarios = scenarios(config.n).len();
+    let cell_seeds = SeedSequence::new(config.seed).child((pi * num_scenarios + si) as u64);
+    let inst = MajorityInstance::with_margin(config.n, config.epsilon);
+    let name = PROTOCOLS[pi];
+    let (outcomes, batch) = match name {
+        "avc" => {
+            let protocol = Cached::new(Avc::new(7, 1).expect("valid parameters"));
+            measure(config, &protocol, &inst, &scenario.kind, &cell_seeds)
+        }
+        "four_state" => {
+            let protocol = Cached::new(FourState);
+            measure(config, &protocol, &inst, &scenario.kind, &cell_seeds)
+        }
+        other => unreachable!("unknown protocol {other}"),
+    };
+    stats.record(&batch);
+    let expected = inst.winner().expect("positive margin has a winner");
+    let wrong = outcomes
+        .iter()
+        .filter(|o| o.verdict.is_consensus() && !o.verdict.is_correct(expected))
+        .count() as u64;
+    let timeouts = outcomes
+        .iter()
+        .filter(|o| !o.verdict.is_consensus())
+        .count() as u64;
+    let times: Vec<f64> = outcomes
+        .iter()
+        .filter(|o| o.verdict.is_consensus())
+        .map(|o| o.parallel_time)
+        .collect();
+    let summary = (!times.is_empty()).then(|| Summary::from_samples(&times));
+    Point {
+        protocol: name.to_string(),
+        scenario,
+        wrong_fraction: wrong as f64 / config.runs as f64,
+        timeouts,
+        summary,
+        runs: config.runs,
+    }
+}
+
+/// Per-scenario slowdown factors relative to each protocol's uniform
+/// baseline: `(protocol, scenario_label, mean / uniform_mean)`. Cells
+/// whose baseline or own mean is unavailable are omitted.
+#[must_use]
+pub fn slowdowns(points: &[Point]) -> Vec<(String, String, f64)> {
+    let mut out = Vec::new();
+    for protocol in PROTOCOLS {
+        let baseline = points
+            .iter()
+            .find(|p| p.protocol == protocol && p.scenario.label == "uniform")
+            .and_then(|p| p.summary.as_ref().map(|s| s.mean));
+        let Some(base) = baseline else { continue };
+        for p in points.iter().filter(|p| p.protocol == protocol) {
+            if p.scenario.label == "uniform" {
+                continue;
+            }
+            if let Some(s) = &p.summary {
+                out.push((
+                    protocol.to_string(),
+                    p.scenario.label.clone(),
+                    s.mean / base,
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Renders the result table.
+#[must_use]
+pub fn table(points: &[Point], config: &Config) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Robustness under adversarial schedulers and faults (n = {}, eps = {}, {} runs)",
+            config.n, config.epsilon, config.runs
+        ),
+        [
+            "protocol",
+            "scenario",
+            "scheduler",
+            "faults",
+            "wrong_consensus",
+            "mean_parallel_time",
+            "std_dev",
+            "timeouts",
+            "runs",
+        ],
+    );
+    for p in points {
+        let (mean, std) = match &p.summary {
+            Some(s) => (fmt_num(s.mean), fmt_num(s.std_dev)),
+            None => ("-".to_string(), "-".to_string()),
+        };
+        t.push_row([
+            p.protocol.clone(),
+            p.scenario.label.clone(),
+            p.scenario.scheduler_spec(),
+            p.scenario.fault_spec(),
+            fmt_num(p.wrong_fraction),
+            mean,
+            std,
+            p.timeouts.to_string(),
+            p.runs.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_grid_is_exact_where_the_paper_says_so() {
+        let config = Config::quick();
+        let points = run(&config);
+        assert_eq!(points.len(), PROTOCOLS.len() * scenarios(config.n).len());
+        for p in &points {
+            // Exactness: no scenario — adversarial or faulted — may
+            // produce a wrong consensus at these fault magnitudes.
+            assert_eq!(
+                p.wrong_fraction, 0.0,
+                "{} answered wrong under {}",
+                p.protocol, p.scenario.label
+            );
+            // four_state converges under every scenario (\[DV12] holds on
+            // any connected graph), as does AVC under the clique-fair
+            // schedulers; AVC stalls when the schedule is restricted to a
+            // sparse graph — its transition structure assumes the clique.
+            let avc_stalls = p.protocol == "avc"
+                && matches!(
+                    p.scenario.kind,
+                    ScenarioKind::StarRestricted | ScenarioKind::CycleRestricted
+                );
+            if avc_stalls {
+                assert_eq!(p.timeouts, p.runs, "AVC unexpectedly converged");
+            } else {
+                assert_eq!(
+                    p.timeouts, 0,
+                    "{} timed out under {}",
+                    p.protocol, p.scenario.label
+                );
+            }
+        }
+        // Slowdowns resolve against the uniform baselines.
+        let factors = slowdowns(&points);
+        assert!(factors
+            .iter()
+            .any(|(p, s, _)| p == "four_state" && s == "cycle_restricted"));
+    }
+
+    #[test]
+    fn cells_rerun_identically_in_isolation() {
+        let config = Config::quick();
+        let stats = StatsCollector::new();
+        let a = run_point(&config, 1, 2, &stats);
+        let b = run_point(&config, 1, 2, &stats);
+        assert_eq!(a.wrong_fraction, b.wrong_fraction);
+        assert_eq!(a.timeouts, b.timeouts);
+        assert_eq!(
+            a.summary.as_ref().map(|s| s.mean),
+            b.summary.as_ref().map(|s| s.mean)
+        );
+    }
+}

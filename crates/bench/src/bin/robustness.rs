@@ -1,0 +1,11 @@
+//! Regenerates the **robustness study**: AVC and four-state exactness and
+//! slowdown under adversarial schedulers (biased, starving, epoch-batched,
+//! graph-restricted) and injected faults (crash/revive, state corruption).
+//!
+//! Alias for `avc sweep robustness` followed by `avc export robustness`
+//! (flags: `--quick --n --runs --seed --serial/--threads --progress
+//! --out`), with checkpoint/resume through the result store.
+
+fn main() {
+    avc_store::cli::legacy("robustness");
+}

@@ -33,6 +33,7 @@
 use crate::engine::{
     silent_verdict, AdvanceReport, ChunkedSimulator, Simulator, StopCondition, StopReason,
 };
+use crate::faults::{Fault, FaultPlan};
 use crate::protocol::{Opinion, StateId};
 use crate::spec::{ConvergenceRule, RunOutcome, Verdict};
 use rand::RngCore;
@@ -87,6 +88,9 @@ pub enum DriverEvent {
     /// The run ended with this verdict; the view shows the terminal
     /// configuration.
     Finished(Verdict),
+    /// A fault from the run's [`FaultPlan`] was just injected; the view
+    /// shows the post-injection configuration.
+    Fault(Fault),
 }
 
 /// A pluggable consumer of driver progress.
@@ -173,7 +177,9 @@ impl Driver {
         R: RngCore + ?Sized,
         O: Observer + ?Sized,
     {
-        self.drive(sim, rng, observer, |s, r, stop| s.advance_chunk(r, stop))
+        self.drive(sim, rng, observer, None, |s, r, stop| {
+            s.advance_chunk(r, stop)
+        })
     }
 
     /// Runs `sim` through the object-safe [`Simulator::advance_upto`]
@@ -184,7 +190,69 @@ impl Driver {
         S: Simulator + ?Sized,
         O: Observer + ?Sized,
     {
-        self.drive(sim, rng, observer, |s, r, stop| s.advance_upto(r, stop))
+        self.drive(sim, rng, observer, None, |s, r, stop| {
+            s.advance_upto(r, stop)
+        })
+    }
+
+    /// As [`Driver::run`], injecting the faults of `faults` as the run
+    /// crosses their scheduled steps.
+    ///
+    /// Each fault fires at the first *reachable* step at or after its
+    /// `at_step` (chunks are cut at pending fault steps, so non-batching
+    /// engines land exactly; batching engines may overshoot like they do
+    /// observer cadences), *before* the convergence rule is evaluated at
+    /// that step. The observer sees every injection as a
+    /// [`DriverEvent::Fault`]. Injection draws no randomness, so the RNG
+    /// stream is identical to a fault-free run of the same length. An
+    /// empty plan makes this exactly [`Driver::run`].
+    ///
+    /// A run that ends (verdict reached, or a batching engine reports the
+    /// configuration silent) before a scheduled fault's step never applies
+    /// that fault; [`FaultPlan::remaining`] exposes how many were left.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine rejects a fault
+    /// (see [`Simulator::inject`]) — a mis-specified stress scenario is a
+    /// programming error, not a run outcome.
+    pub fn run_faulted<S, R, O>(
+        &self,
+        sim: &mut S,
+        rng: &mut R,
+        observer: &mut O,
+        faults: &mut FaultPlan,
+    ) -> RunOutcome
+    where
+        S: ChunkedSimulator + ?Sized,
+        R: RngCore + ?Sized,
+        O: Observer + ?Sized,
+    {
+        self.drive(sim, rng, observer, Some(faults), |s, r, stop| {
+            s.advance_chunk(r, stop)
+        })
+    }
+
+    /// As [`Driver::run_faulted`] over the object-safe
+    /// [`Simulator::advance_upto`] boundary.
+    ///
+    /// # Panics
+    ///
+    /// As [`Driver::run_faulted`].
+    pub fn run_faulted_dyn<S, O>(
+        &self,
+        sim: &mut S,
+        rng: &mut dyn RngCore,
+        observer: &mut O,
+        faults: &mut FaultPlan,
+    ) -> RunOutcome
+    where
+        S: Simulator + ?Sized,
+        O: Observer + ?Sized,
+    {
+        self.drive(sim, rng, observer, Some(faults), |s, r, stop| {
+            s.advance_upto(r, stop)
+        })
     }
 
     /// The single driver loop both entry points share. `chunk` hides which
@@ -194,6 +262,7 @@ impl Driver {
         sim: &mut S,
         rng: &mut R,
         observer: &mut O,
+        mut faults: Option<&mut FaultPlan>,
         mut chunk: F,
     ) -> RunOutcome
     where
@@ -216,8 +285,28 @@ impl Driver {
             _ => None,
         };
         let mut next_silence = silence_every.map_or(u64::MAX, |_| sim.steps());
+        let mut next_fault = faults
+            .as_deref()
+            .and_then(FaultPlan::next_step)
+            .unwrap_or(u64::MAX);
 
         let verdict = loop {
+            // Due faults fire before the rule is evaluated at this step,
+            // so a fault at the run's entry step perturbs the start state.
+            if sim.steps() >= next_fault {
+                let plan = faults
+                    .as_deref_mut()
+                    .expect("finite next_fault implies a plan");
+                for event in plan.take_due(sim.steps()) {
+                    match sim.inject(event.fault) {
+                        Ok(_) => {
+                            observer.on_event(&SimView::of(sim), &DriverEvent::Fault(event.fault));
+                        }
+                        Err(e) => panic!("fault injection failed at step {}: {e}", sim.steps()),
+                    }
+                }
+                next_fault = plan.next_step().unwrap_or(u64::MAX);
+            }
             if let Some(every) = silence_every {
                 if sim.steps() >= next_silence {
                     if sim.config_is_silent() {
@@ -232,7 +321,11 @@ impl Driver {
             if sim.steps() >= self.max_steps {
                 break Verdict::MaxSteps;
             }
-            let target = self.max_steps.min(next_sample).min(next_silence);
+            let target = self
+                .max_steps
+                .min(next_sample)
+                .min(next_silence)
+                .min(next_fault);
             let report = chunk(sim, rng, stop.with_max_steps(target));
             observer.on_chunk(&SimView::of(sim), &report);
             if sim.steps() >= next_sample {

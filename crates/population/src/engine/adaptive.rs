@@ -5,6 +5,7 @@ use crate::config::Config;
 use crate::engine::{
     AdvanceReport, ChunkedSimulator, CountSim, JumpSim, Simulator, StopCondition, StopReason,
 };
+use crate::faults::{Fault, FaultError};
 use crate::protocol::{Opinion, Protocol, StateId};
 use rand::RngCore;
 
@@ -142,6 +143,22 @@ impl<P: Protocol + Clone> Simulator for AdaptiveSim<P> {
 
     fn config_is_silent(&self) -> bool {
         self.dispatch().config_is_silent()
+    }
+
+    fn inject(&mut self, fault: Fault) -> Result<u64, FaultError> {
+        let result = match &mut self.inner {
+            Inner::Dense(sim) => sim.inject(fault),
+            Inner::Sparse(sim) => sim.inject(fault),
+            Inner::Switching => unreachable!("observed mid-handoff"),
+        };
+        // Report the outer engine's name, not the current phase's.
+        result.map_err(|e| match e {
+            FaultError::Unsupported { fault, .. } => FaultError::Unsupported {
+                engine: "AdaptiveSim",
+                fault,
+            },
+            other => other,
+        })
     }
 
     fn advance(&mut self, rng: &mut dyn RngCore) -> u64 {

@@ -2,16 +2,23 @@
 
 use crate::config::Config;
 use crate::engine::{AdvanceReport, ChunkedSimulator, Simulator, StopCondition, StopReason};
+use crate::faults::{Fault, FaultError};
 use crate::graph::Graph;
 use crate::protocol::{Opinion, Protocol, StateId};
+use crate::sched::{Scheduler, Uniform};
 use rand::RngCore;
 
-/// A per-agent engine supporting arbitrary interaction graphs.
+/// A per-agent engine supporting arbitrary interaction graphs and
+/// pluggable [`Scheduler`] strategies.
 ///
 /// Keeps one state per agent (`O(n)` memory) and performs one interaction
 /// per [`advance`](Simulator::advance) in `O(1)`. This is the reference
-/// engine the count-based engines are validated against, and the only one
-/// that supports non-complete interaction graphs.
+/// engine the count-based engines are validated against, the only one
+/// that supports non-complete interaction graphs, and — because agents
+/// have identity here — the only one that supports agent-addressed
+/// scheduling ([`crate::sched`]) and faults ([`crate::faults`]). The
+/// default scheduler is [`Uniform`], which consumes the RNG identically
+/// to sampling pairs straight from the graph.
 ///
 /// # Example
 ///
@@ -29,16 +36,43 @@ use rand::RngCore;
 /// assert!(out.verdict.is_consensus());
 /// ```
 #[derive(Debug, Clone)]
-pub struct AgentSim<P> {
+pub struct AgentSim<P, S = Uniform> {
     protocol: P,
     graph: Graph,
+    scheduler: S,
     states: States,
     counts: Vec<u64>,
     output_a: Vec<bool>,
     count_a: u64,
     unanimous: Option<StateId>,
+    /// Lazily allocated by the first agent-addressed fault; `None` keeps
+    /// the fault-free hot loop byte-identical to the pre-fault engine.
+    faults: Option<Box<AgentFaults>>,
     steps: u64,
     events: u64,
+}
+
+/// Per-agent fault flags (the fault overlay).
+///
+/// Once allocated it stays allocated — reviving the last crashed agent
+/// leaves all-false flag vectors behind, which the faulted loop handles
+/// identically to the fault-free loop (just with two extra bitvec reads
+/// per step).
+#[derive(Debug, Clone)]
+struct AgentFaults {
+    /// Crashed agents: scheduled steps touching them are burned.
+    crashed: Vec<bool>,
+    /// Stuck agents: they interact but their own state never changes.
+    stuck: Vec<bool>,
+}
+
+impl AgentFaults {
+    fn new(n: usize) -> AgentFaults {
+        AgentFaults {
+            crashed: vec![false; n],
+            stuck: vec![false; n],
+        }
+    }
 }
 
 /// Per-agent state storage, randomly indexed twice per step. When every
@@ -72,6 +106,13 @@ impl States {
             States::Wide(v) => v[agent],
         }
     }
+
+    fn set(&mut self, agent: usize, to: StateId) {
+        match self {
+            States::Narrow(v) => v[agent] = to as u8,
+            States::Wide(v) => v[agent] = to,
+        }
+    }
 }
 
 /// A fixed-width cell a `StateId` round-trips through losslessly (the
@@ -103,13 +144,16 @@ impl StateCell for StateId {
     }
 }
 
-/// The monomorphized hot loop, generic over the cell width so the narrow
-/// path pays no dispatch per access. Field references are passed split so
-/// the enum match happens once per chunk, not once per step.
+/// The monomorphized fault-free hot loop, generic over the cell width so
+/// the narrow path pays no dispatch per access. Field references are
+/// passed split so the enum match happens once per chunk, not once per
+/// step. The scheduler inlines too: under [`Uniform`] this compiles to
+/// exactly the pre-scheduler loop (same draws, same order).
 #[allow(clippy::too_many_arguments)]
-fn chunk_loop<C: StateCell, P: Protocol, R: RngCore + ?Sized>(
+fn chunk_loop<C: StateCell, P: Protocol, S: Scheduler, R: RngCore + ?Sized>(
     protocol: &P,
     graph: &Graph,
+    scheduler: &mut S,
     states: &mut [C],
     counts: &mut [u64],
     output_a: &[bool],
@@ -135,7 +179,7 @@ fn chunk_loop<C: StateCell, P: Protocol, R: RngCore + ?Sized>(
         // loop burns silent steps against the budget alone.
         let events_before = *events;
         while *events == events_before && *steps < stop.max_steps {
-            let (u, v) = graph.sample_pair(rng);
+            let (u, v) = scheduler.next_pair(graph, *steps, rng);
             *steps += 1;
             let (su, sv) = (states[u].unpack(), states[v].unpack());
             let (nu, nv) = protocol.transition(su, sv);
@@ -180,8 +224,88 @@ fn chunk_loop<C: StateCell, P: Protocol, R: RngCore + ?Sized>(
     }
 }
 
+/// The faulted loop: same check-then-step order as [`chunk_loop`], plus
+/// the crash and stuck-at overlays. Kept separate (and simpler — the
+/// predicate is re-checked every step) so the fault-free path pays
+/// nothing for the fault machinery.
+#[allow(clippy::too_many_arguments)]
+fn chunk_loop_faulted<C: StateCell, P: Protocol, S: Scheduler, R: RngCore + ?Sized>(
+    protocol: &P,
+    graph: &Graph,
+    scheduler: &mut S,
+    overlay: &AgentFaults,
+    states: &mut [C],
+    counts: &mut [u64],
+    output_a: &[bool],
+    count_a: &mut u64,
+    unanimous: &mut Option<StateId>,
+    steps: &mut u64,
+    events: &mut u64,
+    rng: &mut R,
+    stop: StopCondition,
+) -> StopReason {
+    let n = states.len() as u64;
+    loop {
+        if stop.predicate_hit(*count_a, unanimous.is_some()) {
+            return StopReason::Predicate;
+        }
+        if *steps >= stop.max_steps {
+            return StopReason::StepBudget;
+        }
+        let (u, v) = scheduler.next_pair(graph, *steps, rng);
+        *steps += 1;
+        if overlay.crashed[u] || overlay.crashed[v] {
+            // A step scheduled onto a crashed agent is burned: the step
+            // elapses, no interaction happens, counts are untouched.
+            continue;
+        }
+        let (su, sv) = (states[u].unpack(), states[v].unpack());
+        let (mut nu, mut nv) = protocol.transition(su, sv);
+        debug_assert!(
+            nu < protocol.num_states() && nv < protocol.num_states(),
+            "transition left the state space"
+        );
+        // A stuck agent answers (its partner's update stands) but never
+        // learns: its own post-state is forced back to its pre-state.
+        if overlay.stuck[u] {
+            nu = su;
+        }
+        if overlay.stuck[v] {
+            nv = sv;
+        }
+        if (nu == su && nv == sv) || (nu == sv && nv == su) {
+            if nu != su {
+                states[u] = C::pack(nu);
+                states[v] = C::pack(nv);
+            }
+            continue;
+        }
+        *events += 1;
+        for (agent, to) in [(u, nu), (v, nv)] {
+            let from = states[agent].unpack();
+            if from == to {
+                continue;
+            }
+            states[agent] = C::pack(to);
+            counts[from as usize] -= 1;
+            counts[to as usize] += 1;
+            match (output_a[from as usize], output_a[to as usize]) {
+                (true, false) => *count_a -= 1,
+                (false, true) => *count_a += 1,
+                _ => {}
+            }
+            *unanimous = if counts[to as usize] == n {
+                Some(to)
+            } else {
+                None
+            };
+        }
+    }
+}
+
 impl<P: Protocol> AgentSim<P> {
-    /// Creates an engine on the complete graph.
+    /// Creates an engine on the complete graph with the [`Uniform`]
+    /// scheduler.
     ///
     /// # Panics
     ///
@@ -192,7 +316,8 @@ impl<P: Protocol> AgentSim<P> {
         AgentSim::new(protocol, config, Graph::clique(n))
     }
 
-    /// Creates an engine on an explicit interaction graph.
+    /// Creates an engine on an explicit interaction graph with the
+    /// [`Uniform`] scheduler.
     ///
     /// Agents are assigned states in state order: the first `config.count(0)`
     /// agents get state 0, and so on. Callers that need a different
@@ -203,6 +328,36 @@ impl<P: Protocol> AgentSim<P> {
     /// Panics if the graph size differs from the population or the
     /// configuration is inconsistent with the protocol.
     pub fn new(protocol: P, config: Config, graph: Graph) -> AgentSim<P> {
+        AgentSim::with_scheduler(protocol, config, graph, Uniform)
+    }
+
+    /// Creates an engine with an explicit state per vertex of the graph,
+    /// with the [`Uniform`] scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any state is out of range, the graph size differs from the
+    /// number of agents, or there are fewer than two agents.
+    pub fn from_states(protocol: P, states: Vec<StateId>, graph: Graph) -> AgentSim<P> {
+        AgentSim::from_states_with_scheduler(protocol, states, graph, Uniform)
+    }
+}
+
+impl<P: Protocol, S: Scheduler> AgentSim<P, S> {
+    /// As [`AgentSim::new`], with an explicit [`Scheduler`].
+    ///
+    /// `AgentSim::with_scheduler(p, c, g, Uniform)` is trajectory- and
+    /// RNG-stream-identical to `AgentSim::new(p, c, g)`.
+    ///
+    /// # Panics
+    ///
+    /// As [`AgentSim::new`].
+    pub fn with_scheduler(
+        protocol: P,
+        config: Config,
+        graph: Graph,
+        scheduler: S,
+    ) -> AgentSim<P, S> {
         assert_eq!(
             graph.num_agents() as u64,
             config.population(),
@@ -212,16 +367,20 @@ impl<P: Protocol> AgentSim<P> {
         for s in 0..config.num_states() {
             states.extend(std::iter::repeat_n(s, config.count(s) as usize));
         }
-        AgentSim::from_states(protocol, states, graph)
+        AgentSim::from_states_with_scheduler(protocol, states, graph, scheduler)
     }
 
-    /// Creates an engine with an explicit state per vertex of the graph.
+    /// As [`AgentSim::from_states`], with an explicit [`Scheduler`].
     ///
     /// # Panics
     ///
-    /// Panics if any state is out of range, the graph size differs from the
-    /// number of agents, or there are fewer than two agents.
-    pub fn from_states(protocol: P, states: Vec<StateId>, graph: Graph) -> AgentSim<P> {
+    /// As [`AgentSim::from_states`].
+    pub fn from_states_with_scheduler(
+        protocol: P,
+        states: Vec<StateId>,
+        graph: Graph,
+        scheduler: S,
+    ) -> AgentSim<P, S> {
         assert!(states.len() >= 2, "need at least two agents");
         assert_eq!(
             graph.num_agents(),
@@ -249,11 +408,13 @@ impl<P: Protocol> AgentSim<P> {
         AgentSim {
             protocol,
             graph,
+            scheduler,
             states: States::new(states, s),
             counts,
             output_a,
             count_a,
             unanimous,
+            faults: None,
             steps: 0,
             events: 0,
         }
@@ -269,6 +430,11 @@ impl<P: Protocol> AgentSim<P> {
         &self.protocol
     }
 
+    /// The scheduler driving pair selection.
+    pub fn scheduler(&self) -> &S {
+        &self.scheduler
+    }
+
     /// The state of agent `agent`.
     ///
     /// # Panics
@@ -277,9 +443,72 @@ impl<P: Protocol> AgentSim<P> {
     pub fn state_of(&self, agent: usize) -> StateId {
         self.states.get(agent)
     }
+
+    /// Whether `agent` is currently crashed ([`Fault::Crash`]).
+    pub fn is_crashed(&self, agent: usize) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.crashed[agent])
+    }
+
+    /// Whether `agent` is currently stuck-at ([`Fault::StickAt`]).
+    pub fn is_stuck(&self, agent: usize) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.stuck[agent])
+    }
+
+    /// Moves one agent to `to`, maintaining counts / `count_a` /
+    /// unanimity exactly like a productive interaction would.
+    fn set_agent_state(&mut self, agent: usize, to: StateId) {
+        let from = self.states.get(agent);
+        if from == to {
+            return;
+        }
+        self.states.set(agent, to);
+        self.counts[from as usize] -= 1;
+        self.counts[to as usize] += 1;
+        match (self.output_a[from as usize], self.output_a[to as usize]) {
+            (true, false) => self.count_a -= 1,
+            (false, true) => self.count_a += 1,
+            _ => {}
+        }
+        let n = self.states.len() as u64;
+        self.unanimous = if self.counts[to as usize] == n {
+            Some(to)
+        } else {
+            None
+        };
+    }
+
+    fn check_agent(&self, agent: usize) -> Result<(), FaultError> {
+        if agent < self.states.len() {
+            Ok(())
+        } else {
+            Err(FaultError::OutOfRange {
+                detail: format!("agent {agent} of {}", self.states.len()),
+            })
+        }
+    }
+
+    /// Sets a per-agent fault flag; returns 1 if it changed, 0 if it was
+    /// already at `value`.
+    fn set_flag(&mut self, agent: usize, stuck_flag: bool, value: bool) -> u64 {
+        let n = self.states.len();
+        let overlay = self
+            .faults
+            .get_or_insert_with(|| Box::new(AgentFaults::new(n)));
+        let slot = if stuck_flag {
+            &mut overlay.stuck[agent]
+        } else {
+            &mut overlay.crashed[agent]
+        };
+        if *slot == value {
+            0
+        } else {
+            *slot = value;
+            1
+        }
+    }
 }
 
-impl<P: Protocol> Simulator for AgentSim<P> {
+impl<P: Protocol, S: Scheduler> Simulator for AgentSim<P, S> {
     fn population(&self) -> u64 {
         self.states.len() as u64
     }
@@ -318,6 +547,69 @@ impl<P: Protocol> Simulator for AgentSim<P> {
         self.protocol.config_silent(&self.counts)
     }
 
+    fn inject(&mut self, fault: Fault) -> Result<u64, FaultError> {
+        let s = self.protocol.num_states();
+        match fault {
+            Fault::Corrupt { from, to, agents } => {
+                if from >= s || to >= s {
+                    return Err(FaultError::OutOfRange {
+                        detail: format!("corrupt {from}->{to} with only {s} protocol states"),
+                    });
+                }
+                if from == to {
+                    return Ok(0);
+                }
+                // Move the first `agents` agents (by index) found in
+                // `from`: a deterministic choice, so faulted runs replay
+                // bit-identically.
+                let mut moved = 0u64;
+                for agent in 0..self.states.len() {
+                    if moved == agents {
+                        break;
+                    }
+                    if self.states.get(agent) == from {
+                        self.set_agent_state(agent, to);
+                        moved += 1;
+                    }
+                }
+                Ok(moved)
+            }
+            Fault::BitFlip { agent, bit } => {
+                self.check_agent(agent)?;
+                if bit >= 32 {
+                    return Err(FaultError::OutOfRange {
+                        detail: format!("bit {bit} of a 32-bit state id"),
+                    });
+                }
+                let flipped = self.states.get(agent) ^ (1u32 << bit);
+                if flipped >= s {
+                    // Flips that leave the state space are dropped, like
+                    // registers range-checked on read.
+                    Ok(0)
+                } else {
+                    self.set_agent_state(agent, flipped);
+                    Ok(1)
+                }
+            }
+            Fault::Crash { agent } => {
+                self.check_agent(agent)?;
+                Ok(self.set_flag(agent, false, true))
+            }
+            Fault::Revive { agent } => {
+                self.check_agent(agent)?;
+                Ok(self.set_flag(agent, false, false))
+            }
+            Fault::StickAt { agent } => {
+                self.check_agent(agent)?;
+                Ok(self.set_flag(agent, true, true))
+            }
+            Fault::Unstick { agent } => {
+                self.check_agent(agent)?;
+                Ok(self.set_flag(agent, true, false))
+            }
+        }
+    }
+
     fn advance(&mut self, rng: &mut dyn RngCore) -> u64 {
         // One scheduler step: a one-step budget with no predicates armed
         // consumes the RNG identically to a dedicated single-step path.
@@ -331,17 +623,18 @@ impl<P: Protocol> Simulator for AgentSim<P> {
     }
 }
 
-impl<P: Protocol> ChunkedSimulator for AgentSim<P> {
+impl<P: Protocol, S: Scheduler> ChunkedSimulator for AgentSim<P, S> {
     fn advance_chunk<R: RngCore + ?Sized>(
         &mut self,
         rng: &mut R,
         stop: StopCondition,
     ) -> AdvanceReport {
         let (steps0, events0) = (self.steps, self.events);
-        let reason = match &mut self.states {
-            States::Narrow(v) => chunk_loop(
+        let reason = match (&mut self.states, self.faults.as_deref()) {
+            (States::Narrow(v), None) => chunk_loop(
                 &self.protocol,
                 &self.graph,
+                &mut self.scheduler,
                 v,
                 &mut self.counts,
                 &self.output_a,
@@ -352,9 +645,40 @@ impl<P: Protocol> ChunkedSimulator for AgentSim<P> {
                 rng,
                 stop,
             ),
-            States::Wide(v) => chunk_loop(
+            (States::Wide(v), None) => chunk_loop(
                 &self.protocol,
                 &self.graph,
+                &mut self.scheduler,
+                v,
+                &mut self.counts,
+                &self.output_a,
+                &mut self.count_a,
+                &mut self.unanimous,
+                &mut self.steps,
+                &mut self.events,
+                rng,
+                stop,
+            ),
+            (States::Narrow(v), Some(overlay)) => chunk_loop_faulted(
+                &self.protocol,
+                &self.graph,
+                &mut self.scheduler,
+                overlay,
+                v,
+                &mut self.counts,
+                &self.output_a,
+                &mut self.count_a,
+                &mut self.unanimous,
+                &mut self.steps,
+                &mut self.events,
+                rng,
+                stop,
+            ),
+            (States::Wide(v), Some(overlay)) => chunk_loop_faulted(
+                &self.protocol,
+                &self.graph,
+                &mut self.scheduler,
+                overlay,
                 v,
                 &mut self.counts,
                 &self.output_a,
@@ -463,5 +787,107 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(6);
         let out = sim.run_to_consensus(&mut rng, u64::MAX);
         assert!((out.parallel_time - out.steps as f64 / 21.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn explicit_uniform_scheduler_is_bit_identical_to_default() {
+        let mk_default = || AgentSim::on_clique(Voter, Config::from_input(&Voter, 18, 13));
+        let mk_explicit = || {
+            AgentSim::with_scheduler(
+                Voter,
+                Config::from_input(&Voter, 18, 13),
+                Graph::clique(31),
+                Uniform,
+            )
+        };
+        for seed in 0..5u64 {
+            let (mut a, mut b) = (mk_default(), mk_explicit());
+            let mut rng_a = SmallRng::seed_from_u64(seed);
+            let mut rng_b = SmallRng::seed_from_u64(seed);
+            let out_a = a.run_to_consensus(&mut rng_a, u64::MAX);
+            let out_b = b.run_to_consensus(&mut rng_b, u64::MAX);
+            assert_eq!(out_a, out_b);
+            assert_eq!(a.counts(), b.counts());
+            // Both RNGs are at the same stream position afterwards.
+            assert_eq!(rng_a.next_u64(), rng_b.next_u64());
+        }
+    }
+
+    #[test]
+    fn crashed_pair_steps_are_burned() {
+        let config = Config::from_input(&Voter, 1, 1);
+        let mut sim = AgentSim::on_clique(Voter, config);
+        // n = 2: every step schedules the pair (0,1); crashing agent 1
+        // freezes the run entirely.
+        assert_eq!(sim.inject(Fault::Crash { agent: 1 }), Ok(1));
+        assert_eq!(sim.inject(Fault::Crash { agent: 1 }), Ok(0));
+        let mut rng = SmallRng::seed_from_u64(7);
+        let before = sim.counts().to_vec();
+        for _ in 0..50 {
+            sim.advance(&mut rng);
+        }
+        assert_eq!(sim.counts(), before.as_slice());
+        assert_eq!(sim.steps(), 50);
+        assert_eq!(sim.events(), 0);
+        // Revive and the dynamics resume.
+        assert_eq!(sim.inject(Fault::Revive { agent: 1 }), Ok(1));
+        let out = sim.run_to_consensus(&mut rng, u64::MAX);
+        assert!(out.verdict.is_consensus());
+    }
+
+    #[test]
+    fn stuck_agent_keeps_its_state_but_partners_update() {
+        let config = Config::from_input(&Voter, 1, 1);
+        let mut sim = AgentSim::on_clique(Voter, config);
+        // Agent 0 holds A (state 0), agent 1 holds B and is stuck: when it
+        // initiates, agent 0 adopts B as usual, but when agent 0 initiates
+        // the stuck agent never adopts A.
+        assert_eq!(sim.inject(Fault::StickAt { agent: 1 }), Ok(1));
+        let mut rng = SmallRng::seed_from_u64(8);
+        let out = sim.run_to_consensus(&mut rng, 10_000);
+        // Consensus can only be on B: agent 1 is permanently B, and agent 0
+        // eventually adopts it.
+        assert_eq!(out.verdict, Verdict::Consensus(Opinion::B));
+        assert_eq!(sim.state_of(1), 1);
+    }
+
+    #[test]
+    fn corrupt_moves_and_clamps() {
+        let config = Config::from_input(&Voter, 6, 4);
+        let mut sim = AgentSim::on_clique(Voter, config);
+        assert_eq!(
+            sim.inject(Fault::Corrupt {
+                from: 0,
+                to: 1,
+                agents: 99
+            }),
+            Ok(6)
+        );
+        assert_eq!(sim.counts(), &[0, 10]);
+        assert_eq!(sim.count_a(), 0);
+        assert_eq!(sim.unanimous_state(), Some(1));
+        assert!(matches!(
+            sim.inject(Fault::Corrupt {
+                from: 5,
+                to: 0,
+                agents: 1
+            }),
+            Err(FaultError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn bitflip_is_range_checked() {
+        let config = Config::from_input(&Annihilate, 2, 1);
+        let mut sim = AgentSim::on_clique(Annihilate, config);
+        // Annihilate has 3 states; agent 0 holds state 0; flipping bit 0
+        // moves it to state 1, flipping bit 1 would reach state 2 (valid),
+        // but on state 1 flipping bit 1 reaches 3 — out of space, no-op.
+        assert_eq!(sim.inject(Fault::BitFlip { agent: 0, bit: 0 }), Ok(1));
+        assert_eq!(sim.state_of(0), 1);
+        assert_eq!(sim.inject(Fault::BitFlip { agent: 0, bit: 1 }), Ok(0));
+        assert_eq!(sim.state_of(0), 1);
+        assert!(sim.inject(Fault::BitFlip { agent: 9, bit: 0 }).is_err());
+        assert!(sim.inject(Fault::BitFlip { agent: 0, bit: 32 }).is_err());
     }
 }

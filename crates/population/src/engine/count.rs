@@ -2,6 +2,7 @@
 
 use crate::config::Config;
 use crate::engine::{AdvanceReport, ChunkedSimulator, Simulator, StopCondition, StopReason};
+use crate::faults::{Fault, FaultError};
 use crate::protocol::{Opinion, Protocol, StateId};
 use crate::sampler::FenwickSampler;
 use rand::{Rng, RngCore};
@@ -178,6 +179,34 @@ impl<P: Protocol> Simulator for CountSim<P> {
 
     fn config_is_silent(&self) -> bool {
         self.protocol.config_silent(&self.counts)
+    }
+
+    fn inject(&mut self, fault: Fault) -> Result<u64, FaultError> {
+        // Count-based engines have no agent identity; only count-space
+        // corruption is expressible.
+        let Fault::Corrupt { from, to, agents } = fault else {
+            return Err(FaultError::Unsupported {
+                engine: "CountSim",
+                fault,
+            });
+        };
+        let s = self.protocol.num_states();
+        if from >= s || to >= s {
+            return Err(FaultError::OutOfRange {
+                detail: format!("corrupt {from}->{to} with only {s} protocol states"),
+            });
+        }
+        if from == to {
+            return Ok(0);
+        }
+        let moved = agents.min(self.counts[from as usize]);
+        if moved == 0 {
+            return Ok(0);
+        }
+        self.unanimous = None;
+        self.bump(from, -(moved as i64));
+        self.bump(to, moved as i64);
+        Ok(moved)
     }
 
     fn advance(&mut self, rng: &mut dyn RngCore) -> u64 {

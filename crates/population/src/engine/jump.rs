@@ -2,6 +2,7 @@
 
 use crate::config::Config;
 use crate::engine::{AdvanceReport, ChunkedSimulator, Simulator, StopCondition, StopReason};
+use crate::faults::{Fault, FaultError};
 use crate::protocol::{Opinion, Protocol, StateId};
 use rand::{Rng, RngCore};
 use rand_distr::{Distribution, Geometric};
@@ -366,6 +367,38 @@ impl<P: Protocol> Simulator for JumpSim<P> {
 
     fn config_is_silent(&self) -> bool {
         self.null_weight() == self.n * (self.n - 1)
+    }
+
+    fn inject(&mut self, fault: Fault) -> Result<u64, FaultError> {
+        let Fault::Corrupt { from, to, agents } = fault else {
+            return Err(FaultError::Unsupported {
+                engine: "JumpSim",
+                fault,
+            });
+        };
+        let s = self.protocol.num_states();
+        if from >= s || to >= s {
+            return Err(FaultError::OutOfRange {
+                detail: format!("corrupt {from}->{to} with only {s} protocol states"),
+            });
+        }
+        if from == to {
+            return Ok(0);
+        }
+        let moved = agents.min(self.counts[from as usize]);
+        if moved == 0 {
+            return Ok(0);
+        }
+        self.unanimous = None;
+        self.apply_delta(from, -(moved as i64));
+        self.apply_delta(to, moved as i64);
+        // Injection is rare and off the hot path: rebuild every live null
+        // row from scratch rather than patching incrementally.
+        for idx in 0..self.live.len() {
+            let q = self.live[idx];
+            self.null_row[q as usize] = self.compute_null_row(q);
+        }
+        Ok(moved)
     }
 
     fn advance(&mut self, rng: &mut dyn RngCore) -> u64 {

@@ -27,6 +27,7 @@ pub use count::CountSim;
 pub use jump::JumpSim;
 pub use tau_leap::TauLeapSim;
 
+use crate::faults::{Fault, FaultError};
 use crate::protocol::Opinion;
 use crate::spec::{ConvergenceRule, RunOutcome, Verdict};
 use rand::RngCore;
@@ -253,6 +254,29 @@ pub trait Simulator {
     /// under [`ConvergenceRule::Silence`] or when `advance` reports a
     /// terminal configuration.
     fn config_is_silent(&self) -> bool;
+
+    /// Applies a fault to the current configuration, between steps.
+    ///
+    /// Returns the number of agents actually affected (`Corrupt` clamps to
+    /// the source count; a `BitFlip` leaving the state space, or a `Crash`
+    /// of an already-crashed agent, affects zero). Count-space faults
+    /// ([`Fault::Corrupt`]) are supported by every engine; agent-addressed
+    /// faults need per-agent identity and are only supported by
+    /// [`AgentSim`] — other engines return [`FaultError::Unsupported`].
+    ///
+    /// Injection never draws randomness: the RNG stream of a faulted run
+    /// is identical to a fault-free run of the same length.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultError::Unsupported`] for fault classes the engine cannot
+    /// express; [`FaultError::OutOfRange`] for bad state or agent indices.
+    fn inject(&mut self, fault: Fault) -> Result<u64, FaultError> {
+        Err(FaultError::Unsupported {
+            engine: "unknown engine",
+            fault,
+        })
+    }
 
     /// Advances the simulation by at least one scheduler step.
     ///

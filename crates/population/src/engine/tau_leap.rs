@@ -18,6 +18,7 @@
 
 use crate::config::Config;
 use crate::engine::{AdvanceReport, ChunkedSimulator, Simulator, StopCondition, StopReason};
+use crate::faults::{Fault, FaultError};
 use crate::protocol::{Opinion, Protocol, StateId};
 use rand::{Rng, RngCore};
 use rand_distr::{Distribution, Poisson};
@@ -335,6 +336,32 @@ impl<P: Protocol> Simulator for TauLeapSim<P> {
 
     fn config_is_silent(&self) -> bool {
         self.protocol.config_silent(&self.counts)
+    }
+
+    fn inject(&mut self, fault: Fault) -> Result<u64, FaultError> {
+        let Fault::Corrupt { from, to, agents } = fault else {
+            return Err(FaultError::Unsupported {
+                engine: "TauLeapSim",
+                fault,
+            });
+        };
+        let s = self.protocol.num_states();
+        if from >= s || to >= s {
+            return Err(FaultError::OutOfRange {
+                detail: format!("corrupt {from}->{to} with only {s} protocol states"),
+            });
+        }
+        if from == to {
+            return Ok(0);
+        }
+        let moved = agents.min(self.counts[from as usize]);
+        if moved == 0 {
+            return Ok(0);
+        }
+        self.apply_delta(from, -(moved as i64));
+        self.apply_delta(to, moved as i64);
+        self.settle_unanimous();
+        Ok(moved)
     }
 
     fn advance(&mut self, rng: &mut dyn RngCore) -> u64 {

@@ -67,10 +67,12 @@ pub mod cached;
 pub mod config;
 pub mod driver;
 pub mod engine;
+pub mod faults;
 pub mod graph;
 pub mod protocol;
 pub mod rngutil;
 pub mod sampler;
+pub mod sched;
 pub mod spec;
 pub mod spectral;
 pub mod time;

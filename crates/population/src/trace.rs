@@ -98,6 +98,9 @@ impl<F: FnMut(&[u64]) -> Vec<f64>> Observer for Recorder<'_, F> {
                     self.take(view);
                 }
             }
+            // Injections surface through the cadence samples around them;
+            // the trace records configurations, not causes.
+            DriverEvent::Fault(_) => {}
         }
     }
 }

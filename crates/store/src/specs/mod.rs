@@ -21,7 +21,7 @@ use avc_analysis::stats::Summary;
 use avc_analysis::table::Table;
 
 /// `(name, description)` of every sweep spec, in `avc help` order.
-pub const NAMES: [(&str, &str); 10] = [
+pub const NAMES: [(&str, &str); 11] = [
     (
         "fig3",
         "Figure 3: 3-state vs 4-state vs n-state AVC at eps = 1/n",
@@ -49,6 +49,10 @@ pub const NAMES: [(&str, &str); 10] = [
         "DV12: four-state time vs interaction-graph spectral gap",
     ),
     (
+        "robustness",
+        "Exactness under adversarial schedulers and injected faults",
+    ),
+    (
         "mc_avc",
         "Model check: AVC invariants and exactness (exhaustive)",
     ),
@@ -71,6 +75,7 @@ pub fn build(name: &str, args: &Args) -> Option<Plan> {
         "err_three_state" => Some(sweeps::err_three_state_plan(args)),
         "ablation_d" => Some(sweeps::ablation_d_plan(args)),
         "graph_gap" => Some(sweeps::graph_gap_plan(args)),
+        "robustness" => Some(sweeps::robustness_plan(args)),
         "mc_avc" => Some(checks::mc_avc_plan(args)),
         "mc_three_state" => Some(checks::mc_three_state_plan(args)),
         _ => None,

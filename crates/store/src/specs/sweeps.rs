@@ -2,10 +2,12 @@
 
 use super::{only_row, trials_of_summary};
 use crate::manifest::Manifest;
-use crate::record::{f64_to_hex, CellResult};
+use crate::record::{f64_to_hex, CellResult, TrialSummary};
 use crate::sweep::{Cell, Export, Plan};
 use avc_analysis::cli::Args;
-use avc_analysis::experiments::{ablation_d, four_state_scaling, graph_gap, three_state_error};
+use avc_analysis::experiments::{
+    ablation_d, four_state_scaling, graph_gap, robustness, three_state_error,
+};
 use avc_analysis::harness::run_indexed_with_stats;
 use avc_analysis::stats::{loglog_slope, Summary};
 use avc_analysis::table::{fmt_num, Table};
@@ -431,6 +433,109 @@ pub(super) fn graph_gap_plan(args: &Args) -> Plan {
             Export {
                 tables: vec![("graph_gap".to_string(), table)],
                 trailer: vec![],
+            }
+        }),
+    }
+}
+
+pub(super) fn robustness_plan(args: &Args) -> Plan {
+    let config = robustness::Config::from_args(args);
+    let scenarios = robustness::scenarios(config.n);
+    let mut cells = Vec::new();
+    for (pi, protocol) in robustness::PROTOCOLS.iter().enumerate() {
+        for (si, scenario) in scenarios.iter().enumerate() {
+            let label = format!("{protocol}/{}", scenario.label);
+            // The scheduler and fault configuration are part of the
+            // manifest: a changed adversary is a different cell, never a
+            // stale checkpoint hit.
+            let manifest = Manifest::new(
+                "robustness",
+                [
+                    ("cell", label.clone()),
+                    ("protocol", (*protocol).to_string()),
+                    ("engine", "agent".to_string()),
+                    ("scenario", scenario.label.clone()),
+                    ("scheduler", scenario.scheduler_spec()),
+                    ("faults", scenario.fault_spec()),
+                    ("n", config.n.to_string()),
+                    ("eps", f64_to_hex(config.epsilon)),
+                    ("eps_text", format!("{}", config.epsilon)),
+                    ("runs", config.runs.to_string()),
+                    ("seed", config.seed.to_string()),
+                    ("max_steps", config.max_steps.to_string()),
+                ],
+            );
+            let config = config.clone();
+            cells.push(Cell {
+                manifest,
+                label,
+                run: Box::new(move |stats| {
+                    let point = robustness::run_point(&config, pi, si, stats);
+                    CellResult {
+                        trials: point.summary.as_ref().map(trials_of_summary),
+                        tables: BTreeMap::from([(
+                            "robustness".to_string(),
+                            vec![only_row(&robustness::table(
+                                std::slice::from_ref(&point),
+                                &config,
+                            ))],
+                        )]),
+                        values: BTreeMap::from([
+                            ("wrong_fraction".to_string(), point.wrong_fraction),
+                            ("timeouts".to_string(), point.timeouts as f64),
+                        ]),
+                        ..CellResult::default()
+                    }
+                }),
+            });
+        }
+    }
+
+    let banner = format!(
+        "AVC and four-state under adversarial schedulers and faults, n = {}, eps = {}, {} runs",
+        config.n, config.epsilon, config.runs
+    );
+    let export_config = config;
+    Plan {
+        name: "robustness".to_string(),
+        banner,
+        cells,
+        export: Box::new(move |results| {
+            let mut table = robustness::table(&[], &export_config);
+            for r in results {
+                for row in r.rows("robustness") {
+                    table.push_row(row.clone());
+                }
+            }
+            // Slowdown factors vs each protocol's uniform baseline, from
+            // the checkpointed trial means (cells are in protocol-major,
+            // scenario-minor order).
+            let num_scenarios = robustness::scenarios(export_config.n).len();
+            let mut trailer = vec!["slowdown vs uniform (mean parallel time):".to_string()];
+            for (pi, protocol) in robustness::PROTOCOLS.iter().enumerate() {
+                let mean_of = |i: usize| {
+                    results
+                        .get(pi * num_scenarios + i)
+                        .and_then(|r| r.trials.as_ref())
+                        .and_then(TrialSummary::summary)
+                        .map(|s| s.mean)
+                };
+                let Some(base) = mean_of(0) else { continue };
+                for (si, scenario) in robustness::scenarios(export_config.n)
+                    .iter()
+                    .enumerate()
+                    .skip(1)
+                {
+                    let factor = match mean_of(si) {
+                        Some(mean) => format!("{:.2}x", mean / base),
+                        None => "stalled (all runs timed out)".to_string(),
+                    };
+                    trailer.push(format!("  {protocol:11} {:17} {factor}", scenario.label));
+                }
+            }
+            Export {
+                tables: vec![("robustness".to_string(), table)],
+                trailer: vec![trailer.join("\n")],
             }
         }),
     }

@@ -131,3 +131,91 @@ fn killed_sweep_resumes_to_byte_identical_export() {
     let _ = std::fs::remove_dir_all(&reference);
     let _ = std::fs::remove_dir_all(&victim);
 }
+
+/// As above for the `robustness` sweep, whose grid includes fault-config
+/// cells (crash/revive and corruption plans) and adversarial-scheduler
+/// cells: killing mid-grid and resuming must recompute exactly the missing
+/// cells — faulted ones included — and export byte-identically. This holds
+/// because fault injection draws no randomness and cell seeds derive from
+/// the (protocol, scenario) index alone.
+#[test]
+fn killed_robustness_sweep_resumes_to_byte_identical_export() {
+    const ROBUSTNESS_CELLS: usize = 16;
+    let avc = |dir: &Path, args: &[&str]| {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_avc"));
+        cmd.args(args)
+            .args(["--quick", "--out", dir.to_str().expect("utf-8 temp path")]);
+        cmd
+    };
+    let read_csv = |dir: &Path| {
+        let path = dir.join("robustness.csv");
+        std::fs::read(&path).unwrap_or_else(|e| panic!("missing {}: {e}", path.display()))
+    };
+
+    // Uninterrupted reference.
+    let reference = temp_dir("robustness-reference");
+    let status = avc(&reference, &["sweep", "robustness", "--serial"])
+        .status()
+        .expect("spawn avc");
+    assert!(status.success(), "reference sweep failed");
+    let status = avc(&reference, &["export", "robustness"])
+        .stdout(Stdio::null())
+        .status()
+        .expect("spawn avc");
+    assert!(status.success(), "reference export failed");
+    let ref_csv = read_csv(&reference);
+
+    // Interrupted run: SIGKILL once the first cell is durable.
+    let victim = temp_dir("robustness-victim");
+    let mut child = avc(&victim, &["sweep", "robustness", "--serial"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn avc");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while record_count(&victim) == 0 {
+        assert!(Instant::now() < deadline, "no cell completed within 60s");
+        if child.try_wait().expect("poll child").is_some() {
+            panic!("sweep finished before any kill could land");
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    child.kill().expect("SIGKILL the sweep");
+    let _ = child.wait();
+
+    let survived = record_count(&victim);
+    assert!(
+        survived < ROBUSTNESS_CELLS,
+        "kill landed after the sweep finished; widen the sweep to keep this test honest"
+    );
+    let store = Store::open(victim.join("store")).expect("killed store still parses");
+    assert_eq!(store.len(), survived);
+
+    // Resume at a different worker count; only missing cells may run. The
+    // grid ends with the four_state fault-config cells, so the recomputed
+    // tail always exercises at least one faulted cell.
+    let output = avc(&victim, &["sweep", "robustness", "--threads", "2"])
+        .output()
+        .expect("spawn avc");
+    assert!(output.status.success(), "resume failed");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert_eq!(
+        stderr.matches("— cached").count(),
+        survived,
+        "resume recomputed a cell that was already durable: {stderr}"
+    );
+
+    let status = avc(&victim, &["export", "robustness"])
+        .stdout(Stdio::null())
+        .status()
+        .expect("spawn avc");
+    assert!(status.success(), "post-resume export failed");
+    assert_eq!(
+        read_csv(&victim),
+        ref_csv,
+        "robustness.csv differs after resume"
+    );
+
+    let _ = std::fs::remove_dir_all(&reference);
+    let _ = std::fs::remove_dir_all(&victim);
+}

@@ -1,5 +1,6 @@
 //! Golden-trace regression tests: tiny fixed-seed [`CountSim`] runs with
-//! checked-in expected count trajectories for all six protocols. Any edit
+//! checked-in expected count trajectories for all six protocols plus the
+//! parallel composition. Any edit
 //! that changes a transition function, the pair sampler, or the RNG stream
 //! shifts these traces and fails loudly.
 //!
@@ -10,6 +11,7 @@
 use avc::population::engine::{CountSim, Simulator};
 use avc::population::rngutil::SeedSequence;
 use avc::population::{Config, Protocol};
+use avc::protocols::compose::{Lead, Parallel};
 use avc::protocols::{Avc, Epidemic, FourState, LeaderElection, ThreeState, Voter};
 
 /// Runs `protocol` from `(a, b)` on [`CountSim`] with trial stream 0 of
@@ -98,6 +100,21 @@ const EXPECTED_AVC: &str = "\
 24 [0, 0, 4, 3, 1, 2, 4, 1]
 30 [0, 0, 4, 4, 0, 2, 4, 1]";
 
+const EXPECTED_COMPOSE: &str = "\
+0 [9, 0, 0, 6, 0, 0, 0, 0]
+6 [8, 0, 0, 5, 1, 0, 0, 1]
+12 [7, 0, 0, 4, 3, 0, 1, 0]
+18 [6, 0, 1, 2, 3, 0, 3, 0]
+24 [4, 0, 0, 1, 6, 0, 4, 0]
+30 [4, 0, 0, 1, 6, 0, 4, 0]";
+
+/// The composite used by the composition golden trace: four-state majority
+/// running in parallel with a one-way epidemic, outputs led by the
+/// majority component. Packs as `first * |second| + second` (8 states).
+fn composite() -> Parallel<FourState, Epidemic> {
+    Parallel::new(FourState, Epidemic, Lead::First)
+}
+
 #[test]
 fn voter_trace_is_stable() {
     assert_eq!(trace(&Voter, 9, 6, 101, 30, 6), EXPECTED_VOTER);
@@ -140,6 +157,15 @@ fn epidemic_trace_is_stable() {
     assert_eq!(trace(&Epidemic, 3, 12, 109, 60, 6), EXPECTED_EPIDEMIC);
 }
 
+/// Parallel composition `FourState × Epidemic`: pins the product packing
+/// (`first · |second| + second`), the component-wise transition, and the
+/// lead-side input encoding all at once — a change to any of them, or to
+/// either component, shifts this trace.
+#[test]
+fn compose_trace_is_stable() {
+    assert_eq!(trace(&composite(), 9, 6, 106, 30, 6), EXPECTED_COMPOSE);
+}
+
 /// Regeneration helper (see the module docs). Ignored by default.
 #[test]
 #[ignore = "prints the current traces for manual regeneration"]
@@ -157,4 +183,5 @@ fn print_traces() {
         trace(&LeaderElection, 15, 0, 105, 60, 6)
     );
     println!("epidemic:\n{}\n", trace(&Epidemic, 3, 12, 109, 60, 6));
+    println!("compose:\n{}\n", trace(&composite(), 9, 6, 106, 30, 6));
 }

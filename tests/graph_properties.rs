@@ -1,0 +1,120 @@
+//! Property tests over the interaction-graph generators: the handshake
+//! (degree-sum) identity, structural connectivity, Erdős–Rényi edge-count
+//! bounds, and sampler validity on every topology.
+
+use avc::population::graph::Graph;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+/// Per-agent degrees derived from the edge list.
+fn degrees(g: &Graph) -> Vec<usize> {
+    let mut deg = vec![0usize; g.num_agents()];
+    for (u, v) in g.edge_pairs() {
+        deg[u] += 1;
+        deg[v] += 1;
+    }
+    deg
+}
+
+/// The undirected edge set, normalized to `u < v`.
+fn edge_set(g: &Graph) -> HashSet<(usize, usize)> {
+    g.edge_pairs().map(|(u, v)| (u.min(v), u.max(v))).collect()
+}
+
+proptest! {
+    /// Handshake identity on Erdős–Rényi samples: the degree sum equals
+    /// twice the edge count, and no edge repeats or loops.
+    #[test]
+    fn erdos_renyi_degree_sum_is_twice_the_edges(n in 2usize..60, p in 0.0f64..=1.0, seed in any::<u64>()) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = Graph::erdos_renyi(n, p, &mut rng);
+        prop_assert_eq!(degrees(&g).iter().sum::<usize>(), 2 * g.num_edges());
+        prop_assert_eq!(edge_set(&g).len(), g.num_edges(), "duplicate edge");
+    }
+
+    /// Random-regular samples are exactly `k`-regular (a stronger form of
+    /// the degree-sum identity), simple, and have `n·k/2` edges.
+    #[test]
+    fn random_regular_is_regular(half in 3usize..20, k in 1usize..6, seed in any::<u64>()) {
+        // Even n keeps n·k even for every k, and n ≥ 6 > k keeps (n, k)
+        // feasible — no rejection sampling needed.
+        let n = 2 * half;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let g = Graph::random_regular(n, k, &mut rng);
+        prop_assert_eq!(g.num_edges(), n * k / 2);
+        prop_assert_eq!(edge_set(&g).len(), g.num_edges(), "duplicate edge");
+        let deg = degrees(&g);
+        prop_assert!(deg.iter().all(|&d| d == k), "degrees {:?} not all {}", deg, k);
+    }
+
+    /// The deterministic topologies are connected at every valid size, and
+    /// carry their textbook edge counts.
+    #[test]
+    fn structured_topologies_are_connected(n in 3usize..120) {
+        let cases = [
+            (Graph::cycle(n), n),
+            (Graph::path(n), n - 1),
+            (Graph::star(n), n - 1),
+            (Graph::clique(n), n * (n - 1) / 2),
+        ];
+        for (g, expected_edges) in cases {
+            prop_assert!(g.is_connected());
+            prop_assert_eq!(g.num_edges(), expected_edges);
+            prop_assert_eq!(degrees(&g).iter().sum::<usize>(), 2 * expected_edges);
+        }
+    }
+
+    /// Grids of every shape are connected with `r(c−1) + c(r−1)` edges.
+    #[test]
+    fn grids_are_connected(rows in 1usize..12, cols in 2usize..12) {
+        let g = Graph::grid(rows, cols);
+        prop_assert!(g.is_connected());
+        prop_assert_eq!(g.num_agents(), rows * cols);
+        prop_assert_eq!(g.num_edges(), rows * (cols - 1) + cols * (rows - 1));
+    }
+
+    /// `G(n, p)` edge counts respect the binomial support: never above
+    /// `n(n−1)/2`, and exactly the extremes at `p = 0` and `p = 1`.
+    #[test]
+    fn erdos_renyi_edge_bounds(n in 2usize..60, seed in any::<u64>()) {
+        let max_edges = n * (n - 1) / 2;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        prop_assert_eq!(Graph::erdos_renyi(n, 0.0, &mut rng).num_edges(), 0);
+        prop_assert_eq!(Graph::erdos_renyi(n, 1.0, &mut rng).num_edges(), max_edges);
+        let mid = Graph::erdos_renyi(n, 0.5, &mut rng);
+        prop_assert!(mid.num_edges() <= max_edges);
+        // p = 1 must reproduce the clique exactly, edge for edge.
+        let full = Graph::erdos_renyi(n, 1.0, &mut rng);
+        prop_assert_eq!(edge_set(&full), edge_set(&Graph::clique(n)));
+        // And its sampler must still work on the explicit representation.
+        let (u, v) = full.sample_pair(&mut rng);
+        prop_assert!(u != v && u < n && v < n);
+    }
+
+    /// `sample_pair` only ever returns ordered pairs of *distinct,
+    /// adjacent* agents, on every topology family.
+    #[test]
+    fn sample_pair_respects_the_edge_set(n in 3usize..40, seed in any::<u64>(), draws in 1usize..50) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let graphs = [
+            Graph::cycle(n),
+            Graph::star(n),
+            Graph::grid(2, n.div_ceil(2)),
+            Graph::complete_bipartite(n / 2 + 1, n / 2 + 1),
+            Graph::clique(n),
+        ];
+        for g in &graphs {
+            let edges = edge_set(g);
+            for _ in 0..draws {
+                let (u, v) = g.sample_pair(&mut rng);
+                prop_assert!(u != v, "self-pair sampled");
+                prop_assert!(
+                    edges.contains(&(u.min(v), u.max(v))),
+                    "non-adjacent pair ({u},{v}) sampled"
+                );
+            }
+        }
+    }
+}
