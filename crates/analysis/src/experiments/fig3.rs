@@ -18,10 +18,11 @@
 //! replaced.
 
 use crate::harness::{
-    run_trials_with_stats, EngineKind, Parallelism, StatsCollector, TrialPlan, TrialResults,
+    run_trials_with_telemetry, EngineKind, Parallelism, StatsCollector, TrialPlan, TrialResults,
 };
 use crate::stats::quantile;
 use crate::table::{fmt_num, Table};
+use avc_population::telemetry::CellTelemetry;
 use avc_population::{ConvergenceRule, MajorityInstance};
 use avc_protocols::{Avc, FourState, ThreeState};
 
@@ -89,6 +90,9 @@ pub struct Cell {
     pub states: u64,
     /// Trial outcomes.
     pub results: TrialResults,
+    /// Aggregated run telemetry (engine counters, convergence histogram,
+    /// wall timings) for the cell's batch.
+    pub telemetry: CellTelemetry,
 }
 
 /// The three protocol columns of Figure 3, in row order. These are the
@@ -135,49 +139,53 @@ pub fn run_cell(config: &Config, ni: usize, pi: usize, stats: &StatsCollector) -
         .seed(config.seed.wrapping_add(ni as u64))
         .parallelism(config.parallelism);
 
-    match PROTOCOL_KEYS[pi] {
-        "three_state" => Cell {
-            n,
-            protocol: "3-state".to_string(),
-            states: 3,
-            results: run_trials_with_stats(
+    let (protocol, states, (results, telemetry)) = match PROTOCOL_KEYS[pi] {
+        "three_state" => (
+            "3-state".to_string(),
+            3,
+            run_trials_with_telemetry(
                 &ThreeState::new(),
                 &plan,
                 EngineKind::Jump,
                 ConvergenceRule::StateConsensus,
                 stats,
             ),
-        },
-        "four_state" => Cell {
-            n,
-            protocol: "4-state".to_string(),
-            states: 4,
-            results: run_trials_with_stats(
+        ),
+        "four_state" => (
+            "4-state".to_string(),
+            4,
+            run_trials_with_telemetry(
                 &FourState,
                 &plan,
                 EngineKind::Jump,
                 ConvergenceRule::OutputConsensus,
                 stats,
             ),
-        },
+        ),
         _ => {
             let avc = Avc::with_states(n).expect("n >= 11 is a valid state budget");
             let states = avc.s();
             // Large state spaces favor the count-based engine; the adaptive
             // engine handles the silent tail automatically.
-            Cell {
-                n,
-                protocol: format!("avc(s={states})"),
+            (
+                format!("avc(s={states})"),
                 states,
-                results: run_trials_with_stats(
+                run_trials_with_telemetry(
                     &avc,
                     &plan,
                     EngineKind::Auto,
                     ConvergenceRule::OutputConsensus,
                     stats,
                 ),
-            }
+            )
         }
+    };
+    Cell {
+        n,
+        protocol,
+        states,
+        results,
+        telemetry,
     }
 }
 

@@ -10,9 +10,12 @@
 //! Trials execute through the chunked run driver (`avc_population::driver`),
 //! as in [`fig3`](crate::experiments::fig3).
 
-use crate::harness::{run_trials_with_stats, EngineKind, Parallelism, StatsCollector, TrialPlan};
+use crate::harness::{
+    run_trials_with_telemetry, EngineKind, Parallelism, StatsCollector, TrialPlan,
+};
 use crate::stats::Summary;
 use crate::table::{fmt_num, Table};
+use avc_population::telemetry::CellTelemetry;
 use avc_population::{ConvergenceRule, MajorityInstance};
 use avc_protocols::Avc;
 
@@ -97,6 +100,9 @@ pub struct Point {
     pub achieved_epsilon: f64,
     /// Parallel-time summary over the runs.
     pub summary: Summary,
+    /// Aggregated run telemetry (engine counters, convergence histogram,
+    /// wall timings) for the point's batch.
+    pub telemetry: CellTelemetry,
 }
 
 /// Runs the sweep. Points are emitted in `(s, ε)` lexicographic order.
@@ -141,7 +147,7 @@ pub fn run_point(config: &Config, si: usize, ei: usize, stats: &StatsCollector) 
         .runs(config.runs)
         .seed(config.seed + (si as u64) * 1_000 + ei as u64)
         .parallelism(config.parallelism);
-    let results = run_trials_with_stats(
+    let (results, telemetry) = run_trials_with_telemetry(
         &avc,
         &plan,
         EngineKind::Auto,
@@ -153,6 +159,7 @@ pub fn run_point(config: &Config, si: usize, ei: usize, stats: &StatsCollector) 
         epsilon: eps,
         achieved_epsilon: instance.margin(),
         summary: results.summary(),
+        telemetry,
     }
 }
 

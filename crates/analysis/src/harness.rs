@@ -20,11 +20,14 @@ use avc_population::engine::{
 use avc_population::graph::Graph;
 use avc_population::rngutil::SeedSequence;
 use avc_population::spec::RunOutcome;
+use avc_population::telemetry::{
+    keys, CellTelemetry, CountingSink, HistogramSnapshot, MetricValue, Span, TelemetryObserver,
+};
 use avc_population::{Config, ConvergenceRule, MajorityInstance, Opinion, Protocol};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// How to spread a batch of trials across OS threads.
 ///
@@ -242,7 +245,7 @@ where
     F: Fn(u64) -> (T, u64) + Sync,
 {
     let workers = parallelism.worker_count().min(runs.max(1) as usize);
-    let started = Instant::now();
+    let started = Span::start();
 
     if workers <= 1 {
         let mut out = Vec::with_capacity(runs as usize);
@@ -275,7 +278,7 @@ where
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(move || {
-                    let begun = Instant::now();
+                    let begun = Span::start();
                     let mut local = Vec::new();
                     let mut events = 0u64;
                     loop {
@@ -560,6 +563,47 @@ fn run_engine_observed<P: Protocol + Clone, O: Observer + ?Sized>(
     }
 }
 
+/// As [`run_engine_observed`], but with a [`CountingSink`] attached to the
+/// engine's telemetry seam. The sink is borrowed, so the caller keeps the
+/// counts after the engine is dropped. Attaching it changes no RNG draws —
+/// the seam records only quantities the engine already computes.
+#[allow(clippy::too_many_arguments)] // mirrors run_engine_observed + the sink
+fn run_engine_instrumented<P: Protocol + Clone, O: Observer + ?Sized>(
+    protocol: P,
+    config: Config,
+    engine: EngineKind,
+    rule: ConvergenceRule,
+    rng: &mut rand::rngs::SmallRng,
+    max_steps: u64,
+    observer: &mut O,
+    sink: &mut CountingSink,
+) -> RunOutcome {
+    let driver = Driver::new(rule).with_max_steps(max_steps);
+    match engine {
+        EngineKind::Agent => {
+            let n = config.population() as usize;
+            let mut sim = AgentSim::new(protocol, config, Graph::clique(n)).with_telemetry(sink);
+            driver.run(&mut sim, rng, observer)
+        }
+        EngineKind::Count => {
+            let mut sim = CountSim::new(protocol, config).with_telemetry(sink);
+            driver.run(&mut sim, rng, observer)
+        }
+        EngineKind::Jump => {
+            let mut sim = JumpSim::new(protocol, config).with_telemetry(sink);
+            driver.run(&mut sim, rng, observer)
+        }
+        EngineKind::TauLeap => {
+            let mut sim = TauLeapSim::new(protocol, config).with_telemetry(sink);
+            driver.run(&mut sim, rng, observer)
+        }
+        EngineKind::Auto | EngineKind::Adaptive => {
+            let mut sim = AdaptiveSim::new(protocol, config).with_telemetry(sink);
+            driver.run(&mut sim, rng, observer)
+        }
+    }
+}
+
 /// Runs an already-constructed engine to convergence on the monomorphized
 /// driver path (convenience for callers that build their own simulator,
 /// e.g. on a non-clique graph).
@@ -599,6 +643,102 @@ pub fn run_trials_with_stats<P: Protocol + Clone + Sync>(
     let (results, batch) = run_trials_core(protocol, plan, engine, rule);
     stats.record(&batch);
     results
+}
+
+/// As [`run_trials_with_stats`], additionally capturing per-trial telemetry
+/// and returning it aggregated into one [`CellTelemetry`].
+///
+/// Each trial runs with a [`CountingSink`] on the engine's telemetry seam
+/// (engine-level counters: steps, events, silent steps, chunk sizes,
+/// Fenwick descents, phase switches) and a [`TelemetryObserver`] on the
+/// driver's observer seam (wall-clock chunk latency). Convergence outcomes
+/// are folded in from the [`RunOutcome`]s. Per-trial snapshots are merged
+/// **in trial-index order after the batch completes**, so the `sim` half of
+/// the result is bit-identical at every [`Parallelism`] setting — the same
+/// guarantee [`TrialResults`] carries. The `wall` half (per-trial and
+/// per-chunk latencies, whole-cell wall time) is nondeterministic by
+/// nature and kept in the separate registry that exports can suppress.
+///
+/// The observer's deterministic half is deliberately discarded: its chunk
+/// histogram duplicates the sink's (both see the same `advance_chunk`
+/// reports), and double-counting would corrupt the merge.
+pub fn run_trials_with_telemetry<P: Protocol + Clone + Sync>(
+    protocol: &P,
+    plan: &TrialPlan,
+    engine: EngineKind,
+    rule: ConvergenceRule,
+    stats: &StatsCollector,
+) -> (TrialResults, CellTelemetry) {
+    let seeds = SeedSequence::new(plan.seed);
+    let instance = plan.instance;
+    let dispatch = Cached::try_new(protocol.clone());
+    let (pairs, batch) = run_indexed_with_stats(plan.runs, plan.parallelism, |trial| {
+        let trial_span = Span::start();
+        let mut rng = seeds.rng_for(trial);
+        let config = Config::from_input(protocol, instance.a(), instance.b());
+        let mut sink = CountingSink::new();
+        let mut observer = TelemetryObserver::new();
+        let outcome = match &dispatch {
+            Ok(cached) => run_engine_instrumented(
+                cached,
+                config,
+                engine,
+                rule,
+                &mut rng,
+                plan.max_steps,
+                &mut observer,
+                &mut sink,
+            ),
+            Err(plain) => run_engine_instrumented(
+                plain,
+                config,
+                engine,
+                rule,
+                &mut rng,
+                plan.max_steps,
+                &mut observer,
+                &mut sink,
+            ),
+        };
+        let mut cell = CellTelemetry::new();
+        cell.sim = sink.snapshot();
+        let mut convergence = HistogramSnapshot::new();
+        if outcome.verdict.is_consensus() {
+            convergence.record(outcome.steps);
+        }
+        cell.sim.set(
+            keys::SIM_CONVERGENCE_STEPS,
+            MetricValue::Histogram(convergence),
+        );
+        cell.sim.set(keys::SIM_TRIALS, MetricValue::Counter(1));
+        cell.sim.set(
+            keys::SIM_TRIALS_CONVERGED,
+            MetricValue::Counter(u64::from(outcome.verdict.is_consensus())),
+        );
+        cell.wall = observer.wall_snapshot();
+        let mut trial_ns = HistogramSnapshot::new();
+        trial_ns.record(trial_span.elapsed_ns());
+        cell.wall
+            .set(keys::WALL_TRIAL_NS, MetricValue::Histogram(trial_ns));
+        let steps = outcome.steps;
+        ((outcome, cell), steps)
+    });
+    let mut telemetry = CellTelemetry::new();
+    let mut outcomes = Vec::with_capacity(pairs.len());
+    for (outcome, cell) in pairs {
+        telemetry.merge(&cell);
+        outcomes.push(outcome);
+    }
+    telemetry.wall.set(
+        keys::WALL_CELL_NS,
+        MetricValue::Counter(u64::try_from(batch.wall.as_nanos()).unwrap_or(u64::MAX)),
+    );
+    stats.record(&batch);
+    let results = TrialResults {
+        outcomes,
+        expected: instance.winner(),
+    };
+    (results, telemetry)
 }
 
 fn run_trials_core<P: Protocol + Clone + Sync>(
@@ -839,5 +979,72 @@ mod tests {
     #[should_panic(expected = "Threads(0)")]
     fn zero_threads_is_rejected() {
         let _ = Parallelism::Threads(0).worker_count();
+    }
+
+    #[test]
+    fn telemetry_matches_outcomes_and_stats() {
+        use avc_population::telemetry::keys;
+        let plan = TrialPlan::new(MajorityInstance::new(20, 11))
+            .runs(8)
+            .seed(5);
+        let collector = StatsCollector::new();
+        let (r, telemetry) = run_trials_with_telemetry(
+            &FourState,
+            &plan,
+            EngineKind::Count,
+            ConvergenceRule::OutputConsensus,
+            &collector,
+        );
+        let total_steps: u64 = r.outcomes().iter().map(|o| o.steps).sum();
+        assert_eq!(telemetry.sim.counter(keys::SIM_STEPS), Some(total_steps));
+        assert_eq!(telemetry.sim.counter(keys::SIM_TRIALS), Some(8));
+        assert_eq!(telemetry.sim.counter(keys::SIM_TRIALS_CONVERGED), Some(8));
+        let conv = telemetry
+            .sim
+            .histogram(keys::SIM_CONVERGENCE_STEPS)
+            .unwrap();
+        assert_eq!(conv.count, 8);
+        assert_eq!(conv.sum, total_steps);
+        assert_eq!(collector.snapshot().events, total_steps);
+        // Wall half is populated and throughput is derivable.
+        assert_eq!(
+            telemetry.wall.histogram(keys::WALL_TRIAL_NS).unwrap().count,
+            8
+        );
+        assert!(telemetry.wall.counter(keys::WALL_CELL_NS).is_some());
+        assert!(telemetry.steps_per_sec().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn telemetry_sim_half_is_parallelism_invariant() {
+        use avc_population::telemetry::keys;
+        let base = TrialPlan::new(MajorityInstance::new(25, 18))
+            .runs(12)
+            .seed(9);
+        let run = |parallelism| {
+            let collector = StatsCollector::new();
+            run_trials_with_telemetry(
+                &ThreeState::new(),
+                &base.parallelism(parallelism),
+                EngineKind::Adaptive,
+                ConvergenceRule::StateConsensus,
+                &collector,
+            )
+        };
+        let (serial_r, serial_t) = run(Parallelism::Serial);
+        for workers in [2, 5] {
+            let (r, t) = run(Parallelism::Threads(workers));
+            assert_eq!(serial_r.outcomes(), r.outcomes(), "{workers} workers");
+            assert_eq!(serial_t.sim, t.sim, "{workers} workers");
+        }
+        // RNG-invisibility: the uninstrumented path sees identical outcomes.
+        let plain = run_trials(
+            &ThreeState::new(),
+            &base,
+            EngineKind::Adaptive,
+            ConvergenceRule::StateConsensus,
+        );
+        assert_eq!(plain.outcomes(), serial_r.outcomes());
+        assert!(serial_t.sim.counter(keys::SIM_STEPS).unwrap() > 0);
     }
 }

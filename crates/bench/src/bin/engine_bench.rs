@@ -20,7 +20,12 @@
 //! the JSON report), `--check PATH` (compare against a committed report and
 //! fail if any engine's speedup regressed by more than 25%), `--profile`
 //! (per-phase breakdown — sampling vs transition vs bookkeeping — for the
-//! agent and count engines, appended to the report).
+//! agent and count engines, appended to the report), `--profile-out PATH`
+//! (write the per-phase breakdown as telemetry registry snapshots; implies
+//! `--profile`), `--gate-telemetry PATH` (telemetry overhead gate: the
+//! chunked hot loop, which now carries the `Sink` seam with its default
+//! `NoopSink`, must stay within 2% of a committed pre-telemetry report
+//! after normalizing for machine speed by the legacy column).
 
 use avc_population::cached::Cached;
 use avc_population::driver::{Driver, NullObserver};
@@ -30,6 +35,8 @@ use avc_population::engine::{
 };
 use avc_population::graph::Graph;
 use avc_population::sampler::FenwickSampler;
+use avc_population::telemetry::export::{atomic_write, snapshot_to_json};
+use avc_population::telemetry::{MetricValue, RegistrySnapshot};
 use avc_population::{Config, ConvergenceRule, MajorityInstance, Protocol};
 use avc_protocols::FourState;
 use avc_store::json::Json;
@@ -44,6 +51,12 @@ const RULE: ConvergenceRule = ConvergenceRule::OutputConsensus;
 const SEED: u64 = 42;
 /// The tolerated speedup regression factor for `--check`.
 const TOLERANCE: f64 = 1.25;
+/// The tolerated chunked-time inflation factor for `--gate-telemetry`.
+const TELEMETRY_TOLERANCE: f64 = 1.02;
+/// The hot-loop cells the telemetry gate covers: the two engines whose
+/// chunked loop pays a per-step cost, so any non-compiled-out `Sink` work
+/// shows up here first.
+const GATED_ENGINES: [&str; 2] = ["agent", "count"];
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Engine {
@@ -178,28 +191,44 @@ fn median(samples: &mut [f64]) -> f64 {
 struct Profile {
     engine: &'static str,
     n: u64,
-    steps: u64,
-    total_ms: f64,
-    sampling_ms: f64,
-    transition_ms: f64,
-    bookkeeping_ms: f64,
+    /// The breakdown as a telemetry registry snapshot: `sim.steps` plus one
+    /// `wall.<phase>_ns` counter per phase, so `--profile-out` serializes it
+    /// with the telemetry exporter instead of a bespoke schema.
+    snapshot: RegistrySnapshot,
 }
 
 impl Profile {
+    fn set_phase_ms(snapshot: &mut RegistrySnapshot, key: &str, ms: f64) {
+        snapshot.set(key, MetricValue::Counter((ms * 1e6).round() as u64));
+    }
+
+    fn phase_ms(&self, key: &str) -> f64 {
+        self.snapshot.counter(key).unwrap_or(0) as f64 / 1e6
+    }
+
     fn to_json(&self) -> Json {
         Json::obj([
             ("engine", Json::str(self.engine)),
             ("n", Json::Int(self.n as i64)),
-            ("steps", Json::Int(self.steps as i64)),
-            ("total_ms", Json::str(format!("{:.3}", self.total_ms))),
-            ("sampling_ms", Json::str(format!("{:.3}", self.sampling_ms))),
+            (
+                "steps",
+                Json::Int(self.snapshot.counter("sim.steps").unwrap_or(0) as i64),
+            ),
+            (
+                "total_ms",
+                Json::str(format!("{:.3}", self.phase_ms("wall.total_ns"))),
+            ),
+            (
+                "sampling_ms",
+                Json::str(format!("{:.3}", self.phase_ms("wall.sampling_ns"))),
+            ),
             (
                 "transition_ms",
-                Json::str(format!("{:.3}", self.transition_ms)),
+                Json::str(format!("{:.3}", self.phase_ms("wall.transition_ns"))),
             ),
             (
                 "bookkeeping_ms",
-                Json::str(format!("{:.3}", self.bookkeeping_ms)),
+                Json::str(format!("{:.3}", self.phase_ms("wall.bookkeeping_ns"))),
             ),
         ])
     }
@@ -271,14 +300,20 @@ fn profile(engine: Engine, n: u64, reps: usize) -> Profile {
     let total_ms = median(&mut total);
     let sampling_ms = median(&mut sampling);
     let transition_ms = median(&mut transition);
+    let mut snapshot = RegistrySnapshot::new();
+    snapshot.set("sim.steps", MetricValue::Counter(steps));
+    Profile::set_phase_ms(&mut snapshot, "wall.total_ns", total_ms);
+    Profile::set_phase_ms(&mut snapshot, "wall.sampling_ns", sampling_ms);
+    Profile::set_phase_ms(&mut snapshot, "wall.transition_ns", transition_ms);
+    Profile::set_phase_ms(
+        &mut snapshot,
+        "wall.bookkeeping_ns",
+        (total_ms - sampling_ms - transition_ms).max(0.0),
+    );
     Profile {
         engine: engine.name(),
         n,
-        steps,
-        total_ms,
-        sampling_ms,
-        transition_ms,
-        bookkeeping_ms: (total_ms - sampling_ms - transition_ms).max(0.0),
+        snapshot,
     }
 }
 
@@ -357,6 +392,72 @@ fn check(entries: &[Entry], committed_path: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// The telemetry overhead gate: on the agent and count cells, the chunked
+/// loop (whose engines now carry the `Sink` seam with its default
+/// `NoopSink`) must match a committed pre-telemetry report to within
+/// [`TELEMETRY_TOLERANCE`]. Raw wall times are not comparable across
+/// machines, so each committed chunked time is first rescaled by this
+/// machine's legacy/committed-legacy ratio — the legacy per-step loop is the
+/// same workload measured in the same process, so it serves as the
+/// machine-speed proxy.
+fn gate_telemetry(entries: &[Entry], committed_path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(committed_path)
+        .map_err(|e| format!("cannot read {committed_path}: {e}"))?;
+    let committed = Json::parse(&text)?;
+    let committed = committed
+        .get("entries")
+        .and_then(Json::as_arr)
+        .ok_or("committed report has no entries array")?;
+    let ms_field = |obj: &Json, key: &str| -> Option<f64> {
+        obj.get(key).and_then(Json::as_str)?.parse().ok()
+    };
+    let mut compared = 0;
+    for old in committed {
+        let (engine, n) = (
+            old.get("engine").and_then(Json::as_str).unwrap_or(""),
+            old.get("n").and_then(Json::as_int).unwrap_or(0),
+        );
+        if !GATED_ENGINES.contains(&engine) {
+            continue;
+        }
+        let Some(new) = entries
+            .iter()
+            .find(|e| e.engine == engine && e.n as i64 == n)
+        else {
+            continue; // quick mode measures a subset of the committed grid
+        };
+        let old_legacy = ms_field(old, "legacy_ms")
+            .ok_or_else(|| format!("{engine}/{n}: malformed committed legacy_ms"))?;
+        let old_chunked = ms_field(old, "chunked_ms")
+            .ok_or_else(|| format!("{engine}/{n}: malformed committed chunked_ms"))?;
+        let scaled = old_chunked * (new.legacy_ms / old_legacy);
+        let ceiling = scaled * TELEMETRY_TOLERANCE;
+        println!(
+            "gate {engine}/{n}: committed {old_chunked:.3} ms, machine-scaled {scaled:.3} ms, \
+             ceiling {ceiling:.3} ms, current {:.3} ms",
+            new.chunked_ms
+        );
+        if new.chunked_ms > ceiling {
+            return Err(format!(
+                "{engine}/{n}: chunked loop at {:.3} ms exceeds {ceiling:.3} ms \
+                 (committed {old_chunked:.3} ms scaled for machine speed, +{:.0}%)",
+                new.chunked_ms,
+                (TELEMETRY_TOLERANCE - 1.0) * 100.0
+            ));
+        }
+        compared += 1;
+    }
+    if compared == 0 {
+        return Err("no overlapping gated cells between current and committed reports".into());
+    }
+    println!(
+        "telemetry overhead gate passed ({compared} hot-loop cells within \
+         {:.0}% of committed)",
+        (TELEMETRY_TOLERANCE - 1.0) * 100.0
+    );
+    Ok(())
+}
+
 fn main() {
     let args = avc_analysis::cli::Args::from_env();
     let quick = args.flag("quick");
@@ -384,13 +485,18 @@ fn main() {
     }
 
     let mut profiles = Vec::new();
-    if args.flag("profile") {
+    if args.flag("profile") || args.get("profile-out").is_some() {
         for &n in ns {
             for engine in [Engine::Agent, Engine::Count] {
                 let p = profile(engine, n, reps);
                 println!(
                     "{:>8} n={:<7} profile: total {:>9.3} ms = sampling {:>8.3} + transition {:>8.3} + bookkeeping {:>8.3}",
-                    p.engine, p.n, p.total_ms, p.sampling_ms, p.transition_ms, p.bookkeeping_ms
+                    p.engine,
+                    p.n,
+                    p.phase_ms("wall.total_ns"),
+                    p.phase_ms("wall.sampling_ns"),
+                    p.phase_ms("wall.transition_ns"),
+                    p.phase_ms("wall.bookkeeping_ns")
                 );
                 profiles.push(p);
             }
@@ -421,9 +527,39 @@ fn main() {
         println!("[written to {path}]");
     }
 
+    if let Some(path) = args.get("profile-out") {
+        // One telemetry registry snapshot per profiled cell, serialized by
+        // the telemetry exporter (same shapes as `telemetry.jsonl`).
+        let cells: Vec<String> = profiles
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"engine\":\"{}\",\"n\":{},\"snapshot\":{}}}",
+                    p.engine,
+                    p.n,
+                    snapshot_to_json(&p.snapshot)
+                )
+            })
+            .collect();
+        let body = format!(
+            "{{\"bench\":\"engine_bench_profile\",\"mode\":\"{}\",\"profiles\":[{}]}}\n",
+            if quick { "quick" } else { "full" },
+            cells.join(",")
+        );
+        atomic_write(std::path::Path::new(path), body.as_bytes()).expect("write profile report");
+        println!("[profile written to {path}]");
+    }
+
     if let Some(path) = args.get("check") {
         if let Err(message) = check(&entries, path) {
             eprintln!("perf check FAILED: {message}");
+            std::process::exit(1);
+        }
+    }
+
+    if let Some(path) = args.get("gate-telemetry") {
+        if let Err(message) = gate_telemetry(&entries, path) {
+            eprintln!("telemetry overhead gate FAILED: {message}");
             std::process::exit(1);
         }
     }

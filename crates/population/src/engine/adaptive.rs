@@ -7,6 +7,7 @@ use crate::engine::{
 };
 use crate::faults::{Fault, FaultError};
 use crate::protocol::{Opinion, Protocol, StateId};
+use avc_telemetry::{NoopSink, Sink};
 use rand::RngCore;
 
 /// Window length over which the productive fraction is estimated.
@@ -40,11 +41,17 @@ const SWITCH_DIVISOR: u64 = 16;
 /// let mut rng = rand::rngs::SmallRng::seed_from_u64(11);
 /// assert!(sim.run_to_consensus(&mut rng, u64::MAX).verdict.is_consensus());
 /// ```
+/// The `T` parameter is the telemetry [`Sink`] seam (see
+/// [`CountSim`] for the contract). The sink lives on the adaptive wrapper —
+/// the inner engines keep the no-op default — so chunk deltas and the
+/// dense→sparse [`Sink::on_phase_switch`] event are recorded at the level
+/// that sees both phases.
 #[derive(Debug)]
-pub struct AdaptiveSim<P: Protocol + Clone> {
+pub struct AdaptiveSim<P: Protocol + Clone, T = NoopSink> {
     inner: Inner<P>,
     window_start_steps: u64,
     window_start_events: u64,
+    telemetry: T,
 }
 
 #[derive(Debug)]
@@ -66,7 +73,32 @@ impl<P: Protocol + Clone> AdaptiveSim<P> {
             inner: Inner::Dense(CountSim::new(protocol, config)),
             window_start_steps: 0,
             window_start_events: 0,
+            telemetry: NoopSink,
         }
+    }
+}
+
+impl<P: Protocol + Clone, T: Sink> AdaptiveSim<P, T> {
+    /// Replaces the telemetry sink, rebinding the engine's type. All
+    /// simulation state carries over untouched, so attaching telemetry is
+    /// RNG-invisible.
+    pub fn with_telemetry<T2: Sink>(self, telemetry: T2) -> AdaptiveSim<P, T2> {
+        AdaptiveSim {
+            inner: self.inner,
+            window_start_steps: self.window_start_steps,
+            window_start_events: self.window_start_events,
+            telemetry,
+        }
+    }
+
+    /// The attached telemetry sink.
+    pub fn telemetry(&self) -> &T {
+        &self.telemetry
+    }
+
+    /// The attached telemetry sink, mutably (for draining counts).
+    pub fn telemetry_mut(&mut self) -> &mut T {
+        &mut self.telemetry
     }
 
     /// Whether the engine has switched to the jump-chain phase.
@@ -101,6 +133,7 @@ impl<P: Protocol + Clone> AdaptiveSim<P> {
                 let mut jump = JumpSim::new(protocol, config);
                 jump.set_counters(steps, events);
                 self.inner = Inner::Sparse(jump);
+                self.telemetry.on_phase_switch();
             } else {
                 self.inner = inner;
             }
@@ -108,7 +141,7 @@ impl<P: Protocol + Clone> AdaptiveSim<P> {
     }
 }
 
-impl<P: Protocol + Clone> Simulator for AdaptiveSim<P> {
+impl<P: Protocol + Clone, T: Sink> Simulator for AdaptiveSim<P, T> {
     fn population(&self) -> u64 {
         self.dispatch().population()
     }
@@ -151,6 +184,11 @@ impl<P: Protocol + Clone> Simulator for AdaptiveSim<P> {
             Inner::Sparse(sim) => sim.inject(fault),
             Inner::Switching => unreachable!("observed mid-handoff"),
         };
+        if let Ok(n) = result {
+            if n > 0 {
+                self.telemetry.on_fault();
+            }
+        }
         // Report the outer engine's name, not the current phase's.
         result.map_err(|e| match e {
             FaultError::Unsupported { fault, .. } => FaultError::Unsupported {
@@ -176,7 +214,7 @@ impl<P: Protocol + Clone> Simulator for AdaptiveSim<P> {
     }
 }
 
-impl<P: Protocol + Clone> ChunkedSimulator for AdaptiveSim<P> {
+impl<P: Protocol + Clone, T: Sink> ChunkedSimulator for AdaptiveSim<P, T> {
     fn advance_chunk<R: RngCore + ?Sized>(
         &mut self,
         rng: &mut R,
@@ -207,11 +245,13 @@ impl<P: Protocol + Clone> ChunkedSimulator for AdaptiveSim<P> {
                 other => break other,
             }
         };
-        AdvanceReport {
+        let report = AdvanceReport {
             steps: self.steps() - steps0,
             events: self.events() - events0,
             reason,
-        }
+        };
+        self.telemetry.on_chunk(report.steps, report.events);
+        report
     }
 }
 

@@ -6,6 +6,7 @@ use crate::faults::{Fault, FaultError};
 use crate::graph::Graph;
 use crate::protocol::{Opinion, Protocol, StateId};
 use crate::sched::{Scheduler, Uniform};
+use avc_telemetry::{NoopSink, Sink};
 use rand::RngCore;
 
 /// A per-agent engine supporting arbitrary interaction graphs and
@@ -35,8 +36,11 @@ use rand::RngCore;
 /// let out = sim.run_to_consensus(&mut rng, 1_000_000);
 /// assert!(out.verdict.is_consensus());
 /// ```
+/// The `T` parameter is the telemetry [`Sink`] seam (see
+/// [`CountSim`](super::CountSim) for the contract); the default
+/// [`NoopSink`] compiles to nothing and leaves the RNG stream untouched.
 #[derive(Debug, Clone)]
-pub struct AgentSim<P, S = Uniform> {
+pub struct AgentSim<P, S = Uniform, T = NoopSink> {
     protocol: P,
     graph: Graph,
     scheduler: S,
@@ -50,6 +54,7 @@ pub struct AgentSim<P, S = Uniform> {
     faults: Option<Box<AgentFaults>>,
     steps: u64,
     events: u64,
+    telemetry: T,
 }
 
 /// Per-agent fault flags (the fault overlay).
@@ -417,7 +422,40 @@ impl<P: Protocol, S: Scheduler> AgentSim<P, S> {
             faults: None,
             steps: 0,
             events: 0,
+            telemetry: NoopSink,
         }
+    }
+}
+
+impl<P: Protocol, S: Scheduler, T: Sink> AgentSim<P, S, T> {
+    /// Replaces the telemetry sink, rebinding the engine's type. All
+    /// simulation state carries over untouched, so attaching telemetry is
+    /// RNG-invisible.
+    pub fn with_telemetry<T2: Sink>(self, telemetry: T2) -> AgentSim<P, S, T2> {
+        AgentSim {
+            protocol: self.protocol,
+            graph: self.graph,
+            scheduler: self.scheduler,
+            states: self.states,
+            counts: self.counts,
+            output_a: self.output_a,
+            count_a: self.count_a,
+            unanimous: self.unanimous,
+            faults: self.faults,
+            steps: self.steps,
+            events: self.events,
+            telemetry,
+        }
+    }
+
+    /// The attached telemetry sink.
+    pub fn telemetry(&self) -> &T {
+        &self.telemetry
+    }
+
+    /// The attached telemetry sink, mutably (for draining counts).
+    pub fn telemetry_mut(&mut self) -> &mut T {
+        &mut self.telemetry
     }
 
     /// The interaction graph.
@@ -508,7 +546,7 @@ impl<P: Protocol, S: Scheduler> AgentSim<P, S> {
     }
 }
 
-impl<P: Protocol, S: Scheduler> Simulator for AgentSim<P, S> {
+impl<P: Protocol, S: Scheduler, T: Sink> Simulator for AgentSim<P, S, T> {
     fn population(&self) -> u64 {
         self.states.len() as u64
     }
@@ -549,7 +587,7 @@ impl<P: Protocol, S: Scheduler> Simulator for AgentSim<P, S> {
 
     fn inject(&mut self, fault: Fault) -> Result<u64, FaultError> {
         let s = self.protocol.num_states();
-        match fault {
+        let applied = match fault {
             Fault::Corrupt { from, to, agents } => {
                 if from >= s || to >= s {
                     return Err(FaultError::OutOfRange {
@@ -607,7 +645,13 @@ impl<P: Protocol, S: Scheduler> Simulator for AgentSim<P, S> {
                 self.check_agent(agent)?;
                 Ok(self.set_flag(agent, true, false))
             }
+        };
+        if let Ok(n) = applied {
+            if n > 0 {
+                self.telemetry.on_fault();
+            }
         }
+        applied
     }
 
     fn advance(&mut self, rng: &mut dyn RngCore) -> u64 {
@@ -623,7 +667,7 @@ impl<P: Protocol, S: Scheduler> Simulator for AgentSim<P, S> {
     }
 }
 
-impl<P: Protocol, S: Scheduler> ChunkedSimulator for AgentSim<P, S> {
+impl<P: Protocol, S: Scheduler, T: Sink> ChunkedSimulator for AgentSim<P, S, T> {
     fn advance_chunk<R: RngCore + ?Sized>(
         &mut self,
         rng: &mut R,
@@ -690,11 +734,13 @@ impl<P: Protocol, S: Scheduler> ChunkedSimulator for AgentSim<P, S> {
                 stop,
             ),
         };
-        AdvanceReport {
+        let report = AdvanceReport {
             steps: self.steps - steps0,
             events: self.events - events0,
             reason,
-        }
+        };
+        self.telemetry.on_chunk(report.steps, report.events);
+        report
     }
 }
 

@@ -5,6 +5,7 @@ use crate::engine::{AdvanceReport, ChunkedSimulator, Simulator, StopCondition, S
 use crate::faults::{Fault, FaultError};
 use crate::protocol::{Opinion, Protocol, StateId};
 use crate::sampler::FenwickSampler;
+use avc_telemetry::{NoopSink, Sink};
 use rand::{Rng, RngCore};
 
 /// A count-based engine: `O(log s)` per step, `O(s)` memory.
@@ -30,8 +31,15 @@ use rand::{Rng, RngCore};
 /// let out = sim.run_to_consensus(&mut rng, u64::MAX);
 /// assert!(out.verdict.is_consensus());
 /// ```
+/// The `T` parameter is the telemetry [`Sink`] seam: the default
+/// [`NoopSink`] compiles every recording site away (the CI bench gate holds
+/// it to ≤2% of the uninstrumented hot loop), while a
+/// [`CountingSink`](avc_telemetry::CountingSink) attached via
+/// [`CountSim::with_telemetry`] records chunk step/event deltas and Fenwick
+/// descent depths. The sink never touches the RNG, so instrumented and
+/// plain runs draw byte-identical streams.
 #[derive(Debug, Clone)]
-pub struct CountSim<P> {
+pub struct CountSim<P, T = NoopSink> {
     protocol: P,
     counts: Vec<u64>,
     sampler: FenwickSampler,
@@ -41,6 +49,7 @@ pub struct CountSim<P> {
     n: u64,
     steps: u64,
     events: u64,
+    telemetry: T,
 }
 
 impl<P: Protocol> CountSim<P> {
@@ -80,7 +89,38 @@ impl<P: Protocol> CountSim<P> {
             n,
             steps: 0,
             events: 0,
+            telemetry: NoopSink,
         }
+    }
+}
+
+impl<P: Protocol, T: Sink> CountSim<P, T> {
+    /// Replaces the telemetry sink, rebinding the engine's type. All
+    /// simulation state (counts, sampler, step counters) carries over
+    /// untouched, so attaching telemetry mid-run is RNG-invisible.
+    pub fn with_telemetry<T2: Sink>(self, telemetry: T2) -> CountSim<P, T2> {
+        CountSim {
+            protocol: self.protocol,
+            counts: self.counts,
+            sampler: self.sampler,
+            output_a: self.output_a,
+            count_a: self.count_a,
+            unanimous: self.unanimous,
+            n: self.n,
+            steps: self.steps,
+            events: self.events,
+            telemetry,
+        }
+    }
+
+    /// The attached telemetry sink.
+    pub fn telemetry(&self) -> &T {
+        &self.telemetry
+    }
+
+    /// The attached telemetry sink, mutably (for draining counts).
+    pub fn telemetry_mut(&mut self) -> &mut T {
+        &mut self.telemetry
     }
 
     /// The protocol being executed.
@@ -112,6 +152,14 @@ impl<P: Protocol> CountSim<P> {
     #[inline]
     fn step<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
         self.steps += 1;
+        if T::ENABLED {
+            // Both draws below descend the tree once each; depth is a
+            // function of the (fixed) category count, so recording it here
+            // adds nothing to the descents themselves.
+            let depth = self.sampler.descent_depth();
+            self.telemetry.on_descent(depth);
+            self.telemetry.on_descent(depth);
+        }
         let total = self.sampler.total();
         // First agent by species, proportional to counts.
         let i = self.sampler.select(rng.gen_range(0..total)) as StateId;
@@ -148,7 +196,7 @@ impl<P: Protocol> CountSim<P> {
     }
 }
 
-impl<P: Protocol> Simulator for CountSim<P> {
+impl<P: Protocol, T: Sink> Simulator for CountSim<P, T> {
     fn population(&self) -> u64 {
         self.n
     }
@@ -206,6 +254,7 @@ impl<P: Protocol> Simulator for CountSim<P> {
         self.unanimous = None;
         self.bump(from, -(moved as i64));
         self.bump(to, moved as i64);
+        self.telemetry.on_fault();
         Ok(moved)
     }
 
@@ -219,7 +268,7 @@ impl<P: Protocol> Simulator for CountSim<P> {
     }
 }
 
-impl<P: Protocol> ChunkedSimulator for CountSim<P> {
+impl<P: Protocol, T: Sink> ChunkedSimulator for CountSim<P, T> {
     fn advance_chunk<R: RngCore + ?Sized>(
         &mut self,
         rng: &mut R,
@@ -244,11 +293,13 @@ impl<P: Protocol> ChunkedSimulator for CountSim<P> {
                 self.step(rng);
             }
         };
-        AdvanceReport {
+        let report = AdvanceReport {
             steps: self.steps - steps0,
             events: self.events - events0,
             reason,
-        }
+        };
+        self.telemetry.on_chunk(report.steps, report.events);
+        report
     }
 }
 
@@ -323,5 +374,39 @@ mod tests {
     #[should_panic(expected = "does not match protocol")]
     fn rejects_wrong_state_space() {
         let _ = CountSim::new(Voter, Config::from_counts(vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn telemetry_records_chunks_and_matches_counters() {
+        use avc_telemetry::CountingSink;
+        let sim = CountSim::new(Voter, Config::from_input(&Voter, 30, 20));
+        let mut sim = sim.with_telemetry(CountingSink::new());
+        let mut rng = SmallRng::seed_from_u64(6);
+        let out = sim.run_to_consensus(&mut rng, u64::MAX);
+        assert!(out.verdict.is_consensus());
+        let sink = sim.telemetry();
+        assert_eq!(sink.steps, sim.steps());
+        assert_eq!(sink.events, sim.events());
+        assert_eq!(sink.silent_steps(), sim.steps() - sim.events());
+        assert!(sink.chunks >= 1);
+        // Voter has 2 states: linear-scan path, depth 0, two descents/step.
+        assert_eq!(sink.descents, 2 * sim.steps());
+        assert_eq!(sink.descent_depth_sum, 0);
+    }
+
+    #[test]
+    fn telemetry_is_rng_invisible() {
+        use avc_telemetry::CountingSink;
+        let config = Config::from_input(&Voter, 30, 20);
+        let mut plain = CountSim::new(Voter, config.clone());
+        let mut instrumented = CountSim::new(Voter, config).with_telemetry(CountingSink::new());
+        let mut rng_a = SmallRng::seed_from_u64(7);
+        let mut rng_b = SmallRng::seed_from_u64(7);
+        let out_a = plain.run_to_consensus(&mut rng_a, u64::MAX);
+        let out_b = instrumented.run_to_consensus(&mut rng_b, u64::MAX);
+        assert_eq!(out_a.verdict, out_b.verdict);
+        assert_eq!(out_a.steps, out_b.steps);
+        assert_eq!(plain.counts(), instrumented.counts());
+        assert_eq!(rng_a.r#gen::<u64>(), rng_b.r#gen::<u64>());
     }
 }

@@ -4,6 +4,7 @@ use crate::config::Config;
 use crate::engine::{AdvanceReport, ChunkedSimulator, Simulator, StopCondition, StopReason};
 use crate::faults::{Fault, FaultError};
 use crate::protocol::{Opinion, Protocol, StateId};
+use avc_telemetry::{NoopSink, Sink};
 use rand::{Rng, RngCore};
 use rand_distr::{Distribution, Geometric};
 
@@ -43,8 +44,11 @@ const NOT_LIVE: u32 = u32::MAX;
 /// // 400 productive annihilations, arbitrarily many skipped silent steps.
 /// assert!(out.verdict.is_consensus());
 /// ```
+/// The `T` parameter is the telemetry [`Sink`] seam (see
+/// [`CountSim`](super::CountSim) for the contract); the default
+/// [`NoopSink`] compiles to nothing and leaves the RNG stream untouched.
 #[derive(Debug, Clone)]
-pub struct JumpSim<P> {
+pub struct JumpSim<P, T = NoopSink> {
     protocol: P,
     counts: Vec<u64>,
     /// States with nonzero count.
@@ -61,6 +65,7 @@ pub struct JumpSim<P> {
     n: u64,
     steps: u64,
     events: u64,
+    telemetry: T,
 }
 
 impl<P: Protocol> JumpSim<P> {
@@ -100,6 +105,7 @@ impl<P: Protocol> JumpSim<P> {
             n,
             steps: 0,
             events: 0,
+            telemetry: NoopSink,
         };
         for q in 0..s {
             if sim.counts[q as usize] > 0 {
@@ -112,6 +118,38 @@ impl<P: Protocol> JumpSim<P> {
             sim.null_row[q as usize] = sim.compute_null_row(q);
         }
         sim
+    }
+}
+
+impl<P: Protocol, T: Sink> JumpSim<P, T> {
+    /// Replaces the telemetry sink, rebinding the engine's type. All
+    /// simulation state carries over untouched, so attaching telemetry is
+    /// RNG-invisible.
+    pub fn with_telemetry<T2: Sink>(self, telemetry: T2) -> JumpSim<P, T2> {
+        JumpSim {
+            protocol: self.protocol,
+            counts: self.counts,
+            live: self.live,
+            live_pos: self.live_pos,
+            null_row: self.null_row,
+            output_a: self.output_a,
+            count_a: self.count_a,
+            unanimous: self.unanimous,
+            n: self.n,
+            steps: self.steps,
+            events: self.events,
+            telemetry,
+        }
+    }
+
+    /// The attached telemetry sink.
+    pub fn telemetry(&self) -> &T {
+        &self.telemetry
+    }
+
+    /// The attached telemetry sink, mutably (for draining counts).
+    pub fn telemetry_mut(&mut self) -> &mut T {
+        &mut self.telemetry
     }
 
     /// The protocol being executed.
@@ -336,7 +374,7 @@ impl<P: Protocol> JumpSim<P> {
     }
 }
 
-impl<P: Protocol> Simulator for JumpSim<P> {
+impl<P: Protocol, T: Sink> Simulator for JumpSim<P, T> {
     fn population(&self) -> u64 {
         self.n
     }
@@ -398,6 +436,7 @@ impl<P: Protocol> Simulator for JumpSim<P> {
             let q = self.live[idx];
             self.null_row[q as usize] = self.compute_null_row(q);
         }
+        self.telemetry.on_fault();
         Ok(moved)
     }
 
@@ -410,7 +449,7 @@ impl<P: Protocol> Simulator for JumpSim<P> {
     }
 }
 
-impl<P: Protocol> ChunkedSimulator for JumpSim<P> {
+impl<P: Protocol, T: Sink> ChunkedSimulator for JumpSim<P, T> {
     fn advance_chunk<R: RngCore + ?Sized>(
         &mut self,
         rng: &mut R,
@@ -433,11 +472,13 @@ impl<P: Protocol> ChunkedSimulator for JumpSim<P> {
                 break StopReason::Silent;
             }
         };
-        AdvanceReport {
+        let report = AdvanceReport {
             steps: self.steps - steps0,
             events: self.events - events0,
             reason,
-        }
+        };
+        self.telemetry.on_chunk(report.steps, report.events);
+        report
     }
 }
 

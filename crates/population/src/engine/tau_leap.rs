@@ -20,6 +20,7 @@ use crate::config::Config;
 use crate::engine::{AdvanceReport, ChunkedSimulator, Simulator, StopCondition, StopReason};
 use crate::faults::{Fault, FaultError};
 use crate::protocol::{Opinion, Protocol, StateId};
+use avc_telemetry::{NoopSink, Sink};
 use rand::{Rng, RngCore};
 use rand_distr::{Distribution, Poisson};
 
@@ -49,8 +50,11 @@ const MAX_RETRIES: u32 = 8;
 /// // Far fewer engine calls than scheduler steps:
 /// assert!(sim.events() < sim.steps() / 4);
 /// ```
+/// The `T` parameter is the telemetry [`Sink`] seam (see
+/// [`CountSim`](super::CountSim) for the contract); the default
+/// [`NoopSink`] compiles to nothing and leaves the RNG stream untouched.
 #[derive(Debug, Clone)]
-pub struct TauLeapSim<P> {
+pub struct TauLeapSim<P, T = NoopSink> {
     protocol: P,
     counts: Vec<u64>,
     output_a: Vec<bool>,
@@ -61,6 +65,7 @@ pub struct TauLeapSim<P> {
     /// Engine invocations that changed the configuration (leaps or exact
     /// steps) — the cost metric, analogous to productive events.
     events: u64,
+    telemetry: T,
 }
 
 /// One reaction channel: an ordered productive species pair with its
@@ -106,7 +111,37 @@ impl<P: Protocol> TauLeapSim<P> {
             n,
             steps: 0,
             events: 0,
+            telemetry: NoopSink,
         }
+    }
+}
+
+impl<P: Protocol, T: Sink> TauLeapSim<P, T> {
+    /// Replaces the telemetry sink, rebinding the engine's type. All
+    /// simulation state carries over untouched, so attaching telemetry is
+    /// RNG-invisible.
+    pub fn with_telemetry<T2: Sink>(self, telemetry: T2) -> TauLeapSim<P, T2> {
+        TauLeapSim {
+            protocol: self.protocol,
+            counts: self.counts,
+            output_a: self.output_a,
+            count_a: self.count_a,
+            unanimous: self.unanimous,
+            n: self.n,
+            steps: self.steps,
+            events: self.events,
+            telemetry,
+        }
+    }
+
+    /// The attached telemetry sink.
+    pub fn telemetry(&self) -> &T {
+        &self.telemetry
+    }
+
+    /// The attached telemetry sink, mutably (for draining counts).
+    pub fn telemetry_mut(&mut self) -> &mut T {
+        &mut self.telemetry
     }
 
     /// The protocol being executed.
@@ -305,7 +340,7 @@ impl<P: Protocol> TauLeapSim<P> {
     }
 }
 
-impl<P: Protocol> Simulator for TauLeapSim<P> {
+impl<P: Protocol, T: Sink> Simulator for TauLeapSim<P, T> {
     fn population(&self) -> u64 {
         self.n
     }
@@ -361,6 +396,7 @@ impl<P: Protocol> Simulator for TauLeapSim<P> {
         self.apply_delta(from, -(moved as i64));
         self.apply_delta(to, moved as i64);
         self.settle_unanimous();
+        self.telemetry.on_fault();
         Ok(moved)
     }
 
@@ -373,7 +409,7 @@ impl<P: Protocol> Simulator for TauLeapSim<P> {
     }
 }
 
-impl<P: Protocol> ChunkedSimulator for TauLeapSim<P> {
+impl<P: Protocol, T: Sink> ChunkedSimulator for TauLeapSim<P, T> {
     fn advance_chunk<R: RngCore + ?Sized>(
         &mut self,
         rng: &mut R,
@@ -396,11 +432,13 @@ impl<P: Protocol> ChunkedSimulator for TauLeapSim<P> {
                 break StopReason::Silent;
             }
         };
-        AdvanceReport {
+        let report = AdvanceReport {
             steps: self.steps - steps0,
             events: self.events - events0,
             reason,
-        }
+        };
+        self.telemetry.on_chunk(report.steps, report.events);
+        report
     }
 }
 

@@ -75,6 +75,7 @@ pub mod sampler;
 pub mod sched;
 pub mod spec;
 pub mod spectral;
+pub mod telemetry;
 pub mod time;
 pub mod trace;
 

@@ -110,6 +110,19 @@ impl FenwickSampler {
         self.total
     }
 
+    /// Levels a `select`/`select_pair` tree descent walks at the current
+    /// size: `0` on the linear-scan fast path (`len <= 64`), else
+    /// `log₂(top_bit)`. Constant per sampler, so telemetry can record it
+    /// without touching the descent itself.
+    #[must_use]
+    pub fn descent_depth(&self) -> u32 {
+        if self.len <= LINEAR_SCAN_LIMIT {
+            0
+        } else {
+            self.top_bit.trailing_zeros()
+        }
+    }
+
     /// Adds `delta` to the weight of category `index`.
     ///
     /// # Panics

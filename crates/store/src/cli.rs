@@ -15,11 +15,18 @@
 //! `--runs`, `--seed`, …). The legacy `avc-bench` binaries call
 //! [`legacy`], which is exactly `sweep` followed by `export`.
 
+use crate::json::Json;
+use crate::record::telemetry_from_json;
 use crate::specs;
 use crate::store::Store;
 use crate::sweep::{self, Plan};
 use avc_analysis::cli::Args;
 use avc_analysis::harness::StatsCollector;
+use avc_analysis::table::{fmt_num, Table};
+use avc_population::telemetry::export::{prometheus_text, read_lines_tolerant};
+use avc_population::telemetry::metrics::bucket_bounds;
+use avc_population::telemetry::{keys, CellTelemetry, HistogramSnapshot};
+use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
 /// The CSV output directory (`--out`, default `results`).
@@ -95,6 +102,7 @@ fn cmd_ls(args: &Args) -> Result<(), String> {
         println!("store {} is empty", store.records_path().display());
         return Ok(());
     }
+    let wide = args.flag("wide");
     // Group the latest records by experiment, keeping registry order.
     for (name, description) in specs::NAMES {
         let cells: Vec<_> = store
@@ -110,14 +118,34 @@ fn cmd_ls(args: &Args) -> Result<(), String> {
             cells.len(),
             wall as f64 / 1e3
         );
-        if args.flag("cells") {
+        if args.flag("cells") || wide {
             for r in &cells {
-                println!(
-                    "  {}  {}  ({:.1}s)",
-                    &r.hash[..12],
-                    r.manifest.get("cell").unwrap_or("?"),
-                    r.wall_ms as f64 / 1e3
-                );
+                if wide {
+                    // Wall time plus throughput from the telemetry block,
+                    // when the cell recorded one.
+                    let telemetry = r.result.telemetry.as_ref();
+                    let steps = telemetry
+                        .and_then(|t| t.sim.counter(keys::SIM_STEPS))
+                        .map_or("-".to_string(), |s| s.to_string());
+                    let rate = telemetry
+                        .and_then(CellTelemetry::steps_per_sec)
+                        .map_or("-".to_string(), |r| format!("{r:.3e}"));
+                    println!(
+                        "  {}  {:<28} {:>9.1}s  {:>14} steps  {:>10} steps/s",
+                        &r.hash[..12],
+                        r.manifest.get("cell").unwrap_or("?"),
+                        r.wall_ms as f64 / 1e3,
+                        steps,
+                        rate
+                    );
+                } else {
+                    println!(
+                        "  {}  {}  ({:.1}s)",
+                        &r.hash[..12],
+                        r.manifest.get("cell").unwrap_or("?"),
+                        r.wall_ms as f64 / 1e3
+                    );
+                }
             }
         }
     }
@@ -181,6 +209,209 @@ fn cmd_show(prefix: &str, args: &Args) -> Result<(), String> {
     }
 }
 
+/// Renders a log₂-bucket histogram as an indented bar chart.
+fn render_histogram(title: &str, unit: &str, h: &HistogramSnapshot) -> String {
+    let mut out = format!("{title}: {} samples", h.count);
+    if let Some(mean) = h.mean() {
+        out.push_str(&format!(", mean {} {unit}", fmt_num(mean)));
+    }
+    if let Some(p50) = h.quantile_bound(0.5) {
+        out.push_str(&format!(", p50 <= {p50} {unit}"));
+    }
+    if let Some(p90) = h.quantile_bound(0.9) {
+        out.push_str(&format!(", p90 <= {p90} {unit}"));
+    }
+    let buckets = h.nonzero_buckets();
+    let max = buckets.iter().map(|&(_, c)| c).max().unwrap_or(1);
+    for (index, count) in buckets {
+        let (lo, hi) = bucket_bounds(index);
+        let bar = "#".repeat(((count * 40).div_ceil(max)) as usize);
+        out.push_str(&format!("\n  [{lo:>13} .. {hi:>13}] {count:>9}  {bar}"));
+    }
+    out
+}
+
+fn cmd_report(name: &str, args: &Args) -> Result<(), String> {
+    let plan = build_plan(name, args)?;
+    let store = Store::open(store_dir(args)).map_err(|e| e.to_string())?;
+    let mut aggregate = CellTelemetry::new();
+    let mut table = Table::new(
+        format!("telemetry: {name}"),
+        [
+            "cell",
+            "trials",
+            "converged",
+            "steps",
+            "events",
+            "silent",
+            "steps/s",
+            "wall_s",
+        ],
+    );
+    let mut missing = 0usize;
+    for cell in &plan.cells {
+        let Some(record) = store.get(&cell.manifest.hash()) else {
+            missing += 1;
+            continue;
+        };
+        let Some(telemetry) = &record.result.telemetry else {
+            missing += 1;
+            continue;
+        };
+        aggregate.merge(telemetry);
+        let sim = &telemetry.sim;
+        let counter = |key: &str| sim.counter(key).map_or("-".to_string(), |v| v.to_string());
+        let silent = match (
+            sim.counter(keys::SIM_SILENT_STEPS),
+            sim.counter(keys::SIM_STEPS),
+        ) {
+            (Some(silent), Some(steps)) if steps > 0 => {
+                format!("{:.1}%", silent as f64 * 100.0 / steps as f64)
+            }
+            _ => "-".to_string(),
+        };
+        table.push_row([
+            cell.label.clone(),
+            counter(keys::SIM_TRIALS),
+            counter(keys::SIM_TRIALS_CONVERGED),
+            counter(keys::SIM_STEPS),
+            counter(keys::SIM_EVENTS),
+            silent,
+            telemetry
+                .steps_per_sec()
+                .map_or("-".to_string(), |r| format!("{r:.3e}")),
+            format!("{:.1}", record.wall_ms as f64 / 1e3),
+        ]);
+    }
+    if aggregate.is_empty() {
+        return Err(format!(
+            "no telemetry recorded for `{name}` — run `avc sweep {name}` (cells stored before \
+             the telemetry schema carry no block; rerun after deleting them to backfill)"
+        ));
+    }
+
+    if args.flag("prometheus") {
+        // One merged exposition: sim and wall key spaces are disjoint.
+        let mut merged = aggregate.sim.clone();
+        merged.merge(&aggregate.wall);
+        print!("{}", prometheus_text(&merged));
+        return Ok(());
+    }
+
+    println!("{}", table.to_markdown());
+    if missing > 0 {
+        println!(
+            "({missing} of {} cells have no telemetry)\n",
+            plan.cells.len()
+        );
+    }
+    if let Some(chunks) = aggregate.sim.histogram("sim.chunk_steps") {
+        println!("{}\n", render_histogram("chunk sizes", "steps", chunks));
+    }
+    if let Some(latency) = aggregate.wall.histogram(keys::WALL_CHUNK_NS) {
+        println!("{}\n", render_histogram("chunk latency", "ns", latency));
+    }
+    let trials = aggregate.sim.counter(keys::SIM_TRIALS).unwrap_or(0);
+    let converged = aggregate
+        .sim
+        .counter(keys::SIM_TRIALS_CONVERGED)
+        .unwrap_or(0);
+    print!("convergence: {converged}/{trials} trials");
+    if let Some(conv) = aggregate.sim.histogram(keys::SIM_CONVERGENCE_STEPS) {
+        if let Some(mean) = conv.mean() {
+            print!(", mean {} steps", fmt_num(mean));
+        }
+        if let Some(p90) = conv.quantile_bound(0.9) {
+            print!(", p90 <= {p90} steps");
+        }
+    }
+    println!();
+    Ok(())
+}
+
+/// One parsed line of the sweep telemetry journal.
+struct JournalEntry {
+    hash: String,
+    cell: String,
+    telemetry: CellTelemetry,
+}
+
+fn read_journal(dir: &Path) -> Result<Vec<JournalEntry>, String> {
+    let lines = read_lines_tolerant(&dir.join("telemetry.jsonl")).map_err(|e| e.to_string())?;
+    let mut entries = Vec::with_capacity(lines.len());
+    for line in &lines {
+        let json = Json::parse(line)?;
+        entries.push(JournalEntry {
+            hash: json
+                .get("hash")
+                .and_then(Json::as_str)
+                .ok_or("journal line missing hash")?
+                .to_string(),
+            cell: json
+                .get("cell")
+                .and_then(Json::as_str)
+                .ok_or("journal line missing cell")?
+                .to_string(),
+            telemetry: telemetry_from_json(
+                json.get("telemetry")
+                    .ok_or("journal line missing telemetry")?,
+            )?,
+        });
+    }
+    Ok(entries)
+}
+
+fn cmd_top(name: Option<&str>, args: &Args) -> Result<(), String> {
+    // With a sweep name, show only that plan's cells (flags must match the
+    // running sweep's); without one, show every journaled cell.
+    let filter: Option<BTreeSet<String>> = match name {
+        Some(name) => Some(
+            build_plan(name, args)?
+                .cells
+                .iter()
+                .map(|c| c.manifest.hash())
+                .collect(),
+        ),
+        None => None,
+    };
+    let dir = store_dir(args);
+    let last = args.get_u64("last", 10) as usize;
+    let watch = args.flag("watch");
+    loop {
+        let entries: Vec<JournalEntry> = read_journal(&dir)?
+            .into_iter()
+            .filter(|e| filter.as_ref().is_none_or(|f| f.contains(&e.hash)))
+            .collect();
+        let total_steps: u64 = entries
+            .iter()
+            .filter_map(|e| e.telemetry.sim.counter(keys::SIM_STEPS))
+            .sum();
+        println!(
+            "{} cell(s) journaled, {total_steps} steps total — showing last {}",
+            entries.len(),
+            last.min(entries.len())
+        );
+        for entry in entries.iter().rev().take(last).rev() {
+            let t = &entry.telemetry;
+            println!(
+                "  {}  {:<28} {:>14} steps  {:>10} steps/s",
+                &entry.hash[..12],
+                entry.cell,
+                t.sim
+                    .counter(keys::SIM_STEPS)
+                    .map_or("-".to_string(), |s| s.to_string()),
+                t.steps_per_sec()
+                    .map_or("-".to_string(), |r| format!("{r:.3e}"))
+            );
+        }
+        if !watch {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_secs(2));
+        println!();
+    }
+}
+
 fn usage() -> String {
     let mut out = String::from(
         "usage: avc <command> [flags]\n\
@@ -189,7 +420,11 @@ fn usage() -> String {
          \x20 sweep <name>    run (or resume) a sweep, checkpointing each cell\n\
          \x20 resume <name>   alias for sweep\n\
          \x20 export <name>   write the sweep's results/*.csv from the store\n\
-         \x20 ls [--cells]    list stored results by experiment\n\
+         \x20 report <name>   render the sweep's telemetry (throughput table,\n\
+         \x20                 chunk histograms, convergence; --prometheus)\n\
+         \x20 top [name]      tail the live sweep telemetry journal\n\
+         \x20                 (--last N, --watch)\n\
+         \x20 ls [--cells|--wide]  list stored results by experiment\n\
          \x20 show <hash>     inspect one stored cell by hash prefix\n\
          \x20 help            this message\n\
          \n\
@@ -215,13 +450,15 @@ pub fn main() -> i32 {
     let outcome = match (command, target) {
         (Some("sweep") | Some("resume"), Some(name)) => cmd_sweep(name, &args),
         (Some("export"), Some(name)) => cmd_export(name, &args),
+        (Some("report"), Some(name)) => cmd_report(name, &args),
+        (Some("top"), name) => cmd_top(name, &args),
         (Some("ls"), None) => cmd_ls(&args),
         (Some("show"), Some(prefix)) => cmd_show(prefix, &args),
         (Some("help") | None, _) => {
             print!("{}", usage());
             Ok(())
         }
-        (Some("sweep") | Some("resume") | Some("export"), None) => {
+        (Some("sweep") | Some("resume") | Some("export") | Some("report"), None) => {
             Err("missing sweep name (see `avc help`)".to_string())
         }
         (Some("show"), None) => Err("missing hash prefix (see `avc help`)".to_string()),

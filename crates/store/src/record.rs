@@ -13,6 +13,8 @@
 use crate::json::Json;
 use crate::manifest::{Manifest, SCHEMA_VERSION};
 use avc_analysis::stats::Summary;
+use avc_population::telemetry::metrics::NUM_BUCKETS;
+use avc_population::telemetry::{CellTelemetry, HistogramSnapshot, MetricValue, RegistrySnapshot};
 use std::collections::BTreeMap;
 
 /// Encodes an `f64` as the 16-hex-digit form of its bit pattern.
@@ -80,6 +82,11 @@ pub struct CellResult {
     pub values: BTreeMap<String, f64>,
     /// Free-form notes (e.g. surviving mutant rules from the model checks).
     pub notes: Vec<String>,
+    /// Aggregated run telemetry for the cell's batch, when the cell
+    /// captured any. Absent from legacy records (parsed leniently) and
+    /// never part of the manifest hash — telemetry describes *how* a cell
+    /// ran, not *what* it computed.
+    pub telemetry: Option<CellTelemetry>,
 }
 
 impl CellResult {
@@ -94,6 +101,107 @@ impl CellResult {
     pub fn rows(&self, stem: &str) -> &[Vec<String>] {
         self.tables.get(stem).map_or(&[], Vec::as_slice)
     }
+}
+
+/// Serializes one metric value in the same shape `avc-telemetry`'s string
+/// exporter emits (`{"counter":N}` / `{"gauge":N}` /
+/// `{"histogram":{"count":..,"sum":..,"buckets":[[i,c],..]}}`), so the
+/// record's embedded telemetry and the sweep's `telemetry.jsonl` agree.
+fn metric_value_to_json(value: &MetricValue) -> Json {
+    match value {
+        MetricValue::Counter(v) => Json::obj([("counter", Json::Int(*v as i64))]),
+        MetricValue::Gauge(v) => Json::obj([("gauge", Json::Int(*v as i64))]),
+        MetricValue::Histogram(h) => Json::obj([(
+            "histogram",
+            Json::obj([
+                ("count", Json::Int(h.count as i64)),
+                ("sum", Json::Int(h.sum as i64)),
+                (
+                    "buckets",
+                    Json::Arr(
+                        h.nonzero_buckets()
+                            .iter()
+                            .map(|&(i, c)| {
+                                Json::Arr(vec![Json::Int(i as i64), Json::Int(c as i64)])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        )]),
+    }
+}
+
+fn metric_value_from_json(json: &Json) -> Result<MetricValue, String> {
+    if let Some(v) = json.get("counter").and_then(Json::as_int) {
+        return Ok(MetricValue::Counter(v as u64));
+    }
+    if let Some(v) = json.get("gauge").and_then(Json::as_int) {
+        return Ok(MetricValue::Gauge(v as u64));
+    }
+    let h = json
+        .get("histogram")
+        .ok_or("metric value of unknown kind")?;
+    let mut snap = HistogramSnapshot::new();
+    snap.count = h
+        .get("count")
+        .and_then(Json::as_int)
+        .ok_or("histogram missing count")? as u64;
+    snap.sum = h
+        .get("sum")
+        .and_then(Json::as_int)
+        .ok_or("histogram missing sum")? as u64;
+    for pair in h
+        .get("buckets")
+        .and_then(Json::as_arr)
+        .ok_or("histogram missing buckets")?
+    {
+        let pair = pair.as_arr().ok_or("histogram bucket not a pair")?;
+        let [index, count] = pair else {
+            return Err("histogram bucket not a pair".to_string());
+        };
+        let index = index.as_int().ok_or("bucket index not an int")? as usize;
+        if index >= NUM_BUCKETS {
+            return Err(format!("bucket index {index} out of range"));
+        }
+        snap.buckets[index] = count.as_int().ok_or("bucket count not an int")? as u64;
+    }
+    Ok(MetricValue::Histogram(snap))
+}
+
+fn registry_to_json(snap: &RegistrySnapshot) -> Json {
+    Json::Obj(
+        snap.iter()
+            .map(|(name, value)| (name.to_string(), metric_value_to_json(value)))
+            .collect(),
+    )
+}
+
+fn registry_from_json(json: &Json) -> Result<RegistrySnapshot, String> {
+    let mut snap = RegistrySnapshot::new();
+    for (name, value) in json.as_obj().ok_or("telemetry registry not an object")? {
+        snap.set(name, metric_value_from_json(value)?);
+    }
+    Ok(snap)
+}
+
+fn telemetry_to_json(telemetry: &CellTelemetry) -> Json {
+    Json::obj([
+        ("sim", registry_to_json(&telemetry.sim)),
+        ("wall", registry_to_json(&telemetry.wall)),
+    ])
+}
+
+pub(crate) fn telemetry_from_json(json: &Json) -> Result<CellTelemetry, String> {
+    let sim = match json.get("sim") {
+        Some(sim) => registry_from_json(sim)?,
+        None => RegistrySnapshot::new(),
+    };
+    let wall = match json.get("wall") {
+        Some(wall) => registry_from_json(wall)?,
+        None => RegistrySnapshot::new(),
+    };
+    Ok(CellTelemetry { sim, wall })
 }
 
 /// One line of the registry: a completed cell with provenance.
@@ -182,6 +290,9 @@ impl Record {
             "notes".to_string(),
             Json::Arr(result.notes.iter().map(Json::str).collect()),
         );
+        if let Some(telemetry) = &result.telemetry {
+            payload.insert("telemetry".to_string(), telemetry_to_json(telemetry));
+        }
 
         Json::obj([
             ("schema", Json::Int(SCHEMA_VERSION)),
@@ -292,6 +403,12 @@ impl Record {
             .map(|n| n.as_str().map(str::to_string).ok_or("note not a string"))
             .collect::<Result<Vec<_>, _>>()?;
 
+        // Lenient by absence: legacy records predate the field.
+        let telemetry = payload
+            .get("telemetry")
+            .map(telemetry_from_json)
+            .transpose()?;
+
         let wall_ms = json
             .get("wall_ms")
             .and_then(Json::as_int)
@@ -305,6 +422,7 @@ impl Record {
                 tables,
                 values,
                 notes,
+                telemetry,
             },
             wall_ms,
         })
@@ -333,8 +451,24 @@ mod tests {
             )]),
             values: BTreeMap::from([("achieved_eps".to_string(), 0.009_900_990_099_009_9)]),
             notes: vec!["note with \"quotes\"".to_string()],
+            telemetry: Some(sample_telemetry()),
         };
         Record::new(manifest, result, 1234)
+    }
+
+    fn sample_telemetry() -> CellTelemetry {
+        use avc_population::telemetry::keys;
+        let mut t = CellTelemetry::new();
+        t.sim.set(keys::SIM_STEPS, MetricValue::Counter(12_345));
+        t.sim.set("sim.depth_max", MetricValue::Gauge(7));
+        let mut h = HistogramSnapshot::new();
+        h.record(100);
+        h.record(5_000);
+        t.sim
+            .set(keys::SIM_CONVERGENCE_STEPS, MetricValue::Histogram(h));
+        t.wall
+            .set(keys::WALL_CELL_NS, MetricValue::Counter(9_876_543));
+        t
     }
 
     #[test]
@@ -348,6 +482,26 @@ mod tests {
             back.result.trials.as_ref().unwrap().samples[2].to_bits(),
             (0.1f64 + 0.2).to_bits()
         );
+    }
+
+    #[test]
+    fn telemetry_roundtrips_and_legacy_records_parse() {
+        let record = sample_record();
+        let text = record.to_json().to_string_compact();
+        let back = Record::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.result.telemetry, Some(sample_telemetry()));
+
+        // A record without the field (legacy schema) parses to None.
+        let mut json = record.to_json();
+        if let Some(Json::Obj(result)) = json.get("result").cloned() {
+            let mut result = result;
+            result.remove("telemetry");
+            if let Json::Obj(map) = &mut json {
+                map.insert("result".to_string(), Json::Obj(result));
+            }
+        }
+        let legacy = Record::from_json(&json).unwrap();
+        assert_eq!(legacy.result.telemetry, None);
     }
 
     #[test]

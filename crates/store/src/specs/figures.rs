@@ -57,6 +57,7 @@ pub(super) fn fig3_plan(args: &Args) -> Plan {
                                 vec![only_row(&fig3::error_table(one))],
                             ),
                         ]),
+                        telemetry: Some(cell.telemetry.clone()),
                         ..CellResult::default()
                     }
                 }),
@@ -159,6 +160,7 @@ pub(super) fn fig4_plan(args: &Args) -> Plan {
                             ("achieved_eps".to_string(), point.achieved_epsilon),
                             ("s".to_string(), point.s as f64),
                         ]),
+                        telemetry: Some(point.telemetry.clone()),
                         ..CellResult::default()
                     }
                 }),

@@ -22,6 +22,8 @@ use crate::record::{CellResult, Record};
 use crate::store::Store;
 use avc_analysis::harness::StatsCollector;
 use avc_analysis::table::Table;
+use avc_population::telemetry::export::JsonlWriter;
+use avc_population::telemetry::Span;
 use std::io;
 
 /// One runnable cell of a sweep.
@@ -79,6 +81,10 @@ pub fn run(
 ) -> io::Result<SweepOutcome> {
     let mut outcome = SweepOutcome::default();
     let total = plan.cells.len();
+    // Per-cell telemetry journal beside the records file. Opening tolerates
+    // a torn final line (the crash signature), so a resumed sweep appends
+    // cleanly after a kill.
+    let mut journal = JsonlWriter::open(&telemetry_path(store))?;
     for (i, cell) in plan.cells.iter().enumerate() {
         let hash = cell.manifest.hash();
         if store.get(&hash).is_some() {
@@ -93,9 +99,16 @@ pub fn run(
             }
             continue;
         }
-        let started = std::time::Instant::now();
+        let started = Span::start();
         let result = (cell.run)(stats);
-        let wall_ms = started.elapsed().as_millis() as u64;
+        let wall_ms = started.elapsed_ms();
+        if let Some(telemetry) = &result.telemetry {
+            journal.append(&format!(
+                "{{\"hash\":\"{hash}\",\"cell\":\"{}\",\"telemetry\":{}}}",
+                avc_population::telemetry::export::json_escape(&cell.label),
+                telemetry.to_json()
+            ))?;
+        }
         store.append(Record::new(cell.manifest.clone(), result, wall_ms))?;
         outcome.ran += 1;
         if verbose {
@@ -109,6 +122,14 @@ pub fn run(
         }
     }
     Ok(outcome)
+}
+
+/// The sweep telemetry journal's path: `telemetry.jsonl` beside the
+/// registry's `records.jsonl`. One line per cell *executed* (cached cells
+/// re-run nothing, so they journal nothing), in execution order.
+#[must_use]
+pub fn telemetry_path(store: &Store) -> std::path::PathBuf {
+    store.dir().join("telemetry.jsonl")
 }
 
 /// Collects the ordered results for `plan` from the store.

@@ -81,6 +81,20 @@ fn killed_sweep_resumes_to_byte_identical_export() {
     child.kill().expect("SIGKILL the sweep"); // SIGKILL on unix: no cleanup runs
     let _ = child.wait();
 
+    // The kill can leave an unterminated final line in the telemetry
+    // journal; make that certain by appending one ourselves. The resumed
+    // sweep must drop exactly this fragment and continue the stream.
+    let journal_path = victim.join("store/telemetry.jsonl");
+    {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&journal_path)
+            .expect("open journal for torn-tail injection");
+        f.write_all(b"{\"hash\":\"torn").expect("inject torn tail");
+    }
+
     // The store must hold a durable, loadable prefix of the grid.
     let survived = record_count(&victim);
     assert!(
@@ -127,6 +141,37 @@ fn killed_sweep_resumes_to_byte_identical_export() {
         victim_error, ref_error,
         "fig3_error.csv differs after resume"
     );
+
+    // Telemetry stream self-consistency after the crash + resume: the
+    // injected torn tail is gone, every surviving line is a complete JSON
+    // journal entry, and every durable record's hash is journaled (the
+    // journal line lands before the store append, so a durable record
+    // implies its line survived).
+    let journal = std::fs::read_to_string(&journal_path).expect("journal readable after resume");
+    assert!(
+        journal.ends_with('\n'),
+        "resumed journal left an unterminated tail"
+    );
+    let mut journaled = std::collections::BTreeSet::new();
+    for line in journal.lines() {
+        let parsed = avc_store::json::Json::parse(line)
+            .unwrap_or_else(|e| panic!("torn or corrupt journal line `{line}`: {e}"));
+        let hash = parsed
+            .get("hash")
+            .and_then(avc_store::json::Json::as_str)
+            .expect("journal line missing hash");
+        assert_ne!(hash, "torn", "injected torn fragment survived the resume");
+        assert!(parsed.get("telemetry").is_some(), "line missing telemetry");
+        journaled.insert(hash.to_string());
+    }
+    let store = Store::open(victim.join("store")).expect("resumed store parses");
+    for record in store.iter_latest() {
+        let hash = record.manifest.hash();
+        assert!(
+            journaled.contains(&hash),
+            "durable record {hash} has no telemetry journal line"
+        );
+    }
 
     let _ = std::fs::remove_dir_all(&reference);
     let _ = std::fs::remove_dir_all(&victim);

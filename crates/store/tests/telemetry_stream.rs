@@ -1,0 +1,69 @@
+//! Golden determinism test for the sweep telemetry stream: a fixed-seed
+//! `avc sweep fig3 --quick` must produce a byte-identical `telemetry.jsonl`
+//! at `--threads 1` and `--threads 4`.
+//!
+//! Wall-clock sections are inherently run-dependent, so both child
+//! processes run with `AVC_TELEMETRY_NOWALL` set (scoped to the subprocess
+//! — nothing leaks into this test harness), which makes every journal line
+//! pure simulation-derived data. The remaining content is deterministic
+//! because cell seeds are fixed and the harness folds per-trial telemetry
+//! in trial-index order regardless of worker count.
+
+use std::path::Path;
+use std::process::Command;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("avc-telemetry-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn sweep(dir: &Path, threads: &str) {
+    let status = Command::new(env!("CARGO_BIN_EXE_avc"))
+        .args(["sweep", "fig3", "--quick", "--threads", threads])
+        .args(["--out", dir.to_str().expect("utf-8 temp path")])
+        .env("AVC_TELEMETRY_NOWALL", "1")
+        .status()
+        .expect("spawn avc");
+    assert!(status.success(), "sweep at --threads {threads} failed");
+}
+
+#[test]
+fn telemetry_stream_is_byte_identical_across_worker_counts() {
+    let serial = temp_dir("t1");
+    let parallel = temp_dir("t4");
+    sweep(&serial, "1");
+    sweep(&parallel, "4");
+
+    let read = |dir: &Path| {
+        let path = dir.join("store/telemetry.jsonl");
+        std::fs::read(&path).unwrap_or_else(|e| panic!("missing {}: {e}", path.display()))
+    };
+    let (bytes_1, bytes_4) = (read(&serial), read(&parallel));
+    assert!(!bytes_1.is_empty(), "telemetry stream is empty");
+    assert_eq!(
+        bytes_1, bytes_4,
+        "telemetry.jsonl differs between --threads 1 and --threads 4"
+    );
+
+    // Sanity on the stream shape: one line per fig3 quick cell, each a JSON
+    // object carrying the cell identity and a sim-only telemetry block.
+    let text = String::from_utf8(bytes_1).expect("utf-8 stream");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 9, "fig3 --quick journals one line per cell");
+    for line in lines {
+        let parsed = avc_store::json::Json::parse(line).expect("journal line parses");
+        assert!(parsed.get("hash").is_some(), "line missing hash: {line}");
+        assert!(parsed.get("cell").is_some(), "line missing cell: {line}");
+        let telemetry = parsed.get("telemetry").expect("line missing telemetry");
+        assert!(telemetry.get("sim").is_some(), "telemetry missing sim half");
+        assert!(
+            telemetry.get("wall").is_none(),
+            "wall section present despite AVC_TELEMETRY_NOWALL"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&serial);
+    let _ = std::fs::remove_dir_all(&parallel);
+}

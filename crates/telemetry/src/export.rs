@@ -1,0 +1,324 @@
+//! Exporters: JSON snapshot emission, a crash-safe JSONL event stream, and
+//! the Prometheus text exposition format.
+//!
+//! Emission only — this crate writes JSON but never parses it (the store
+//! crate already owns a parser for its records and reuses it for
+//! `avc report`/`avc top`). All emitted values are integers or escaped
+//! strings, so a snapshot's JSON is byte-stable: same metrics in, same
+//! bytes out, on every platform.
+//!
+//! [`JsonlWriter`] follows the store's durability discipline: every append
+//! rewrites the whole file through a temp-file + fsync + rename, so a
+//! crash leaves either the old file or the new one — and a reader that
+//! arrives mid-write of some *other* tool's stream still only trusts
+//! newline-terminated lines ([`read_lines_tolerant`] drops a torn tail).
+
+use std::fs::{self, File};
+use std::io::{self, ErrorKind, Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::metrics::{bucket_bounds, HistogramSnapshot};
+use crate::registry::{MetricValue, RegistrySnapshot};
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes not
+/// included).
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The JSON form of one histogram: exact count/sum plus the sparse nonzero
+/// buckets as `[bit_length, count]` pairs.
+#[must_use]
+pub fn histogram_to_json(h: &HistogramSnapshot) -> String {
+    let buckets: Vec<String> = h
+        .nonzero_buckets()
+        .into_iter()
+        .map(|(i, c)| format!("[{i},{c}]"))
+        .collect();
+    format!(
+        "{{\"count\":{},\"sum\":{},\"buckets\":[{}]}}",
+        h.count,
+        h.sum,
+        buckets.join(",")
+    )
+}
+
+/// The JSON form of one metric value, tagged by kind.
+#[must_use]
+pub fn metric_to_json(value: &MetricValue) -> String {
+    match value {
+        MetricValue::Counter(v) => format!("{{\"counter\":{v}}}"),
+        MetricValue::Gauge(v) => format!("{{\"gauge\":{v}}}"),
+        MetricValue::Histogram(h) => {
+            format!("{{\"histogram\":{}}}", histogram_to_json(h))
+        }
+    }
+}
+
+/// The JSON form of a whole snapshot: an object keyed by metric name, in
+/// name order (byte-stable for fixed contents).
+#[must_use]
+pub fn snapshot_to_json(snap: &RegistrySnapshot) -> String {
+    let fields: Vec<String> = snap
+        .iter()
+        .map(|(name, value)| format!("\"{}\":{}", json_escape(name), metric_to_json(value)))
+        .collect();
+    format!("{{{}}}", fields.join(","))
+}
+
+/// Renders a snapshot in the Prometheus text exposition format.
+///
+/// Metric names have `.` and other non-identifier characters mapped to
+/// `_`; each is prefixed with `avc_`. Histograms expand to the
+/// conventional cumulative `_bucket{le="…"}` series plus `_sum` and
+/// `_count`, with bucket upper bounds at the log₂ bucket edges.
+#[must_use]
+pub fn prometheus_text(snap: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in snap.iter() {
+        let prom = prometheus_name(name);
+        match value {
+            MetricValue::Counter(v) => {
+                out.push_str(&format!("# TYPE {prom} counter\n{prom} {v}\n"));
+            }
+            MetricValue::Gauge(v) => {
+                out.push_str(&format!("# TYPE {prom} gauge\n{prom} {v}\n"));
+            }
+            MetricValue::Histogram(h) => {
+                out.push_str(&format!("# TYPE {prom} histogram\n"));
+                let mut cumulative = 0u64;
+                for (i, c) in h.nonzero_buckets() {
+                    cumulative += c;
+                    let le = bucket_bounds(i).1;
+                    out.push_str(&format!("{prom}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+                }
+                out.push_str(&format!("{prom}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+                out.push_str(&format!("{prom}_sum {}\n", h.sum));
+                out.push_str(&format!("{prom}_count {}\n", h.count));
+            }
+        }
+    }
+    out
+}
+
+fn prometheus_name(name: &str) -> String {
+    let mapped: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    format!("avc_{mapped}")
+}
+
+/// Atomically replaces `path` with `bytes`: write to a sibling temp file,
+/// fsync it, rename over the target. A crash leaves either the old content
+/// or the new, never a mix.
+///
+/// This duplicates `avc_analysis::io::atomic_write` deliberately — this
+/// crate sits below `avc-analysis` in the dependency graph and must stay
+/// dependency-free.
+///
+/// # Errors
+///
+/// Any I/O error from create/write/sync/rename.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    fs::create_dir_all(dir)?;
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("telemetry");
+    let tmp = dir.join(format!(".{file_name}.tmp"));
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Reads the newline-terminated lines of `path`, dropping a torn
+/// (unterminated) final fragment. A missing file reads as empty.
+///
+/// # Errors
+///
+/// Any I/O error other than the file not existing.
+pub fn read_lines_tolerant(path: &Path) -> io::Result<Vec<String>> {
+    let mut raw = String::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_string(&mut raw)?;
+        }
+        Err(e) if e.kind() == ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    }
+    let terminated = match raw.rfind('\n') {
+        Some(last) => &raw[..=last],
+        None => "",
+    };
+    Ok(terminated
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(str::to_owned)
+        .collect())
+}
+
+/// An append-only JSONL event stream with atomic whole-file rewrites.
+///
+/// Opening loads any existing complete lines (a torn tail from a crashed
+/// writer is silently dropped), so append-after-resume continues the
+/// stream rather than truncating it.
+///
+/// # Example
+///
+/// ```no_run
+/// use avc_telemetry::export::JsonlWriter;
+/// let mut w = JsonlWriter::open("results/store/telemetry.jsonl".as_ref()).unwrap();
+/// w.append("{\"event\":\"cell\"}").unwrap();
+/// ```
+#[derive(Debug)]
+pub struct JsonlWriter {
+    path: PathBuf,
+    lines: Vec<String>,
+}
+
+impl JsonlWriter {
+    /// Opens (or starts) the stream at `path`, keeping existing complete
+    /// lines.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from reading an existing file.
+    pub fn open(path: &Path) -> io::Result<JsonlWriter> {
+        let lines = read_lines_tolerant(path)?;
+        Ok(JsonlWriter {
+            path: path.to_path_buf(),
+            lines,
+        })
+    }
+
+    /// The stream's file path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Lines currently in the stream (existing + appended).
+    #[must_use]
+    pub fn lines(&self) -> &[String] {
+        &self.lines
+    }
+
+    /// Appends one line (must be a single JSON value without newlines) and
+    /// atomically persists the whole stream.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from the atomic rewrite; on error the in-memory
+    /// stream is rolled back so a retry sees consistent state.
+    pub fn append(&mut self, line: &str) -> io::Result<()> {
+        debug_assert!(!line.contains('\n'), "JSONL lines must be single-line");
+        self.lines.push(line.to_owned());
+        let mut buf = String::with_capacity(self.lines.iter().map(|l| l.len() + 1).sum());
+        for l in &self.lines {
+            buf.push_str(l);
+            buf.push('\n');
+        }
+        if let Err(e) = atomic_write(&self.path, buf.as_bytes()) {
+            self.lines.pop();
+            return Err(e);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::RegistrySnapshot;
+
+    fn sample_snapshot() -> RegistrySnapshot {
+        let mut snap = RegistrySnapshot::new();
+        snap.set("sim.steps", MetricValue::Counter(1500));
+        snap.set("wall.peak_rss", MetricValue::Gauge(42));
+        let mut h = HistogramSnapshot::new();
+        h.record(0);
+        h.record(5);
+        h.record(5);
+        snap.set("sim.chunk_steps", MetricValue::Histogram(h));
+        snap
+    }
+
+    #[test]
+    fn snapshot_json_is_ordered_and_exact() {
+        let json = snapshot_to_json(&sample_snapshot());
+        assert_eq!(
+            json,
+            "{\"sim.chunk_steps\":{\"histogram\":{\"count\":3,\"sum\":10,\
+             \"buckets\":[[0,1],[3,2]]}},\
+             \"sim.steps\":{\"counter\":1500},\
+             \"wall.peak_rss\":{\"gauge\":42}}"
+        );
+    }
+
+    #[test]
+    fn prometheus_text_has_cumulative_buckets() {
+        let text = prometheus_text(&sample_snapshot());
+        assert!(text.contains("# TYPE avc_sim_steps counter"));
+        assert!(text.contains("avc_sim_steps 1500"));
+        assert!(text.contains("avc_wall_peak_rss 42"));
+        assert!(text.contains("avc_sim_chunk_steps_bucket{le=\"0\"} 1"));
+        assert!(text.contains("avc_sim_chunk_steps_bucket{le=\"7\"} 3"));
+        assert!(text.contains("avc_sim_chunk_steps_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("avc_sim_chunk_steps_sum 10"));
+        assert!(text.contains("avc_sim_chunk_steps_count 3"));
+    }
+
+    #[test]
+    fn json_escape_handles_controls() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn jsonl_writer_appends_and_survives_torn_tail() {
+        let dir = std::env::temp_dir().join(format!(
+            "avc-telemetry-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("stream.jsonl");
+        let _ = fs::remove_file(&path);
+
+        let mut w = JsonlWriter::open(&path).unwrap();
+        w.append("{\"a\":1}").unwrap();
+        w.append("{\"b\":2}").unwrap();
+        drop(w);
+
+        // Simulate a torn tail from a crashed writer.
+        let mut raw = fs::read_to_string(&path).unwrap();
+        raw.push_str("{\"torn\":");
+        fs::write(&path, &raw).unwrap();
+
+        let reopened = JsonlWriter::open(&path).unwrap();
+        assert_eq!(reopened.lines(), ["{\"a\":1}", "{\"b\":2}"]);
+
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,346 @@
+//! The metric cells: counters, gauges, and log₂-bucket histograms.
+//!
+//! Every cell is a thin wrapper over `AtomicU64` with `Relaxed` ordering —
+//! recording is a single uncontended `fetch_add` on the hot path, and the
+//! cells are freely shareable across trial workers without locks. Each cell
+//! has a plain (non-atomic) *snapshot* form that merges associatively and
+//! commutatively, so per-worker telemetry folds into one total in any
+//! order with the same result.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of histogram buckets: one per possible `u64` bit length, plus a
+/// dedicated zero bucket.
+pub const NUM_BUCKETS: usize = 65;
+
+/// The bucket index a value lands in: its bit length (`0` for `0`, else
+/// `64 − leading_zeros`). Bucket `k ≥ 1` therefore covers `[2^(k−1), 2^k)`.
+///
+/// # Example
+///
+/// ```
+/// use avc_telemetry::metrics::bucket_index;
+/// assert_eq!(bucket_index(0), 0);
+/// assert_eq!(bucket_index(1), 1);
+/// assert_eq!(bucket_index(2), 2);
+/// assert_eq!(bucket_index(3), 2);
+/// assert_eq!(bucket_index(4), 3);
+/// assert_eq!(bucket_index(u64::MAX), 64);
+/// ```
+#[inline]
+#[must_use]
+pub fn bucket_index(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// The inclusive `[lo, hi]` value range of bucket `index`.
+///
+/// # Panics
+///
+/// Panics if `index >= NUM_BUCKETS`.
+#[must_use]
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    assert!(index < NUM_BUCKETS, "bucket {index} out of range");
+    match index {
+        0 => (0, 0),
+        64 => (1 << 63, u64::MAX),
+        k => (1 << (k - 1), (1 << k) - 1),
+    }
+}
+
+/// A monotone event counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    #[must_use]
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds `delta`.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-written-value cell (merged across workers by maximum, the only
+/// order-free combination).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A gauge at zero.
+    #[must_use]
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Raises the value to at least `value`.
+    #[inline]
+    pub fn raise(&self, value: u64) {
+        self.0.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket log₂-scale histogram over `u64` with lock-free recording.
+///
+/// Bucket `k` counts values of bit length `k` (see [`bucket_index`]), so 65
+/// buckets cover the full `u64` range with one cache-cheap `leading_zeros`
+/// per record and no configuration. Count and sum ride along for exact
+/// means.
+///
+/// # Example
+///
+/// ```
+/// use avc_telemetry::LogHistogram;
+/// let h = LogHistogram::new();
+/// for v in [0, 1, 5, 5, 900] {
+///     h.record(v);
+/// }
+/// let s = h.snapshot();
+/// assert_eq!(s.count, 5);
+/// assert_eq!(s.sum, 911);
+/// assert_eq!(s.buckets[0], 1); // the zero
+/// assert_eq!(s.buckets[3], 2); // the fives: [4, 8)
+/// ```
+#[derive(Debug)]
+pub struct LogHistogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; NUM_BUCKETS],
+}
+
+impl Default for LogHistogram {
+    fn default() -> LogHistogram {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> LogHistogram {
+        LogHistogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A plain copy of the current state.
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// The plain, mergeable form of a [`LogHistogram`] (also usable directly as
+/// a single-threaded histogram via [`HistogramSnapshot::record`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values (wrapping on overflow, matching the
+    /// atomic `fetch_add`; step counts fit comfortably in practice).
+    pub sum: u64,
+    /// Per-bucket observation counts, indexed by [`bucket_index`].
+    pub buckets: [u64; NUM_BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            buckets: [0; NUM_BUCKETS],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot.
+    #[must_use]
+    pub fn new() -> HistogramSnapshot {
+        HistogramSnapshot::default()
+    }
+
+    /// Whether no observation has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Records one observation (non-atomic counterpart of
+    /// [`LogHistogram::record`], for single-owner sinks).
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(value);
+        self.buckets[bucket_index(value)] += 1;
+    }
+
+    /// Folds another snapshot in. Associative and commutative: every field
+    /// is a sum.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+    }
+
+    /// Exact mean of the observations (`None` when empty).
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Upper bound of the bucket holding the `q`-quantile observation
+    /// (`None` when empty). Resolution is one bucket — a factor of two —
+    /// which is the deal log-scale histograms offer.
+    #[must_use]
+    pub fn quantile_bound(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_bounds(i).1);
+            }
+        }
+        Some(u64::MAX)
+    }
+
+    /// `(bucket_index, count)` pairs of the nonzero buckets, in index order
+    /// (the sparse wire form).
+    #[must_use]
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_partition_the_u64_range() {
+        let mut expected_lo = 0u64;
+        for i in 0..NUM_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(lo, expected_lo, "bucket {i} lower bound");
+            assert!(lo <= hi);
+            expected_lo = hi.wrapping_add(1);
+        }
+        assert_eq!(expected_lo, 0, "last bucket ends at u64::MAX");
+    }
+
+    #[test]
+    fn values_land_inside_their_bucket_bounds() {
+        for v in [0u64, 1, 2, 3, 4, 63, 64, 1_000_000, u64::MAX / 2, u64::MAX] {
+            let (lo, hi) = bucket_bounds(bucket_index(v));
+            assert!(lo <= v && v <= hi, "{v} outside [{lo}, {hi}]");
+        }
+    }
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        let g = Gauge::new();
+        g.set(7);
+        g.raise(3);
+        assert_eq!(g.get(), 7);
+        g.raise(9);
+        assert_eq!(g.get(), 9);
+    }
+
+    #[test]
+    fn atomic_and_plain_histograms_agree() {
+        let atomic = LogHistogram::new();
+        let mut plain = HistogramSnapshot::new();
+        for v in [0u64, 1, 7, 8, 1 << 40, u64::MAX] {
+            atomic.record(v);
+            plain.record(v);
+        }
+        assert_eq!(atomic.snapshot(), plain);
+    }
+
+    #[test]
+    fn quantile_bound_tracks_bucket_edges() {
+        let mut h = HistogramSnapshot::new();
+        for _ in 0..99 {
+            h.record(10); // bucket [8, 15]
+        }
+        h.record(1 << 20);
+        assert_eq!(h.quantile_bound(0.5), Some(15));
+        assert_eq!(h.quantile_bound(1.0), Some((1 << 21) - 1));
+        assert_eq!(HistogramSnapshot::new().quantile_bound(0.5), None);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = LogHistogram::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for v in 0..1_000u64 {
+                        h.record(v);
+                    }
+                });
+            }
+        });
+        let s = h.snapshot();
+        assert_eq!(s.count, 4_000);
+        assert_eq!(s.sum, 4 * (0..1_000).sum::<u64>());
+    }
+}

@@ -1,0 +1,323 @@
+//! Named metrics with deterministic snapshot ordering.
+//!
+//! A [`Registry`] owns named [`Counter`]/[`Gauge`]/[`LogHistogram`] cells.
+//! Registration takes a lock; recording through the returned `Arc` handles
+//! is lock-free. Snapshots come out as a [`RegistrySnapshot`] — a
+//! `BTreeMap` keyed by metric name, so iteration (and therefore every
+//! export) is deterministically ordered, and snapshots merge associatively
+//! and commutatively like the analysis crate's `Summary` monoid.
+
+use std::collections::btree_map::Entry;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use crate::metrics::{Counter, Gauge, HistogramSnapshot, LogHistogram};
+
+/// One live metric cell inside a [`Registry`].
+#[derive(Debug)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<LogHistogram>),
+}
+
+/// The plain value of one metric at snapshot time.
+///
+/// The histogram variant inlines its fixed bucket array (~0.5 KiB); these
+/// values live in snapshot maps, not hot paths, so the size skew is fine.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(clippy::large_enum_variant)]
+pub enum MetricValue {
+    /// A monotone count; merges by addition.
+    Counter(u64),
+    /// A level; merges by maximum.
+    Gauge(u64),
+    /// A log₂-bucket distribution; merges bucket-wise.
+    Histogram(HistogramSnapshot),
+}
+
+impl MetricValue {
+    /// Folds `other` into `self` following each variant's merge law.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two values are different metric kinds under the same
+    /// name — that is a programming error, not a data condition.
+    pub fn merge(&mut self, other: &MetricValue) {
+        match (self, other) {
+            (MetricValue::Counter(a), MetricValue::Counter(b)) => *a += b,
+            (MetricValue::Gauge(a), MetricValue::Gauge(b)) => *a = (*a).max(*b),
+            (MetricValue::Histogram(a), MetricValue::Histogram(b)) => a.merge(b),
+            (mine, theirs) => {
+                panic!("metric kind mismatch in merge: {mine:?} vs {theirs:?}")
+            }
+        }
+    }
+
+    /// The counter value, if this is a counter.
+    #[must_use]
+    pub fn as_counter(&self) -> Option<u64> {
+        match self {
+            MetricValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The gauge value, if this is a gauge.
+    #[must_use]
+    pub fn as_gauge(&self) -> Option<u64> {
+        match self {
+            MetricValue::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The histogram, if this is a histogram.
+    #[must_use]
+    pub fn as_histogram(&self) -> Option<&HistogramSnapshot> {
+        match self {
+            MetricValue::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+}
+
+/// A deterministic, mergeable point-in-time copy of a [`Registry`] (or of
+/// any hand-assembled set of metrics — sinks build these directly).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RegistrySnapshot {
+    entries: BTreeMap<String, MetricValue>,
+}
+
+impl RegistrySnapshot {
+    /// An empty snapshot.
+    #[must_use]
+    pub fn new() -> RegistrySnapshot {
+        RegistrySnapshot::default()
+    }
+
+    /// Whether the snapshot holds no metrics.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of metrics.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Inserts or overwrites a metric value under `name`.
+    pub fn set(&mut self, name: &str, value: MetricValue) {
+        self.entries.insert(name.to_owned(), value);
+    }
+
+    /// The value under `name`, if present.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries.get(name)
+    }
+
+    /// Shorthand for a counter's value under `name`.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.get(name).and_then(MetricValue::as_counter)
+    }
+
+    /// Shorthand for a gauge's value under `name`.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.get(name).and_then(MetricValue::as_gauge)
+    }
+
+    /// Shorthand for a histogram under `name`.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.get(name).and_then(MetricValue::as_histogram)
+    }
+
+    /// Iterates `(name, value)` in name order — the order every exporter
+    /// uses, which is what makes exports byte-stable.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Folds another snapshot in. Metrics present in both merge by their
+    /// kind's law (counters add, gauges max, histograms add buckets);
+    /// metrics present in only one side are kept. Associative and
+    /// commutative, so per-trial snapshots can fold in any grouping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same name maps to different metric kinds.
+    pub fn merge(&mut self, other: &RegistrySnapshot) {
+        for (name, value) in &other.entries {
+            match self.entries.entry(name.clone()) {
+                Entry::Occupied(mut e) => e.get_mut().merge(value),
+                Entry::Vacant(e) => {
+                    e.insert(value.clone());
+                }
+            }
+        }
+    }
+}
+
+/// A set of named live metric cells.
+///
+/// Registration locks briefly; the returned `Arc` handles record lock-free
+/// and stay valid after the registry is dropped. Registering the same name
+/// twice returns the same cell, so independent components can share a
+/// metric by name.
+///
+/// # Example
+///
+/// ```
+/// use avc_telemetry::Registry;
+/// let reg = Registry::new();
+/// let steps = reg.counter("sim.steps");
+/// steps.add(128);
+/// let snap = reg.snapshot();
+/// assert_eq!(snap.counter("sim.steps"), Some(128));
+/// ```
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter named `name`, creating it if absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut metrics = self.metrics.lock().expect("registry poisoned");
+        match metrics
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            other => panic!("{name} already registered as {other:?}, wanted counter"),
+        }
+    }
+
+    /// The gauge named `name`, creating it if absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut metrics = self.metrics.lock().expect("registry poisoned");
+        match metrics
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            other => panic!("{name} already registered as {other:?}, wanted gauge"),
+        }
+    }
+
+    /// The histogram named `name`, creating it if absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Arc<LogHistogram> {
+        let mut metrics = self.metrics.lock().expect("registry poisoned");
+        match metrics
+            .entry(name.to_owned())
+            .or_insert_with(|| Metric::Histogram(Arc::new(LogHistogram::new())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            other => panic!("{name} already registered as {other:?}, wanted histogram"),
+        }
+    }
+
+    /// A plain, mergeable copy of every metric's current value, in name
+    /// order.
+    #[must_use]
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let metrics = self.metrics.lock().expect("registry poisoned");
+        let mut snap = RegistrySnapshot::new();
+        for (name, metric) in metrics.iter() {
+            let value = match metric {
+                Metric::Counter(c) => MetricValue::Counter(c.get()),
+                Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+            };
+            snap.set(name, value);
+        }
+        snap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_and_shared() {
+        let reg = Registry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.add(2);
+        b.add(3);
+        assert_eq!(reg.snapshot().counter("x"), Some(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        let _ = reg.counter("x");
+        let _ = reg.gauge("x");
+    }
+
+    #[test]
+    fn snapshot_merge_follows_kind_laws() {
+        let mut a = RegistrySnapshot::new();
+        a.set("c", MetricValue::Counter(10));
+        a.set("g", MetricValue::Gauge(4));
+        let mut h1 = HistogramSnapshot::new();
+        h1.record(3);
+        a.set("h", MetricValue::Histogram(h1));
+
+        let mut b = RegistrySnapshot::new();
+        b.set("c", MetricValue::Counter(5));
+        b.set("g", MetricValue::Gauge(9));
+        let mut h2 = HistogramSnapshot::new();
+        h2.record(100);
+        b.set("h", MetricValue::Histogram(h2));
+        b.set("only_b", MetricValue::Counter(1));
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        assert_eq!(ab.counter("c"), Some(15));
+        assert_eq!(ab.gauge("g"), Some(9));
+        assert_eq!(ab.histogram("h").unwrap().count, 2);
+        assert_eq!(ab.counter("only_b"), Some(1));
+
+        // Commutativity.
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn snapshot_iteration_is_name_ordered() {
+        let reg = Registry::new();
+        let _ = reg.counter("zeta");
+        let _ = reg.counter("alpha");
+        let _ = reg.counter("mid");
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["alpha", "mid", "zeta"]);
+    }
+}
