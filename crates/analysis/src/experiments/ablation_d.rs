@@ -6,11 +6,10 @@
 //! and reallocates it between `m` and `d` (`s = m + 2d + 1`), measuring the
 //! convergence time at a hard margin for several splits.
 
-use crate::harness::{run_trials_with_stats, EngineKind, Parallelism, StatsCollector, TrialPlan};
+use crate::harness::{Parallelism, ScenarioPlan, StatsCollector};
 use crate::stats::Summary;
 use crate::table::{fmt_num, Table};
-use avc_population::{ConvergenceRule, MajorityInstance};
-use avc_protocols::Avc;
+use avc_population::{MajorityInstance, ProtocolSpec, Scenario};
 
 /// Parameters for the `d` ablation.
 #[derive(Debug, Clone)]
@@ -110,15 +109,15 @@ pub fn run_with_stats(config: &Config, stats: &StatsCollector) -> Vec<Point> {
         .collect()
 }
 
-/// Runs one `(m, d)` point; `i` indexes [`Config::ds`]. The point's seed
-/// depends only on the index, so it reruns identically in isolation.
+/// Lowers one `(m, d)` point to a declarative run scenario; `i` indexes
+/// [`Config::ds`]. The point's seed depends only on the index, so it reruns
+/// identically in isolation.
 ///
 /// # Panics
 ///
 /// Panics if `i` is out of range or the budget cannot accommodate `ds[i]`.
 #[must_use]
-pub fn run_point(config: &Config, i: usize, stats: &StatsCollector) -> Point {
-    let instance = MajorityInstance::one_extra(config.n);
+pub fn cell_scenario(config: &Config, i: usize) -> Scenario {
     let d = config.ds[i];
     let budget_for_m = config
         .state_budget
@@ -130,22 +129,32 @@ pub fn run_point(config: &Config, i: usize, stats: &StatsCollector) -> Point {
         budget_for_m - 1
     };
     assert!(m >= 1, "budget {} too small for d={d}", config.state_budget);
-    let avc = Avc::new(m, d).expect("m odd >= 1, d >= 1");
-    let plan = TrialPlan::new(instance)
-        .runs(config.runs)
-        .seed(config.seed + i as u64)
-        .parallelism(config.parallelism);
-    let results = run_trials_with_stats(
-        &avc,
-        &plan,
-        EngineKind::Auto,
-        ConvergenceRule::OutputConsensus,
-        stats,
-    );
+    Scenario::new(
+        ProtocolSpec::Avc { m, d },
+        MajorityInstance::one_extra(config.n),
+    )
+    .runs(config.runs)
+    .seed(config.seed + i as u64)
+}
+
+/// Runs one `(m, d)` point through the shared [`ScenarioPlan`] harness.
+///
+/// # Panics
+///
+/// As [`cell_scenario`].
+#[must_use]
+pub fn run_point(config: &Config, i: usize, stats: &StatsCollector) -> Point {
+    let scenario = cell_scenario(config, i);
+    let ProtocolSpec::Avc { m, d } = scenario.protocol else {
+        unreachable!("the ablation always runs AVC")
+    };
+    let results = ScenarioPlan::new(scenario)
+        .parallelism(config.parallelism)
+        .run_with_stats(stats);
     Point {
         m,
         d,
-        s: avc.s(),
+        s: m + 2 * u64::from(d) + 1,
         summary: results.summary(),
     }
 }

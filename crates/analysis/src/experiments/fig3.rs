@@ -17,14 +17,12 @@
 //! independent of chunking and of the pre-driver per-step loop they
 //! replaced.
 
-use crate::harness::{
-    run_trials_with_telemetry, EngineKind, Parallelism, StatsCollector, TrialPlan, TrialResults,
-};
+use crate::harness::{EngineKind, Parallelism, ScenarioPlan, StatsCollector, TrialResults};
 use crate::stats::quantile;
 use crate::table::{fmt_num, Table};
 use avc_population::telemetry::CellTelemetry;
-use avc_population::{ConvergenceRule, MajorityInstance};
-use avc_protocols::{Avc, FourState, ThreeState};
+use avc_population::{ConvergenceRule, MajorityInstance, ProtocolSpec, Scenario};
+use avc_protocols::Avc;
 
 /// Parameters for the Figure 3 reproduction.
 #[derive(Debug, Clone)]
@@ -122,10 +120,54 @@ pub fn run_with_stats(config: &Config, stats: &StatsCollector) -> Vec<Cell> {
     cells
 }
 
-/// Runs one `(n, protocol)` cell: `ni` indexes [`Config::ns`], `pi` indexes
-/// [`PROTOCOL_KEYS`]. The cell's trials depend only on `config.ns[ni]`,
-/// `config.runs`, `config.seed`, and `pi` — never on which other cells run
-/// alongside it — which is what makes cell-granular checkpoint/resume sound.
+/// Lowers one `(n, protocol)` cell to a declarative run scenario: `ni`
+/// indexes [`Config::ns`], `pi` indexes [`PROTOCOL_KEYS`]. The 3-state
+/// protocol is measured to its terminal all-`x`/all-`y` state
+/// ([`ConvergenceRule::StateConsensus`]) on the jump engine; the exact
+/// protocols to output consensus (stable for them, Lemma A.1) — 4-state on
+/// the jump engine, AVC (whose large state spaces favor count space) on the
+/// adaptive `auto` engine.
+///
+/// # Panics
+///
+/// Panics if either index is out of range.
+#[must_use]
+pub fn cell_scenario(config: &Config, ni: usize, pi: usize) -> Scenario {
+    let n = config.ns[ni];
+    let (protocol, engine, rule) = match PROTOCOL_KEYS[pi] {
+        "three_state" => (
+            ProtocolSpec::ThreeState,
+            EngineKind::Jump,
+            ConvergenceRule::StateConsensus,
+        ),
+        "four_state" => (
+            ProtocolSpec::FourState,
+            EngineKind::Jump,
+            ConvergenceRule::OutputConsensus,
+        ),
+        _ => {
+            let avc = Avc::with_states(n).expect("n >= 11 is a valid state budget");
+            (
+                ProtocolSpec::Avc {
+                    m: avc.m(),
+                    d: avc.d(),
+                },
+                EngineKind::Auto,
+                ConvergenceRule::OutputConsensus,
+            )
+        }
+    };
+    Scenario::new(protocol, MajorityInstance::one_extra(n))
+        .engine(engine)
+        .rule(rule)
+        .runs(config.runs)
+        .seed(config.seed.wrapping_add(ni as u64))
+}
+
+/// Runs one `(n, protocol)` cell through the shared [`ScenarioPlan`]
+/// harness. The cell's trials depend only on its [`cell_scenario`] — never
+/// on which other cells run alongside it — which is what makes
+/// cell-granular checkpoint/resume sound.
 ///
 /// # Panics
 ///
@@ -133,53 +175,19 @@ pub fn run_with_stats(config: &Config, stats: &StatsCollector) -> Vec<Cell> {
 #[must_use]
 pub fn run_cell(config: &Config, ni: usize, pi: usize, stats: &StatsCollector) -> Cell {
     let n = config.ns[ni];
-    let instance = MajorityInstance::one_extra(n);
-    let plan = TrialPlan::new(instance)
-        .runs(config.runs)
-        .seed(config.seed.wrapping_add(ni as u64))
-        .parallelism(config.parallelism);
-
-    let (protocol, states, (results, telemetry)) = match PROTOCOL_KEYS[pi] {
-        "three_state" => (
-            "3-state".to_string(),
-            3,
-            run_trials_with_telemetry(
-                &ThreeState::new(),
-                &plan,
-                EngineKind::Jump,
-                ConvergenceRule::StateConsensus,
-                stats,
-            ),
-        ),
-        "four_state" => (
-            "4-state".to_string(),
-            4,
-            run_trials_with_telemetry(
-                &FourState,
-                &plan,
-                EngineKind::Jump,
-                ConvergenceRule::OutputConsensus,
-                stats,
-            ),
-        ),
-        _ => {
-            let avc = Avc::with_states(n).expect("n >= 11 is a valid state budget");
-            let states = avc.s();
-            // Large state spaces favor the count-based engine; the adaptive
-            // engine handles the silent tail automatically.
-            (
-                format!("avc(s={states})"),
-                states,
-                run_trials_with_telemetry(
-                    &avc,
-                    &plan,
-                    EngineKind::Auto,
-                    ConvergenceRule::OutputConsensus,
-                    stats,
-                ),
-            )
+    let scenario = cell_scenario(config, ni, pi);
+    let (protocol, states) = match scenario.protocol {
+        ProtocolSpec::ThreeState => ("3-state".to_string(), 3),
+        ProtocolSpec::FourState => ("4-state".to_string(), 4),
+        ProtocolSpec::Avc { m, d } => {
+            let states = m + 2 * u64::from(d) + 1;
+            (format!("avc(s={states})"), states)
         }
+        ProtocolSpec::Voter => unreachable!("figure 3 never runs the voter model"),
     };
+    let (results, telemetry) = ScenarioPlan::new(scenario)
+        .parallelism(config.parallelism)
+        .run_with_telemetry(stats);
     Cell {
         n,
         protocol,

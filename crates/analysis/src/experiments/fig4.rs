@@ -10,13 +10,11 @@
 //! Trials execute through the chunked run driver (`avc_population::driver`),
 //! as in [`fig3`](crate::experiments::fig3).
 
-use crate::harness::{
-    run_trials_with_telemetry, EngineKind, Parallelism, StatsCollector, TrialPlan,
-};
+use crate::harness::{Parallelism, ScenarioPlan, StatsCollector};
 use crate::stats::Summary;
 use crate::table::{fmt_num, Table};
 use avc_population::telemetry::CellTelemetry;
-use avc_population::{ConvergenceRule, MajorityInstance};
+use avc_population::{MajorityInstance, ProtocolSpec, Scenario};
 use avc_protocols::Avc;
 
 /// The paper's thirteen state counts (Figure 4 caption).
@@ -130,34 +128,48 @@ pub fn run_with_stats(config: &Config, stats: &StatsCollector) -> Vec<Point> {
     points
 }
 
-/// Runs one `(s, ε)` point: `si` indexes [`Config::state_counts`], `ei`
-/// indexes [`Config::epsilons`]. Each point's seed is derived from the
-/// grid indices alone, so a point reruns identically regardless of which
-/// other points run alongside it (the basis of checkpoint/resume).
+/// Lowers one `(s, ε)` point to a declarative run scenario: `si` indexes
+/// [`Config::state_counts`], `ei` indexes [`Config::epsilons`]. Each
+/// point's seed is derived from the grid indices alone, so a point reruns
+/// identically regardless of which other points run alongside it (the
+/// basis of checkpoint/resume).
 ///
 /// # Panics
 ///
 /// Panics if either index is out of range, or the state count is below 4.
 #[must_use]
+pub fn cell_scenario(config: &Config, si: usize, ei: usize) -> Scenario {
+    let avc = Avc::with_states(config.state_counts[si]).expect("state count >= 4");
+    let instance = MajorityInstance::with_margin(config.n, config.epsilons[ei]);
+    Scenario::new(
+        ProtocolSpec::Avc {
+            m: avc.m(),
+            d: avc.d(),
+        },
+        instance,
+    )
+    .runs(config.runs)
+    .seed(config.seed + (si as u64) * 1_000 + ei as u64)
+}
+
+/// Runs one `(s, ε)` point through the shared [`ScenarioPlan`] harness.
+///
+/// # Panics
+///
+/// As [`cell_scenario`].
+#[must_use]
 pub fn run_point(config: &Config, si: usize, ei: usize, stats: &StatsCollector) -> Point {
     let avc = Avc::with_states(config.state_counts[si]).expect("state count >= 4");
     let eps = config.epsilons[ei];
-    let instance = MajorityInstance::with_margin(config.n, eps);
-    let plan = TrialPlan::new(instance)
-        .runs(config.runs)
-        .seed(config.seed + (si as u64) * 1_000 + ei as u64)
-        .parallelism(config.parallelism);
-    let (results, telemetry) = run_trials_with_telemetry(
-        &avc,
-        &plan,
-        EngineKind::Auto,
-        ConvergenceRule::OutputConsensus,
-        stats,
-    );
+    let scenario = cell_scenario(config, si, ei);
+    let achieved_epsilon = scenario.instance.margin();
+    let (results, telemetry) = ScenarioPlan::new(scenario)
+        .parallelism(config.parallelism)
+        .run_with_telemetry(stats);
     Point {
         s: avc.s(),
         epsilon: eps,
-        achieved_epsilon: instance.margin(),
+        achieved_epsilon,
         summary: results.summary(),
         telemetry,
     }

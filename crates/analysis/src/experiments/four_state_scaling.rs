@@ -6,11 +6,10 @@
 //! the log–log slope of time against `1/ε`; the paper's bound predicts a
 //! slope of ≈ 1 for small margins.
 
-use crate::harness::{run_trials_with_stats, EngineKind, Parallelism, StatsCollector, TrialPlan};
+use crate::harness::{EngineKind, Parallelism, ScenarioPlan, StatsCollector};
 use crate::stats::{loglog_slope, Summary};
 use crate::table::{fmt_num, Table};
-use avc_population::{ConvergenceRule, MajorityInstance};
-use avc_protocols::FourState;
+use avc_population::{MajorityInstance, ProtocolSpec, Scenario};
 
 /// Parameters for the scaling experiment.
 #[derive(Debug, Clone)]
@@ -104,28 +103,36 @@ pub fn run_with_stats(config: &Config, stats: &StatsCollector) -> Outcome {
     Outcome { points, slope }
 }
 
-/// Runs one margin point; `i` indexes [`Config::epsilons`]. Seeded by the
-/// index alone, so the point reruns identically in isolation.
+/// Lowers one margin point to a declarative run scenario; `i` indexes
+/// [`Config::epsilons`]. Seeded by the index alone, so the point reruns
+/// identically in isolation.
 ///
 /// # Panics
 ///
 /// Panics if `i` is out of range.
 #[must_use]
-pub fn run_point(config: &Config, i: usize, stats: &StatsCollector) -> Point {
+pub fn cell_scenario(config: &Config, i: usize) -> Scenario {
     let instance = MajorityInstance::with_margin(config.n, config.epsilons[i]);
-    let plan = TrialPlan::new(instance)
+    Scenario::new(ProtocolSpec::FourState, instance)
+        .engine(EngineKind::Jump)
         .runs(config.runs)
         .seed(config.seed + i as u64)
-        .parallelism(config.parallelism);
-    let results = run_trials_with_stats(
-        &FourState,
-        &plan,
-        EngineKind::Jump,
-        ConvergenceRule::OutputConsensus,
-        stats,
-    );
+}
+
+/// Runs one margin point through the shared [`ScenarioPlan`] harness.
+///
+/// # Panics
+///
+/// As [`cell_scenario`].
+#[must_use]
+pub fn run_point(config: &Config, i: usize, stats: &StatsCollector) -> Point {
+    let scenario = cell_scenario(config, i);
+    let epsilon = scenario.instance.margin();
+    let results = ScenarioPlan::new(scenario)
+        .parallelism(config.parallelism)
+        .run_with_stats(stats);
     Point {
-        epsilon: instance.margin(),
+        epsilon,
         summary: results.summary(),
     }
 }

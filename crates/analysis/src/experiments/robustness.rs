@@ -21,19 +21,12 @@
 //! cell replays bit-identically — the property the checkpoint/resume
 //! byte-identity of the `robustness` sweep spec rests on.
 
-use crate::harness::{run_indexed_with_stats, Parallelism, StatsCollector};
+use crate::harness::{EngineKind, Parallelism, ScenarioPlan, StatsCollector};
 use crate::stats::Summary;
 use crate::table::{fmt_num, Table};
-use avc_population::cached::Cached;
-use avc_population::driver::{Driver, NullObserver};
-use avc_population::engine::AgentSim;
-use avc_population::faults::{Fault, FaultPlan};
-use avc_population::graph::Graph;
-use avc_population::rngutil::SeedSequence;
-use avc_population::sched::{BiasedPair, EpochBatched, GraphRestricted, LaggardStarving};
-use avc_population::spec::RunOutcome;
+use avc_population::faults::Fault;
 use avc_population::{
-    Config as PopulationConfig, ConvergenceRule, MajorityInstance, Opinion, Protocol,
+    MajorityInstance, Opinion, Protocol, ProtocolSpec, Scenario as RunScenario, SchedulerSpec,
 };
 use avc_protocols::{Avc, FourState};
 
@@ -109,25 +102,25 @@ impl Config {
 pub enum ScenarioKind {
     /// The uniform baseline every slowdown factor is measured against.
     Uniform,
-    /// [`BiasedPair`] hammering a hot clique of `hot` agents.
+    /// [`BiasedPair`](avc_population::sched::BiasedPair) hammering a hot clique of `hot` agents.
     Biased {
         /// Hot-set size.
         hot: usize,
         /// Probability a step stays inside the hot set.
         bias: f64,
     },
-    /// [`LaggardStarving`] the `laggards` highest-numbered agents.
+    /// [`LaggardStarving`](avc_population::sched::LaggardStarving) the `laggards` highest-numbered agents.
     Starved {
         /// Starved-set size.
         laggards: usize,
         /// Steps between laggard-eligible slots.
         period: u64,
     },
-    /// [`EpochBatched`] random perfect matchings.
+    /// [`EpochBatched`](avc_population::sched::EpochBatched) random perfect matchings.
     Epoch,
-    /// [`GraphRestricted`] to the star (all traffic through one center).
+    /// [`GraphRestricted`](avc_population::sched::GraphRestricted) to the star (all traffic through one center).
     StarRestricted,
-    /// [`GraphRestricted`] to the cycle (worst standard spectral gap).
+    /// [`GraphRestricted`](avc_population::sched::GraphRestricted) to the cycle (worst standard spectral gap).
     CycleRestricted,
     /// Crash `agents` agents at step `crash_at`, revive them all at
     /// `revive_at` (uniform scheduling throughout).
@@ -169,21 +162,33 @@ impl Scenario {
         )
     }
 
-    /// The scenario's scheduler description, for manifests and tables.
+    /// The scenario's scheduler, as declarative scenario data. Fault
+    /// scenarios run under uniform scheduling.
     #[must_use]
-    pub fn scheduler_spec(&self) -> String {
-        match &self.kind {
-            ScenarioKind::Biased { hot, bias } => format!("biased(hot={hot},bias={bias})"),
-            ScenarioKind::Starved { laggards, period } => {
-                format!("starved(laggards={laggards},period={period})")
-            }
-            ScenarioKind::Epoch => "epoch".to_string(),
-            ScenarioKind::StarRestricted => "restricted(star)".to_string(),
-            ScenarioKind::CycleRestricted => "restricted(cycle)".to_string(),
+    pub fn scheduler(&self) -> SchedulerSpec {
+        match self.kind {
+            ScenarioKind::Biased { hot, bias } => SchedulerSpec::Biased {
+                hot: hot as u64,
+                bias,
+            },
+            ScenarioKind::Starved { laggards, period } => SchedulerSpec::Starved {
+                laggards: laggards as u64,
+                period,
+            },
+            ScenarioKind::Epoch => SchedulerSpec::Epoch,
+            ScenarioKind::StarRestricted => SchedulerSpec::RestrictedStar,
+            ScenarioKind::CycleRestricted => SchedulerSpec::RestrictedCycle,
             ScenarioKind::Uniform
             | ScenarioKind::CrashRevive { .. }
-            | ScenarioKind::Corrupt { .. } => "uniform".to_string(),
+            | ScenarioKind::Corrupt { .. } => SchedulerSpec::Uniform,
         }
+    }
+
+    /// The scenario's scheduler description, for manifests and tables —
+    /// the canonical [`SchedulerSpec`] rendering.
+    #[must_use]
+    pub fn scheduler_spec(&self) -> String {
+        self.scheduler().to_string()
     }
 
     /// The scenario's fault-plan description, for manifests and tables
@@ -274,104 +279,62 @@ pub struct Point {
     pub runs: u64,
 }
 
-/// Runs one trial of `protocol` under `scenario`.
+/// Lowers one grid cell to a declarative run scenario; `pi` indexes
+/// [`PROTOCOLS`], `si` indexes [`scenarios`]`(config.n)`.
+///
+/// The scenario is self-contained: it carries the cell's seed family
+/// (`seed_child = pi * num_scenarios + si`), so executing it — here, from a
+/// store manifest, or from a serialized scenario file — replays the cell
+/// bit-identically. Fault scenarios resolve the corruption's concrete state
+/// ids (initial-A → initial-B) from the protocol here, so the scenario
+/// needs no protocol knowledge to run.
 ///
 /// # Panics
 ///
-/// Panics if a fault is rejected by the engine (mis-specified scenario).
-pub fn run_scenario<P: Protocol>(
-    protocol: &P,
-    a: u64,
-    b: u64,
-    scenario: &ScenarioKind,
-    max_steps: u64,
-    rng: &mut rand::rngs::SmallRng,
-) -> RunOutcome {
-    let initial = PopulationConfig::from_input(protocol, a, b);
-    let n = initial.population() as usize;
-    let graph = Graph::clique(n);
-    let driver = Driver::new(ConvergenceRule::OutputConsensus).with_max_steps(max_steps);
-    let obs = &mut NullObserver;
-    match scenario {
-        ScenarioKind::Uniform => driver.run(&mut AgentSim::new(protocol, initial, graph), rng, obs),
-        ScenarioKind::Biased { hot, bias } => {
-            let sched = BiasedPair::new(*hot, *bias);
-            driver.run(
-                &mut AgentSim::with_scheduler(protocol, initial, graph, sched),
-                rng,
-                obs,
-            )
-        }
-        ScenarioKind::Starved { laggards, period } => {
-            let sched = LaggardStarving::new(*laggards, *period);
-            driver.run(
-                &mut AgentSim::with_scheduler(protocol, initial, graph, sched),
-                rng,
-                obs,
-            )
-        }
-        ScenarioKind::Epoch => driver.run(
-            &mut AgentSim::with_scheduler(protocol, initial, graph, EpochBatched::new()),
-            rng,
-            obs,
-        ),
-        ScenarioKind::StarRestricted => {
-            let sched = GraphRestricted::new(Graph::star(n));
-            driver.run(
-                &mut AgentSim::with_scheduler(protocol, initial, graph, sched),
-                rng,
-                obs,
-            )
-        }
-        ScenarioKind::CycleRestricted => {
-            let sched = GraphRestricted::new(Graph::cycle(n));
-            driver.run(
-                &mut AgentSim::with_scheduler(protocol, initial, graph, sched),
-                rng,
-                obs,
-            )
-        }
+/// Panics if either index is out of range.
+#[must_use]
+pub fn cell_scenario(config: &Config, pi: usize, si: usize) -> RunScenario {
+    let grid = scenarios(config.n);
+    let num_scenarios = grid.len();
+    let scenario = grid.into_iter().nth(si).expect("scenario index in range");
+    let inst = MajorityInstance::with_margin(config.n, config.epsilon);
+    let protocol = match PROTOCOLS[pi] {
+        "avc" => ProtocolSpec::Avc { m: 7, d: 1 },
+        "four_state" => ProtocolSpec::FourState,
+        other => unreachable!("unknown protocol {other}"),
+    };
+    let mut run = RunScenario::new(protocol, inst)
+        .engine(EngineKind::Agent)
+        .scheduler(scenario.scheduler())
+        .max_steps(config.max_steps)
+        .runs(config.runs)
+        .seed(config.seed)
+        .seed_child((pi * num_scenarios + si) as u64);
+    match scenario.kind {
         ScenarioKind::CrashRevive {
             agents,
             crash_at,
             revive_at,
         } => {
-            let mut events = Vec::with_capacity(2 * agents);
-            for agent in 0..*agents {
-                events.push(avc_population::faults::FaultEvent {
-                    at_step: *crash_at,
-                    fault: Fault::Crash { agent },
-                });
-                events.push(avc_population::faults::FaultEvent {
-                    at_step: *revive_at,
-                    fault: Fault::Revive { agent },
-                });
+            for agent in 0..agents {
+                run = run
+                    .fault(crash_at, Fault::Crash { agent })
+                    .fault(revive_at, Fault::Revive { agent });
             }
-            let mut plan = FaultPlan::from_events(events);
-            driver.run_faulted(
-                &mut AgentSim::new(protocol, initial, graph),
-                rng,
-                obs,
-                &mut plan,
-            )
         }
         ScenarioKind::Corrupt { agents, at } => {
-            let mut plan = FaultPlan::new().at(
-                *at,
-                Fault::Corrupt {
-                    from: protocol.input(Opinion::A),
-                    to: protocol.input(Opinion::B),
-                    agents: *agents,
-                },
-            );
-            driver.run_faulted(
-                &mut AgentSim::new(protocol, initial, graph),
-                rng,
-                obs,
-                &mut plan,
-            )
+            let (from, to) = match protocol {
+                ProtocolSpec::Avc { m, d } => {
+                    let avc = Avc::new(m, d).expect("valid parameters");
+                    (avc.input(Opinion::A), avc.input(Opinion::B))
+                }
+                _ => (FourState.input(Opinion::A), FourState.input(Opinion::B)),
+            };
+            run = run.fault(at, Fault::Corrupt { from, to, agents });
         }
+        _ => {}
     }
+    run
 }
 
 /// Runs the experiment.
@@ -390,33 +353,10 @@ pub fn run_with_stats(config: &Config, stats: &StatsCollector) -> Vec<Point> {
         .collect()
 }
 
-/// One cell's raw trial outcomes. The protocol's transition table is
-/// shared (read-only) across the cell's threads.
-fn measure<P: Protocol + Sync>(
-    config: &Config,
-    protocol: &P,
-    inst: &MajorityInstance,
-    scenario: &ScenarioKind,
-    cell_seeds: &SeedSequence,
-) -> (Vec<RunOutcome>, crate::harness::BatchStats) {
-    run_indexed_with_stats(config.runs, config.parallelism, |trial| {
-        let mut rng = cell_seeds.rng_for(trial);
-        let out = run_scenario(
-            protocol,
-            inst.a(),
-            inst.b(),
-            scenario,
-            config.max_steps,
-            &mut rng,
-        );
-        (out, out.steps)
-    })
-}
-
-/// Runs one cell; `pi` indexes [`PROTOCOLS`], `si` indexes
-/// [`scenarios`]`(config.n)`. Trial seeds derive from `(pi, si)` alone, so
-/// a cell reruns identically in isolation (the basis of
-/// checkpoint/resume).
+/// Runs one cell through the shared [`ScenarioPlan`] harness; `pi` indexes
+/// [`PROTOCOLS`], `si` indexes [`scenarios`]`(config.n)`. Trial seeds
+/// derive from `(pi, si)` alone (via the scenario's `seed_child`), so a
+/// cell reruns identically in isolation (the basis of checkpoint/resume).
 ///
 /// # Panics
 ///
@@ -427,22 +367,12 @@ pub fn run_point(config: &Config, pi: usize, si: usize, stats: &StatsCollector) 
         .into_iter()
         .nth(si)
         .expect("scenario index in range");
-    let num_scenarios = scenarios(config.n).len();
-    let cell_seeds = SeedSequence::new(config.seed).child((pi * num_scenarios + si) as u64);
     let inst = MajorityInstance::with_margin(config.n, config.epsilon);
     let name = PROTOCOLS[pi];
-    let (outcomes, batch) = match name {
-        "avc" => {
-            let protocol = Cached::new(Avc::new(7, 1).expect("valid parameters"));
-            measure(config, &protocol, &inst, &scenario.kind, &cell_seeds)
-        }
-        "four_state" => {
-            let protocol = Cached::new(FourState);
-            measure(config, &protocol, &inst, &scenario.kind, &cell_seeds)
-        }
-        other => unreachable!("unknown protocol {other}"),
-    };
-    stats.record(&batch);
+    let results = ScenarioPlan::new(cell_scenario(config, pi, si))
+        .parallelism(config.parallelism)
+        .run_with_stats(stats);
+    let outcomes = results.outcomes();
     let expected = inst.winner().expect("positive margin has a winner");
     let wrong = outcomes
         .iter()

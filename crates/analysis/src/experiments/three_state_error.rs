@@ -6,10 +6,9 @@
 //! populations and reports it against the theory, verifying the
 //! approximation regime in which Figure 3 (right) shows sizable error.
 
-use crate::harness::{run_trials_with_stats, EngineKind, Parallelism, StatsCollector, TrialPlan};
+use crate::harness::{EngineKind, Parallelism, ScenarioPlan, StatsCollector};
 use crate::table::{fmt_num, Table};
-use avc_population::{ConvergenceRule, MajorityInstance};
-use avc_protocols::ThreeState;
+use avc_population::{ConvergenceRule, MajorityInstance, ProtocolSpec, Scenario};
 
 /// Parameters for the error-law experiment.
 #[derive(Debug, Clone)]
@@ -115,29 +114,37 @@ pub fn run_with_stats(config: &Config, stats: &StatsCollector) -> Vec<Point> {
     points
 }
 
-/// Runs one `(n, ε)` point: `ni` indexes [`Config::ns`], `ei` indexes
-/// [`Config::epsilons`]. Seeded by the grid indices alone, so the point
-/// reruns identically in isolation (the basis of checkpoint/resume).
+/// Lowers one `(n, ε)` point to a declarative run scenario: `ni` indexes
+/// [`Config::ns`], `ei` indexes [`Config::epsilons`]. Seeded by the grid
+/// indices alone, so the point reruns identically in isolation (the basis
+/// of checkpoint/resume).
 ///
 /// # Panics
 ///
 /// Panics if either index is out of range.
 #[must_use]
-pub fn run_point(config: &Config, ni: usize, ei: usize, stats: &StatsCollector) -> Point {
-    let n = config.ns[ni];
-    let instance = MajorityInstance::with_margin(n, config.epsilons[ei]);
-    let plan = TrialPlan::new(instance)
+pub fn cell_scenario(config: &Config, ni: usize, ei: usize) -> Scenario {
+    let instance = MajorityInstance::with_margin(config.ns[ni], config.epsilons[ei]);
+    Scenario::new(ProtocolSpec::ThreeState, instance)
+        .engine(EngineKind::Jump)
+        .rule(ConvergenceRule::StateConsensus)
         .runs(config.runs)
         .seed(config.seed + (ni as u64) * 100 + ei as u64)
-        .parallelism(config.parallelism);
-    let results = run_trials_with_stats(
-        &ThreeState::new(),
-        &plan,
-        EngineKind::Jump,
-        ConvergenceRule::StateConsensus,
-        stats,
-    );
-    let eps_achieved = instance.margin();
+}
+
+/// Runs one `(n, ε)` point through the shared [`ScenarioPlan`] harness.
+///
+/// # Panics
+///
+/// As [`cell_scenario`].
+#[must_use]
+pub fn run_point(config: &Config, ni: usize, ei: usize, stats: &StatsCollector) -> Point {
+    let n = config.ns[ni];
+    let scenario = cell_scenario(config, ni, ei);
+    let eps_achieved = scenario.instance.margin();
+    let results = ScenarioPlan::new(scenario)
+        .parallelism(config.parallelism)
+        .run_with_stats(stats);
     Point {
         n,
         epsilon: eps_achieved,

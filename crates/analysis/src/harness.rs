@@ -14,16 +14,19 @@
 use crate::stats::{fraction, Summary};
 use avc_population::cached::Cached;
 use avc_population::driver::{Driver, NullObserver, Observer};
-use avc_population::engine::{
-    AdaptiveSim, AgentSim, ChunkedSimulator, CountSim, JumpSim, TauLeapSim,
-};
-use avc_population::graph::Graph;
+use avc_population::engine::ChunkedSimulator;
+use avc_population::faults::{FaultEvent, FaultPlan};
 use avc_population::rngutil::SeedSequence;
+use avc_population::scenario::{build_erased, build_erased_with_sink};
 use avc_population::spec::RunOutcome;
 use avc_population::telemetry::{
     keys, CellTelemetry, CountingSink, HistogramSnapshot, MetricValue, Span, TelemetryObserver,
 };
-use avc_population::{Config, ConvergenceRule, MajorityInstance, Opinion, Protocol};
+use avc_population::{
+    Config, ConvergenceRule, MajorityInstance, Opinion, Protocol, ProtocolSpec, Scenario,
+    SchedulerSpec,
+};
+use avc_protocols::{Avc, FourState, ThreeState, Voter};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -327,25 +330,7 @@ where
     (out, stats)
 }
 
-/// Which simulation engine to use for a batch of trials.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-pub enum EngineKind {
-    /// Choose automatically: [`AdaptiveSim`], which is near-optimal across
-    /// the dense and sparse regimes.
-    #[default]
-    Auto,
-    /// Per-agent engine (`AgentSim` on the clique).
-    Agent,
-    /// Count-based engine (`CountSim`).
-    Count,
-    /// Jump-chain engine with null-step skipping (`JumpSim`).
-    Jump,
-    /// Explicit adaptive engine (`AdaptiveSim`).
-    Adaptive,
-    /// Approximate Poisson τ-leaping engine (`TauLeapSim`). Never selected
-    /// automatically; exact semantics are the default everywhere.
-    TauLeap,
-}
+pub use avc_population::scenario::EngineKind;
 
 /// A batch of trials on one majority instance.
 ///
@@ -524,10 +509,124 @@ pub fn run_one_observed<P: Protocol + Clone, O: Observer + ?Sized>(
     }
 }
 
-/// Builds the chosen engine over an already-dispatched protocol (cached or
-/// arithmetic) and drives it to convergence. `protocol` is taken by value so
-/// batch callers can pass a `&Cached<P>` — engines over a shared reference
-/// reuse one table across every trial of a batch.
+/// Everything a batch loop needs beyond the protocol value: a [`Scenario`]'s
+/// execution fields plus the [`Parallelism`] knob (which is deliberately
+/// *not* part of a scenario — it never affects results).
+///
+/// Both [`TrialPlan`] entry points and [`ScenarioPlan`] lower to this, so
+/// there is exactly one batch loop and one seeding policy in the workspace.
+struct BatchSpec<'s> {
+    instance: MajorityInstance,
+    engine: EngineKind,
+    scheduler: &'s SchedulerSpec,
+    faults: &'s [FaultEvent],
+    rule: ConvergenceRule,
+    max_steps: u64,
+    runs: u64,
+    seed: u64,
+    seed_child: Option<u64>,
+    parallelism: Parallelism,
+}
+
+impl<'s> BatchSpec<'s> {
+    /// A plain uniform-scheduler, fault-free batch — the [`TrialPlan`]
+    /// semantics, unchanged byte for byte.
+    fn from_plan(
+        plan: &TrialPlan,
+        engine: EngineKind,
+        rule: ConvergenceRule,
+    ) -> BatchSpec<'static> {
+        BatchSpec {
+            instance: plan.instance,
+            engine,
+            scheduler: &SchedulerSpec::Uniform,
+            faults: &[],
+            rule,
+            max_steps: plan.max_steps,
+            runs: plan.runs,
+            seed: plan.seed,
+            seed_child: None,
+            parallelism: plan.parallelism,
+        }
+    }
+
+    fn from_scenario(scenario: &'s Scenario, parallelism: Parallelism) -> BatchSpec<'s> {
+        BatchSpec {
+            instance: scenario.instance,
+            engine: scenario.engine,
+            scheduler: &scenario.scheduler,
+            faults: &scenario.faults,
+            rule: scenario.rule,
+            max_steps: scenario.max_steps,
+            runs: scenario.runs,
+            seed: scenario.seed,
+            seed_child: scenario.seed_child,
+            parallelism,
+        }
+    }
+
+    /// The trial seed streams: the master sequence, or one of its child
+    /// families when the scenario routes through `seed_child` (grid sweeps
+    /// give each cell its own family this way).
+    fn seeds(&self) -> SeedSequence {
+        match self.seed_child {
+            Some(child) => SeedSequence::new(self.seed).child(child),
+            None => SeedSequence::new(self.seed),
+        }
+    }
+}
+
+/// Builds the spec's engine over an already-dispatched protocol (cached or
+/// arithmetic) through the [`build_erased`] seam and drives one trial to
+/// convergence. `protocol` is taken by value so batch callers can pass a
+/// `&Cached<P>` — engines over a shared reference reuse one table across
+/// every trial of a batch. Fault-free specs run [`Driver::run_erased`];
+/// faulted ones rebuild the per-trial [`FaultPlan`] (cheap: a sort of a
+/// handful of events) and run [`Driver::run_faulted_erased`].
+fn run_spec_trial<P: Protocol + Clone, O: Observer + ?Sized>(
+    protocol: P,
+    config: Config,
+    spec: &BatchSpec<'_>,
+    rng: &mut rand::rngs::SmallRng,
+    observer: &mut O,
+) -> RunOutcome {
+    let driver = Driver::new(spec.rule).with_max_steps(spec.max_steps);
+    let mut sim = build_erased(protocol, config, spec.engine, spec.scheduler)
+        .unwrap_or_else(|e| panic!("unrunnable scenario: {e}"));
+    if spec.faults.is_empty() {
+        driver.run_erased(sim.as_mut(), rng, observer)
+    } else {
+        let mut faults = FaultPlan::from_events(spec.faults.to_vec());
+        driver.run_faulted_erased(sim.as_mut(), rng, observer, &mut faults)
+    }
+}
+
+/// As [`run_spec_trial`], but with a [`CountingSink`] attached to the
+/// engine's telemetry seam. The sink is borrowed, so the caller keeps the
+/// counts after the engine is dropped. Attaching it changes no RNG draws —
+/// the seam records only quantities the engine already computes.
+fn run_spec_trial_instrumented<P: Protocol + Clone, O: Observer + ?Sized>(
+    protocol: P,
+    config: Config,
+    spec: &BatchSpec<'_>,
+    rng: &mut rand::rngs::SmallRng,
+    observer: &mut O,
+    sink: &mut CountingSink,
+) -> RunOutcome {
+    let driver = Driver::new(spec.rule).with_max_steps(spec.max_steps);
+    let mut sim = build_erased_with_sink(protocol, config, spec.engine, spec.scheduler, sink)
+        .unwrap_or_else(|e| panic!("unrunnable scenario: {e}"));
+    if spec.faults.is_empty() {
+        driver.run_erased(sim.as_mut(), rng, observer)
+    } else {
+        let mut faults = FaultPlan::from_events(spec.faults.to_vec());
+        driver.run_faulted_erased(sim.as_mut(), rng, observer, &mut faults)
+    }
+}
+
+/// Builds the chosen engine over an already-dispatched protocol and drives
+/// it to convergence — the uniform-scheduler, fault-free special case of
+/// [`run_spec_trial`] for the single-run entry points.
 fn run_engine_observed<P: Protocol + Clone, O: Observer + ?Sized>(
     protocol: P,
     config: Config,
@@ -537,71 +636,11 @@ fn run_engine_observed<P: Protocol + Clone, O: Observer + ?Sized>(
     max_steps: u64,
     observer: &mut O,
 ) -> RunOutcome {
-    let driver = Driver::new(rule).with_max_steps(max_steps);
-    match engine {
-        EngineKind::Agent => {
-            let n = config.population() as usize;
-            let mut sim = AgentSim::new(protocol, config, Graph::clique(n));
-            driver.run(&mut sim, rng, observer)
-        }
-        EngineKind::Count => {
-            let mut sim = CountSim::new(protocol, config);
-            driver.run(&mut sim, rng, observer)
-        }
-        EngineKind::Jump => {
-            let mut sim = JumpSim::new(protocol, config);
-            driver.run(&mut sim, rng, observer)
-        }
-        EngineKind::TauLeap => {
-            let mut sim = TauLeapSim::new(protocol, config);
-            driver.run(&mut sim, rng, observer)
-        }
-        EngineKind::Auto | EngineKind::Adaptive => {
-            let mut sim = AdaptiveSim::new(protocol, config);
-            driver.run(&mut sim, rng, observer)
-        }
-    }
-}
-
-/// As [`run_engine_observed`], but with a [`CountingSink`] attached to the
-/// engine's telemetry seam. The sink is borrowed, so the caller keeps the
-/// counts after the engine is dropped. Attaching it changes no RNG draws —
-/// the seam records only quantities the engine already computes.
-#[allow(clippy::too_many_arguments)] // mirrors run_engine_observed + the sink
-fn run_engine_instrumented<P: Protocol + Clone, O: Observer + ?Sized>(
-    protocol: P,
-    config: Config,
-    engine: EngineKind,
-    rule: ConvergenceRule,
-    rng: &mut rand::rngs::SmallRng,
-    max_steps: u64,
-    observer: &mut O,
-    sink: &mut CountingSink,
-) -> RunOutcome {
-    let driver = Driver::new(rule).with_max_steps(max_steps);
-    match engine {
-        EngineKind::Agent => {
-            let n = config.population() as usize;
-            let mut sim = AgentSim::new(protocol, config, Graph::clique(n)).with_telemetry(sink);
-            driver.run(&mut sim, rng, observer)
-        }
-        EngineKind::Count => {
-            let mut sim = CountSim::new(protocol, config).with_telemetry(sink);
-            driver.run(&mut sim, rng, observer)
-        }
-        EngineKind::Jump => {
-            let mut sim = JumpSim::new(protocol, config).with_telemetry(sink);
-            driver.run(&mut sim, rng, observer)
-        }
-        EngineKind::TauLeap => {
-            let mut sim = TauLeapSim::new(protocol, config).with_telemetry(sink);
-            driver.run(&mut sim, rng, observer)
-        }
-        EngineKind::Auto | EngineKind::Adaptive => {
-            let mut sim = AdaptiveSim::new(protocol, config).with_telemetry(sink);
-            driver.run(&mut sim, rng, observer)
-        }
-    }
+    let mut sim = build_erased(protocol, config, engine, &SchedulerSpec::Uniform)
+        .expect("the uniform scheduler is valid for every engine");
+    Driver::new(rule)
+        .with_max_steps(max_steps)
+        .run_erased(sim.as_mut(), rng, observer)
 }
 
 /// Runs an already-constructed engine to convergence on the monomorphized
@@ -669,36 +708,37 @@ pub fn run_trials_with_telemetry<P: Protocol + Clone + Sync>(
     rule: ConvergenceRule,
     stats: &StatsCollector,
 ) -> (TrialResults, CellTelemetry) {
-    let seeds = SeedSequence::new(plan.seed);
-    let instance = plan.instance;
+    run_batch_with_telemetry(protocol, &BatchSpec::from_plan(plan, engine, rule), stats)
+}
+
+/// The one instrumented batch loop behind [`run_trials_with_telemetry`] and
+/// [`ScenarioPlan::run_with_telemetry`].
+fn run_batch_with_telemetry<P: Protocol + Clone + Sync>(
+    protocol: &P,
+    spec: &BatchSpec<'_>,
+    stats: &StatsCollector,
+) -> (TrialResults, CellTelemetry) {
+    let seeds = spec.seeds();
+    let instance = spec.instance;
     let dispatch = Cached::try_new(protocol.clone());
-    let (pairs, batch) = run_indexed_with_stats(plan.runs, plan.parallelism, |trial| {
+    let (pairs, batch) = run_indexed_with_stats(spec.runs, spec.parallelism, |trial| {
         let trial_span = Span::start();
         let mut rng = seeds.rng_for(trial);
         let config = Config::from_input(protocol, instance.a(), instance.b());
         let mut sink = CountingSink::new();
         let mut observer = TelemetryObserver::new();
         let outcome = match &dispatch {
-            Ok(cached) => run_engine_instrumented(
+            Ok(cached) => run_spec_trial_instrumented(
                 cached,
                 config,
-                engine,
-                rule,
+                spec,
                 &mut rng,
-                plan.max_steps,
                 &mut observer,
                 &mut sink,
             ),
-            Err(plain) => run_engine_instrumented(
-                plain,
-                config,
-                engine,
-                rule,
-                &mut rng,
-                plan.max_steps,
-                &mut observer,
-                &mut sink,
-            ),
+            Err(plain) => {
+                run_spec_trial_instrumented(plain, config, spec, &mut rng, &mut observer, &mut sink)
+            }
         };
         let mut cell = CellTelemetry::new();
         cell.sim = sink.snapshot();
@@ -747,33 +787,26 @@ fn run_trials_core<P: Protocol + Clone + Sync>(
     engine: EngineKind,
     rule: ConvergenceRule,
 ) -> (TrialResults, BatchStats) {
-    let seeds = SeedSequence::new(plan.seed);
-    let instance = plan.instance;
+    run_batch_core(protocol, &BatchSpec::from_plan(plan, engine, rule))
+}
+
+/// The one uninstrumented batch loop behind [`run_trials`] and
+/// [`ScenarioPlan::run`].
+fn run_batch_core<P: Protocol + Clone + Sync>(
+    protocol: &P,
+    spec: &BatchSpec<'_>,
+) -> (TrialResults, BatchStats) {
+    let seeds = spec.seeds();
+    let instance = spec.instance;
     // Build the dense transition cache once per batch; worker threads share
     // it by reference, so even a maximal (128 MiB) table is paid for once.
     let dispatch = Cached::try_new(protocol.clone());
-    let (outcomes, batch) = run_indexed_with_stats(plan.runs, plan.parallelism, |trial| {
+    let (outcomes, batch) = run_indexed_with_stats(spec.runs, spec.parallelism, |trial| {
         let mut rng = seeds.rng_for(trial);
         let config = Config::from_input(protocol, instance.a(), instance.b());
         let outcome = match &dispatch {
-            Ok(cached) => run_engine_observed(
-                cached,
-                config,
-                engine,
-                rule,
-                &mut rng,
-                plan.max_steps,
-                &mut NullObserver,
-            ),
-            Err(plain) => run_engine_observed(
-                plain,
-                config,
-                engine,
-                rule,
-                &mut rng,
-                plan.max_steps,
-                &mut NullObserver,
-            ),
+            Ok(cached) => run_spec_trial(cached, config, spec, &mut rng, &mut NullObserver),
+            Err(plain) => run_spec_trial(plain, config, spec, &mut rng, &mut NullObserver),
         };
         (outcome, outcome.steps)
     });
@@ -782,6 +815,113 @@ fn run_trials_core<P: Protocol + Clone + Sync>(
         expected: instance.winner(),
     };
     (results, batch)
+}
+
+/// Resolves a [`ProtocolSpec`] to a concrete protocol value and runs `$body`
+/// with it bound to `$protocol` — the spec-to-instance mapping the scenario
+/// plane leaves to this crate (`avc-population` cannot depend on
+/// `avc-protocols`).
+macro_rules! with_resolved_protocol {
+    ($spec:expr, |$protocol:ident| $body:expr) => {
+        match $spec {
+            ProtocolSpec::Avc { m, d } => {
+                let $protocol = Avc::new(m, d).expect("scenario names a valid AVC instance");
+                $body
+            }
+            ProtocolSpec::FourState => {
+                let $protocol = FourState;
+                $body
+            }
+            ProtocolSpec::ThreeState => {
+                let $protocol = ThreeState::new();
+                $body
+            }
+            ProtocolSpec::Voter => {
+                let $protocol = Voter;
+                $body
+            }
+        }
+    };
+}
+
+/// Runs any [`Scenario`] — scheduler and fault scenarios included — through
+/// the deterministic parallel harness.
+///
+/// This is [`TrialPlan`] generalized: the scenario carries every
+/// result-determining knob (protocol, engine, scheduler, faults, rule, step
+/// budget, seed policy) and the plan adds only the [`Parallelism`] setting,
+/// which never affects results. A uniform-scheduler, fault-free,
+/// child-free scenario runs the *same* seed streams and RNG draws as the
+/// equivalent [`TrialPlan`] call — the two entry points share one batch
+/// loop.
+#[derive(Debug, Clone)]
+pub struct ScenarioPlan {
+    scenario: Scenario,
+    parallelism: Parallelism,
+}
+
+impl ScenarioPlan {
+    /// A plan executing `scenario` under automatic parallelism.
+    #[must_use]
+    pub fn new(scenario: Scenario) -> ScenarioPlan {
+        ScenarioPlan {
+            scenario,
+            parallelism: Parallelism::default(),
+        }
+    }
+
+    /// Sets how trials are spread across threads. Outcomes are bit-identical
+    /// for every setting; only the wall-clock time changes.
+    #[must_use]
+    pub fn parallelism(mut self, parallelism: Parallelism) -> ScenarioPlan {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// The scenario this plan executes.
+    #[must_use]
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// Runs the scenario's batch of trials.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario is unrunnable: invalid AVC parameters, or a
+    /// non-uniform scheduler on a non-`agent` engine (pre-check with
+    /// [`avc_population::scenario::build_erased`] semantics via
+    /// [`Scenario`] validation at parse sites).
+    #[must_use]
+    pub fn run(&self) -> TrialResults {
+        self.run_core().0
+    }
+
+    /// As [`ScenarioPlan::run`], folding throughput telemetry into `stats`.
+    #[must_use]
+    pub fn run_with_stats(&self, stats: &StatsCollector) -> TrialResults {
+        let (results, batch) = self.run_core();
+        stats.record(&batch);
+        results
+    }
+
+    /// As [`run_trials_with_telemetry`], for a scenario: per-trial
+    /// [`CountingSink`]/[`TelemetryObserver`] capture merged in trial-index
+    /// order into one [`CellTelemetry`].
+    #[must_use]
+    pub fn run_with_telemetry(&self, stats: &StatsCollector) -> (TrialResults, CellTelemetry) {
+        let spec = BatchSpec::from_scenario(&self.scenario, self.parallelism);
+        with_resolved_protocol!(self.scenario.protocol, |protocol| {
+            run_batch_with_telemetry(&protocol, &spec, stats)
+        })
+    }
+
+    fn run_core(&self) -> (TrialResults, BatchStats) {
+        let spec = BatchSpec::from_scenario(&self.scenario, self.parallelism);
+        with_resolved_protocol!(self.scenario.protocol, |protocol| {
+            run_batch_core(&protocol, &spec)
+        })
+    }
 }
 
 #[cfg(test)]

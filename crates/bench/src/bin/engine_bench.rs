@@ -29,15 +29,15 @@
 
 use avc_population::cached::Cached;
 use avc_population::driver::{Driver, NullObserver};
-use avc_population::engine::{
-    advance_upto_step_by_step, AdaptiveSim, AgentSim, CountSim, JumpSim, Simulator, StopCondition,
-    TauLeapSim,
-};
+use avc_population::engine::{advance_upto_step_by_step, ErasedChunkedSim, StopCondition};
 use avc_population::graph::Graph;
 use avc_population::sampler::FenwickSampler;
+use avc_population::scenario::build_erased;
 use avc_population::telemetry::export::{atomic_write, snapshot_to_json};
 use avc_population::telemetry::{MetricValue, RegistrySnapshot};
-use avc_population::{Config, ConvergenceRule, MajorityInstance, Protocol};
+use avc_population::{
+    Config, ConvergenceRule, EngineKind, MajorityInstance, Protocol, SchedulerSpec,
+};
 use avc_protocols::FourState;
 use avc_store::json::Json;
 use rand::rngs::SmallRng;
@@ -58,42 +58,13 @@ const TELEMETRY_TOLERANCE: f64 = 1.02;
 /// shows up here first.
 const GATED_ENGINES: [&str; 2] = ["agent", "count"];
 
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum Engine {
-    Agent,
-    Count,
-    Jump,
-    Adaptive,
-    TauLeap,
-}
-
-impl Engine {
-    const ALL: [Engine; 5] = [
-        Engine::Agent,
-        Engine::Count,
-        Engine::Jump,
-        Engine::Adaptive,
-        Engine::TauLeap,
-    ];
-
-    fn name(self) -> &'static str {
-        match self {
-            Engine::Agent => "agent",
-            Engine::Count => "count",
-            Engine::Jump => "jump",
-            Engine::Adaptive => "adaptive",
-            Engine::TauLeap => "tau_leap",
-        }
-    }
-
-    /// Step budget keeping each measurement bounded; the per-agent engine
-    /// pays every scheduler step, so it gets a tighter cap at scale.
-    fn max_steps(self, n: u64) -> u64 {
-        match self {
-            Engine::Agent if n > 10_000 => 2_000_000,
-            _ if n > 10_000 => 20_000_000,
-            _ => 4_000_000,
-        }
+/// Step budget keeping each measurement bounded; the per-agent engine
+/// pays every scheduler step, so it gets a tighter cap at scale.
+fn max_steps(engine: EngineKind, n: u64) -> u64 {
+    match engine {
+        EngineKind::Agent if n > 10_000 => 2_000_000,
+        _ if n > 10_000 => 20_000_000,
+        _ => 4_000_000,
     }
 }
 
@@ -125,22 +96,20 @@ impl Entry {
     }
 }
 
-fn build(engine: Engine, n: u64) -> Box<dyn Simulator> {
+/// Builds one engine through the scenario plane's erased builder — the
+/// same seam every harness client uses, so the bench measures the shipped
+/// dispatch path.
+fn build(engine: EngineKind, n: u64) -> Box<dyn ErasedChunkedSim> {
     let inst = MajorityInstance::one_extra(n);
     let config = Config::from_input(&FourState, inst.a(), inst.b());
     let protocol = Cached::new(FourState);
-    match engine {
-        Engine::Agent => Box::new(AgentSim::on_clique(protocol, config)),
-        Engine::Count => Box::new(CountSim::new(protocol, config)),
-        Engine::Jump => Box::new(JumpSim::new(protocol, config)),
-        Engine::Adaptive => Box::new(AdaptiveSim::new(protocol, config)),
-        Engine::TauLeap => Box::new(TauLeapSim::new(protocol, config)),
-    }
+    build_erased(protocol, config, engine, &SchedulerSpec::Uniform)
+        .expect("the uniform scheduler is valid for every engine")
 }
 
 /// Runs the legacy per-step loop: dyn-dispatched `advance` through a
 /// `&mut dyn RngCore`, exactly the shape of the pre-driver harness.
-fn run_legacy(engine: Engine, n: u64, max_steps: u64) -> (f64, u64, u64) {
+fn run_legacy(engine: EngineKind, n: u64, max_steps: u64) -> (f64, u64, u64) {
     let mut sim = build(engine, n);
     let mut rng = SmallRng::seed_from_u64(SEED);
     let stop = StopCondition::for_rule(RULE, sim.population()).with_max_steps(max_steps);
@@ -150,29 +119,17 @@ fn run_legacy(engine: Engine, n: u64, max_steps: u64) -> (f64, u64, u64) {
     (elapsed, sim.steps(), sim.count_a())
 }
 
-/// Runs the chunked driver loop, monomorphized per engine over `SmallRng`.
-fn run_chunked(engine: Engine, n: u64, max_steps: u64) -> (f64, u64, u64) {
-    let inst = MajorityInstance::one_extra(n);
-    let config = Config::from_input(&FourState, inst.a(), inst.b());
-    let protocol = Cached::new(FourState);
+/// Runs the chunked driver loop: one erased call per chunk into the
+/// engine's monomorphized `advance_chunk` over a concrete `SmallRng`
+/// (construction stays outside the timed region).
+fn run_chunked(engine: EngineKind, n: u64, max_steps: u64) -> (f64, u64, u64) {
+    let mut sim = build(engine, n);
     let driver = Driver::new(RULE).with_max_steps(max_steps);
     let mut rng = SmallRng::seed_from_u64(SEED);
-    macro_rules! timed {
-        ($sim:expr) => {{
-            let mut sim = $sim;
-            let started = Instant::now();
-            let _ = driver.run(&mut sim, &mut rng, &mut NullObserver);
-            let elapsed = started.elapsed().as_secs_f64() * 1e3;
-            (elapsed, sim.steps(), sim.count_a())
-        }};
-    }
-    match engine {
-        Engine::Agent => timed!(AgentSim::on_clique(protocol, config)),
-        Engine::Count => timed!(CountSim::new(protocol, config)),
-        Engine::Jump => timed!(JumpSim::new(protocol, config)),
-        Engine::Adaptive => timed!(AdaptiveSim::new(protocol, config)),
-        Engine::TauLeap => timed!(TauLeapSim::new(protocol, config)),
-    }
+    let started = Instant::now();
+    let _ = driver.run_erased(sim.as_mut(), &mut rng, &mut NullObserver);
+    let elapsed = started.elapsed().as_secs_f64() * 1e3;
+    (elapsed, sim.steps(), sim.count_a())
 }
 
 fn median(samples: &mut [f64]) -> f64 {
@@ -279,8 +236,8 @@ fn replay_agent_sampling(n: u64, steps: u64) -> f64 {
 /// Profiles one engine at population `n` (agent and count only — the other
 /// engines interleave their phases, so an isolated replay would not
 /// correspond to any slice of their real loop).
-fn profile(engine: Engine, n: u64, reps: usize) -> Profile {
-    let max_steps = engine.max_steps(n);
+fn profile(engine: EngineKind, n: u64, reps: usize) -> Profile {
+    let max_steps = max_steps(engine, n);
     let protocol = Cached::new(FourState);
     let mut total = Vec::with_capacity(reps);
     let mut sampling = Vec::with_capacity(reps);
@@ -291,8 +248,8 @@ fn profile(engine: Engine, n: u64, reps: usize) -> Profile {
         total.push(t);
         steps = s;
         sampling.push(match engine {
-            Engine::Count => replay_count_sampling(n, s),
-            Engine::Agent => replay_agent_sampling(n, s),
+            EngineKind::Count => replay_count_sampling(n, s),
+            EngineKind::Agent => replay_agent_sampling(n, s),
             _ => unreachable!("profile covers agent and count only"),
         });
         transition.push(replay_transitions(&protocol, s));
@@ -317,8 +274,8 @@ fn profile(engine: Engine, n: u64, reps: usize) -> Profile {
     }
 }
 
-fn measure(engine: Engine, n: u64, reps: usize) -> Entry {
-    let max_steps = engine.max_steps(n);
+fn measure(engine: EngineKind, n: u64, reps: usize) -> Entry {
+    let max_steps = max_steps(engine, n);
     let mut legacy = Vec::with_capacity(reps);
     let mut chunked = Vec::with_capacity(reps);
     let mut steps = 0;
@@ -469,7 +426,7 @@ fn main() {
 
     let mut entries = Vec::new();
     for &n in ns {
-        for engine in Engine::ALL {
+        for engine in EngineKind::CONCRETE {
             let entry = measure(engine, n, reps);
             println!(
                 "{:>8} n={:<7} steps={:<9} legacy {:>9.3} ms  chunked {:>9.3} ms  speedup {:.3}x",
@@ -487,7 +444,7 @@ fn main() {
     let mut profiles = Vec::new();
     if args.flag("profile") || args.get("profile-out").is_some() {
         for &n in ns {
-            for engine in [Engine::Agent, Engine::Count] {
+            for engine in [EngineKind::Agent, EngineKind::Count] {
                 let p = profile(engine, n, reps);
                 println!(
                     "{:>8} n={:<7} profile: total {:>9.3} ms = sampling {:>8.3} + transition {:>8.3} + bookkeeping {:>8.3}",

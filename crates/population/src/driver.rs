@@ -31,11 +31,13 @@
 //! for every chunking, observer cadence, and dispatch path.
 
 use crate::engine::{
-    silent_verdict, AdvanceReport, ChunkedSimulator, Simulator, StopCondition, StopReason,
+    silent_verdict, AdvanceReport, ChunkedSimulator, ErasedChunkedSim, Simulator, StopCondition,
+    StopReason,
 };
 use crate::faults::{Fault, FaultPlan};
 use crate::protocol::{Opinion, StateId};
 use crate::spec::{ConvergenceRule, RunOutcome, Verdict};
+use rand::rngs::SmallRng;
 use rand::RngCore;
 
 /// A cheap borrowed summary of a simulation's observable state, passed to
@@ -252,6 +254,48 @@ impl Driver {
     {
         self.drive(sim, rng, observer, Some(faults), |s, r, stop| {
             s.advance_upto(r, stop)
+        })
+    }
+
+    /// As [`Driver::run`] over the erased [`ErasedChunkedSim`] boundary —
+    /// the scenario builder's dispatch seam.
+    ///
+    /// The chunk loop behind `advance_chunk_erased` is the same
+    /// `advance_chunk::<SmallRng>` monomorphization [`Driver::run`] uses, so
+    /// the RNG stream and trajectory are bit-identical to concrete
+    /// dispatch; the only added cost is one virtual call per chunk.
+    pub fn run_erased<O>(
+        &self,
+        sim: &mut dyn ErasedChunkedSim,
+        rng: &mut SmallRng,
+        observer: &mut O,
+    ) -> RunOutcome
+    where
+        O: Observer + ?Sized,
+    {
+        self.drive(sim, rng, observer, None, |s, r, stop| {
+            s.advance_chunk_erased(r, stop)
+        })
+    }
+
+    /// As [`Driver::run_faulted`] over the erased [`ErasedChunkedSim`]
+    /// boundary. An empty plan makes this exactly [`Driver::run_erased`].
+    ///
+    /// # Panics
+    ///
+    /// As [`Driver::run_faulted`].
+    pub fn run_faulted_erased<O>(
+        &self,
+        sim: &mut dyn ErasedChunkedSim,
+        rng: &mut SmallRng,
+        observer: &mut O,
+        faults: &mut FaultPlan,
+    ) -> RunOutcome
+    where
+        O: Observer + ?Sized,
+    {
+        self.drive(sim, rng, observer, Some(faults), |s, r, stop| {
+            s.advance_chunk_erased(r, stop)
         })
     }
 

@@ -348,6 +348,37 @@ pub trait ChunkedSimulator: Simulator {
     ) -> AdvanceReport;
 }
 
+/// An object-safe view of a [`ChunkedSimulator`], monomorphized over
+/// [`SmallRng`](rand::rngs::SmallRng).
+///
+/// [`ChunkedSimulator::advance_chunk`] is generic over the RNG and therefore
+/// not object safe, so heterogeneous engines cannot be boxed behind it. This
+/// trait closes the gap for the one RNG the harness actually uses: the
+/// blanket impl forwards to `advance_chunk::<SmallRng>` — the *same*
+/// monomorphized tight loop the concrete-type path compiles — so boxing an
+/// engine as `Box<dyn ErasedChunkedSim>` costs exactly one virtual call per
+/// chunk (thousands-to-millions of steps), not per step, and the RNG stream
+/// is bit-identical to concrete dispatch (pinned by
+/// `tests/erased_dispatch.rs`).
+pub trait ErasedChunkedSim: Simulator {
+    /// As [`ChunkedSimulator::advance_chunk`] with `R = SmallRng`.
+    fn advance_chunk_erased(
+        &mut self,
+        rng: &mut rand::rngs::SmallRng,
+        stop: StopCondition,
+    ) -> AdvanceReport;
+}
+
+impl<S: ChunkedSimulator> ErasedChunkedSim for S {
+    fn advance_chunk_erased(
+        &mut self,
+        rng: &mut rand::rngs::SmallRng,
+        stop: StopCondition,
+    ) -> AdvanceReport {
+        self.advance_chunk(rng, stop)
+    }
+}
+
 pub(crate) fn silent_verdict<S: Simulator + ?Sized>(sim: &S, n: u64) -> Verdict {
     let a = sim.count_a();
     if a == n {

@@ -69,9 +69,12 @@ pub mod driver;
 pub mod engine;
 pub mod faults;
 pub mod graph;
+pub mod hash;
+pub mod json;
 pub mod protocol;
 pub mod rngutil;
 pub mod sampler;
+pub mod scenario;
 pub mod sched;
 pub mod spec;
 pub mod spectral;
@@ -81,4 +84,5 @@ pub mod trace;
 
 pub use config::Config;
 pub use protocol::{Opinion, Protocol, StateId};
+pub use scenario::{EngineKind, ProtocolSpec, Scenario, SchedulerSpec};
 pub use spec::{ConvergenceRule, MajorityInstance};

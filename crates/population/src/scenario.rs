@@ -1,0 +1,880 @@
+//! The scenario plane: one declarative description of a run, one builder.
+//!
+//! A [`Scenario`] names everything that determines a batch of trials —
+//! protocol, majority instance, engine, scheduler, fault plan, convergence
+//! rule, step budget, and seed policy — as plain data with a canonical JSON
+//! round-trip ([`Scenario::canonical`] / [`Scenario::parse`]) and a stable
+//! content hash ([`Scenario::hash`], the SHA-256 of the canonical form).
+//! Store manifests embed this canonical form, so a recorded cell can be
+//! re-run byte-identically from its manifest alone, and scenario files
+//! (`examples/scenarios/*.json`) are executable documentation via
+//! `avc run`.
+//!
+//! [`build_erased`] is the **single** place in the workspace where an
+//! engine choice becomes a simulator: it matches on [`EngineKind`] and
+//! [`SchedulerSpec`] once and returns a boxed
+//! [`ErasedChunkedSim`]. The erasure
+//! costs one virtual call per *chunk* — the chunk loops behind it are the
+//! same `advance_chunk::<SmallRng>` monomorphizations concrete dispatch
+//! compiles, so trajectories and RNG streams are bit-identical (pinned by
+//! `tests/erased_dispatch.rs`).
+//!
+//! Protocols are named here ([`ProtocolSpec`]) but *resolved* one crate up:
+//! `avc-population` cannot depend on `avc-protocols`, so the
+//! spec-to-instance mapping lives in `avc_analysis::harness::ScenarioPlan`.
+
+use crate::engine::{AdaptiveSim, AgentSim, CountSim, ErasedChunkedSim, JumpSim, TauLeapSim};
+use crate::faults::{Fault, FaultEvent};
+use crate::graph::Graph;
+use crate::hash::sha256_hex;
+use crate::json::Json;
+use crate::protocol::{Opinion, Protocol, StateId};
+use crate::sched::{BiasedPair, EpochBatched, GraphRestricted, LaggardStarving};
+use crate::spec::{ConvergenceRule, MajorityInstance};
+use crate::telemetry::{NoopSink, Sink};
+use crate::Config;
+use std::fmt;
+use std::str::FromStr;
+
+/// Which simulation engine to use for a batch of trials.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EngineKind {
+    /// Choose automatically: [`AdaptiveSim`], which is near-optimal across
+    /// the dense and sparse regimes.
+    #[default]
+    Auto,
+    /// Per-agent engine ([`AgentSim`] on the clique).
+    Agent,
+    /// Count-based engine ([`CountSim`]).
+    Count,
+    /// Jump-chain engine with null-step skipping ([`JumpSim`]).
+    Jump,
+    /// Explicit adaptive engine ([`AdaptiveSim`]).
+    Adaptive,
+    /// Approximate Poisson τ-leaping engine ([`TauLeapSim`]). Never
+    /// selected automatically; exact semantics are the default everywhere.
+    TauLeap,
+}
+
+impl EngineKind {
+    /// The five concrete engines in bench order (excludes the
+    /// [`EngineKind::Auto`] alias, which resolves to `Adaptive`).
+    pub const CONCRETE: [EngineKind; 5] = [
+        EngineKind::Agent,
+        EngineKind::Count,
+        EngineKind::Jump,
+        EngineKind::Adaptive,
+        EngineKind::TauLeap,
+    ];
+
+    /// The canonical name, as used in scenario files, store manifests, and
+    /// bench reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Auto => "auto",
+            EngineKind::Agent => "agent",
+            EngineKind::Count => "count",
+            EngineKind::Jump => "jump",
+            EngineKind::Adaptive => "adaptive",
+            EngineKind::TauLeap => "tau_leap",
+        }
+    }
+}
+
+impl fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for EngineKind {
+    type Err = String;
+
+    /// Parses a canonical engine name (`tau-leap` is accepted as a legacy
+    /// spelling of `tau_leap`).
+    fn from_str(s: &str) -> Result<EngineKind, String> {
+        match s {
+            "auto" => Ok(EngineKind::Auto),
+            "agent" => Ok(EngineKind::Agent),
+            "count" => Ok(EngineKind::Count),
+            "jump" => Ok(EngineKind::Jump),
+            "adaptive" => Ok(EngineKind::Adaptive),
+            "tau_leap" | "tau-leap" => Ok(EngineKind::TauLeap),
+            other => Err(format!(
+                "unknown engine `{other}` (auto|agent|count|jump|adaptive|tau_leap)"
+            )),
+        }
+    }
+}
+
+/// Which protocol a scenario runs, as pure data.
+///
+/// The mapping to concrete protocol values lives in `avc-analysis` (this
+/// crate cannot depend on `avc-protocols`); adding a protocol means adding
+/// a variant here and one resolution arm there — no engine dispatch sites
+/// are touched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProtocolSpec {
+    /// The paper's AVC protocol with maximum weight `m` (odd) and `d`
+    /// intermediate levels (`s = m + 2d + 1` states).
+    Avc {
+        /// Maximum weight (odd, ≥ 1).
+        m: u64,
+        /// Intermediate levels (≥ 1).
+        d: u32,
+    },
+    /// The four-state exact-majority protocol.
+    FourState,
+    /// The three-state approximate-majority protocol.
+    ThreeState,
+    /// The two-state voter model.
+    Voter,
+}
+
+impl fmt::Display for ProtocolSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolSpec::Avc { m, d } => write!(f, "avc(m={m},d={d})"),
+            ProtocolSpec::FourState => f.write_str("four_state"),
+            ProtocolSpec::ThreeState => f.write_str("three_state"),
+            ProtocolSpec::Voter => f.write_str("voter"),
+        }
+    }
+}
+
+impl FromStr for ProtocolSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<ProtocolSpec, String> {
+        match s {
+            "four_state" => return Ok(ProtocolSpec::FourState),
+            "three_state" => return Ok(ProtocolSpec::ThreeState),
+            "voter" => return Ok(ProtocolSpec::Voter),
+            _ => {}
+        }
+        if let Some(body) = s.strip_prefix("avc(m=").and_then(|r| r.strip_suffix(')')) {
+            let (m, d) = body
+                .split_once(",d=")
+                .ok_or_else(|| format!("malformed AVC spec `{s}`"))?;
+            let m = m.parse().map_err(|_| format!("bad AVC m in `{s}`"))?;
+            let d = d.parse().map_err(|_| format!("bad AVC d in `{s}`"))?;
+            return Ok(ProtocolSpec::Avc { m, d });
+        }
+        Err(format!(
+            "unknown protocol `{s}` (avc(m=..,d=..)|four_state|three_state|voter)"
+        ))
+    }
+}
+
+/// Which scheduler a scenario runs under, as pure data.
+///
+/// The `Display` strings are the exact scheduler descriptions the
+/// robustness sweep has always written into its manifests and tables.
+/// Non-uniform schedulers need per-agent identity, so [`build_erased`]
+/// only accepts them with [`EngineKind::Agent`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SchedulerSpec {
+    /// The uniform random scheduler (the default; RNG-stream-identical to
+    /// the scheduler-free engines).
+    Uniform,
+    /// [`BiasedPair`] hammering a hot clique of `hot` agents.
+    Biased {
+        /// Hot-set size.
+        hot: u64,
+        /// Probability a step stays inside the hot set.
+        bias: f64,
+    },
+    /// [`LaggardStarving`] the `laggards` highest-numbered agents.
+    Starved {
+        /// Starved-set size.
+        laggards: u64,
+        /// Steps between laggard-eligible slots.
+        period: u64,
+    },
+    /// [`EpochBatched`] random perfect matchings.
+    Epoch,
+    /// [`GraphRestricted`] to the star (all traffic through one center).
+    RestrictedStar,
+    /// [`GraphRestricted`] to the cycle (worst standard spectral gap).
+    RestrictedCycle,
+}
+
+impl fmt::Display for SchedulerSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedulerSpec::Uniform => f.write_str("uniform"),
+            SchedulerSpec::Biased { hot, bias } => write!(f, "biased(hot={hot},bias={bias})"),
+            SchedulerSpec::Starved { laggards, period } => {
+                write!(f, "starved(laggards={laggards},period={period})")
+            }
+            SchedulerSpec::Epoch => f.write_str("epoch"),
+            SchedulerSpec::RestrictedStar => f.write_str("restricted(star)"),
+            SchedulerSpec::RestrictedCycle => f.write_str("restricted(cycle)"),
+        }
+    }
+}
+
+impl FromStr for SchedulerSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<SchedulerSpec, String> {
+        match s {
+            "uniform" => return Ok(SchedulerSpec::Uniform),
+            "epoch" => return Ok(SchedulerSpec::Epoch),
+            "restricted(star)" => return Ok(SchedulerSpec::RestrictedStar),
+            "restricted(cycle)" => return Ok(SchedulerSpec::RestrictedCycle),
+            _ => {}
+        }
+        if let Some(body) = s
+            .strip_prefix("biased(hot=")
+            .and_then(|r| r.strip_suffix(')'))
+        {
+            let (hot, bias) = body
+                .split_once(",bias=")
+                .ok_or_else(|| format!("malformed scheduler spec `{s}`"))?;
+            return Ok(SchedulerSpec::Biased {
+                hot: hot.parse().map_err(|_| format!("bad hot in `{s}`"))?,
+                bias: bias.parse().map_err(|_| format!("bad bias in `{s}`"))?,
+            });
+        }
+        if let Some(body) = s
+            .strip_prefix("starved(laggards=")
+            .and_then(|r| r.strip_suffix(')'))
+        {
+            let (laggards, period) = body
+                .split_once(",period=")
+                .ok_or_else(|| format!("malformed scheduler spec `{s}`"))?;
+            return Ok(SchedulerSpec::Starved {
+                laggards: laggards
+                    .parse()
+                    .map_err(|_| format!("bad laggards in `{s}`"))?,
+                period: period.parse().map_err(|_| format!("bad period in `{s}`"))?,
+            });
+        }
+        Err(format!(
+            "unknown scheduler `{s}` \
+             (uniform|biased(hot=..,bias=..)|starved(laggards=..,period=..)|epoch|\
+             restricted(star)|restricted(cycle))"
+        ))
+    }
+}
+
+/// A declarative description of one batch of trials.
+///
+/// Everything that determines the trials' RNG streams and outcomes is a
+/// field here; everything that does not (thread count, observers) is
+/// deliberately absent, so the canonical form — and therefore the hash a
+/// store manifest embeds — is invariant under execution details.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// The protocol under test.
+    pub protocol: ProtocolSpec,
+    /// The majority instance (initial `a`/`b` split).
+    pub instance: MajorityInstance,
+    /// The simulation engine.
+    pub engine: EngineKind,
+    /// The scheduler (non-uniform requires [`EngineKind::Agent`]).
+    pub scheduler: SchedulerSpec,
+    /// Faults to inject, fired between chunks at their scheduled steps.
+    pub faults: Vec<FaultEvent>,
+    /// The convergence rule each trial runs to.
+    pub rule: ConvergenceRule,
+    /// Per-trial step budget (`u64::MAX` = unlimited).
+    pub max_steps: u64,
+    /// Number of independent trials.
+    pub runs: u64,
+    /// Master seed.
+    pub seed: u64,
+    /// Optional seed-stream child index: trial `i` draws from
+    /// `SeedSequence::new(seed).child(c).rng_for(i)` instead of
+    /// `SeedSequence::new(seed).rng_for(i)`. Grid sweeps (robustness) use
+    /// this to give each cell its own stream family.
+    pub seed_child: Option<u64>,
+}
+
+impl Scenario {
+    /// A scenario with the harness defaults: engine `auto`, uniform
+    /// scheduler, no faults, output consensus, unlimited steps, 101 runs,
+    /// seed 0.
+    #[must_use]
+    pub fn new(protocol: ProtocolSpec, instance: MajorityInstance) -> Scenario {
+        Scenario {
+            protocol,
+            instance,
+            engine: EngineKind::Auto,
+            scheduler: SchedulerSpec::Uniform,
+            faults: Vec::new(),
+            rule: ConvergenceRule::OutputConsensus,
+            max_steps: u64::MAX,
+            runs: 101,
+            seed: 0,
+            seed_child: None,
+        }
+    }
+
+    /// Sets the engine.
+    #[must_use]
+    pub fn engine(mut self, engine: EngineKind) -> Scenario {
+        self.engine = engine;
+        self
+    }
+
+    /// Sets the scheduler.
+    #[must_use]
+    pub fn scheduler(mut self, scheduler: SchedulerSpec) -> Scenario {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Sets the convergence rule.
+    #[must_use]
+    pub fn rule(mut self, rule: ConvergenceRule) -> Scenario {
+        self.rule = rule;
+        self
+    }
+
+    /// Caps each trial at `max_steps` scheduler steps.
+    #[must_use]
+    pub fn max_steps(mut self, max_steps: u64) -> Scenario {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Sets the number of trials.
+    #[must_use]
+    pub fn runs(mut self, runs: u64) -> Scenario {
+        self.runs = runs;
+        self
+    }
+
+    /// Sets the master seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Scenario {
+        self.seed = seed;
+        self
+    }
+
+    /// Routes trial RNGs through child stream `child` of the master seed.
+    #[must_use]
+    pub fn seed_child(mut self, child: u64) -> Scenario {
+        self.seed_child = Some(child);
+        self
+    }
+
+    /// Appends a fault scheduled at step `at`.
+    #[must_use]
+    pub fn fault(mut self, at: u64, fault: Fault) -> Scenario {
+        self.faults.push(FaultEvent { at_step: at, fault });
+        self
+    }
+
+    /// The canonical JSON form. Fields at their defaults (uniform
+    /// scheduler, no faults, unlimited steps, no seed child) are omitted,
+    /// so semantically identical scenarios hash identically.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("schema", Json::Int(1)),
+            ("protocol", Json::str(self.protocol.to_string())),
+            (
+                "instance",
+                Json::obj([
+                    ("a", u64_json(self.instance.a())),
+                    ("b", u64_json(self.instance.b())),
+                ]),
+            ),
+            ("engine", Json::str(self.engine.name())),
+            ("rule", rule_json(self.rule)),
+            ("runs", u64_json(self.runs)),
+            ("seed", u64_json(self.seed)),
+        ];
+        if self.scheduler != SchedulerSpec::Uniform {
+            fields.push(("scheduler", Json::str(self.scheduler.to_string())));
+        }
+        if !self.faults.is_empty() {
+            fields.push((
+                "faults",
+                Json::Arr(self.faults.iter().map(fault_json).collect()),
+            ));
+        }
+        if self.max_steps != u64::MAX {
+            fields.push(("max_steps", u64_json(self.max_steps)));
+        }
+        if let Some(child) = self.seed_child {
+            fields.push(("seed_child", u64_json(child)));
+        }
+        Json::obj(fields)
+    }
+
+    /// The canonical serialization: compact JSON with sorted keys.
+    #[must_use]
+    pub fn canonical(&self) -> String {
+        self.to_json().to_string_compact()
+    }
+
+    /// The SHA-256 of [`Scenario::canonical`], in hex.
+    #[must_use]
+    pub fn hash(&self) -> String {
+        sha256_hex(self.canonical().as_bytes())
+    }
+
+    /// Reconstructs a scenario from its JSON form (canonical or hand
+    /// written: optional fields may be absent, unknown keys are rejected).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first malformed field.
+    pub fn from_json(json: &Json) -> Result<Scenario, String> {
+        let obj = json.as_obj().ok_or("scenario must be a JSON object")?;
+        for key in obj.keys() {
+            const KNOWN: [&str; 11] = [
+                "schema",
+                "protocol",
+                "instance",
+                "engine",
+                "scheduler",
+                "faults",
+                "rule",
+                "max_steps",
+                "runs",
+                "seed",
+                "seed_child",
+            ];
+            if !KNOWN.contains(&key.as_str()) {
+                return Err(format!("unknown scenario field `{key}`"));
+            }
+        }
+        if let Some(schema) = obj.get("schema") {
+            if schema.as_int() != Some(1) {
+                return Err("unsupported scenario schema (expected 1)".to_string());
+            }
+        }
+        let str_field = |name: &str| -> Result<&str, String> {
+            obj.get(name)
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("scenario needs a string `{name}` field"))
+        };
+        let protocol = str_field("protocol")?.parse()?;
+        let engine = str_field("engine")?.parse()?;
+        let instance = obj
+            .get("instance")
+            .ok_or("scenario needs an `instance` field")?;
+        let a = u64_field(instance, "a")?;
+        let b = u64_field(instance, "b")?;
+        if a + b < 2 {
+            return Err(format!("instance needs a + b >= 2 agents (got {a} + {b})"));
+        }
+        let scheduler = match obj.get("scheduler") {
+            Some(s) => s.as_str().ok_or("`scheduler` must be a string")?.parse()?,
+            None => SchedulerSpec::Uniform,
+        };
+        let faults = match obj.get("faults") {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .map(fault_from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            Some(_) => return Err("`faults` must be an array".to_string()),
+            None => Vec::new(),
+        };
+        let rule = rule_from_json(obj.get("rule").ok_or("scenario needs a `rule` field")?)?;
+        let max_steps = match obj.get("max_steps") {
+            Some(v) => u64_value(v, "max_steps")?,
+            None => u64::MAX,
+        };
+        let seed_child = match obj.get("seed_child") {
+            Some(v) => Some(u64_value(v, "seed_child")?),
+            None => None,
+        };
+        Ok(Scenario {
+            protocol,
+            instance: MajorityInstance::new(a, b),
+            engine,
+            scheduler,
+            faults,
+            rule,
+            max_steps,
+            runs: u64_field(json, "runs")?,
+            seed: u64_field(json, "seed")?,
+            seed_child,
+        })
+    }
+
+    /// Parses a scenario from JSON text (e.g. a scenario file).
+    ///
+    /// # Errors
+    ///
+    /// As [`Json::parse`] and [`Scenario::from_json`].
+    pub fn parse(text: &str) -> Result<Scenario, String> {
+        Scenario::from_json(&Json::parse(text)?)
+    }
+}
+
+/// Encodes a `u64` losslessly: as a JSON integer when it fits `i64`, else
+/// as a decimal string (the canonical JSON layer rejects non-`i64`
+/// numbers).
+fn u64_json(value: u64) -> Json {
+    i64::try_from(value).map_or_else(|_| Json::str(value.to_string()), Json::Int)
+}
+
+/// Decodes [`u64_json`]'s output (either spelling).
+fn u64_value(json: &Json, what: &str) -> Result<u64, String> {
+    match json {
+        Json::Int(i) => u64::try_from(*i).map_err(|_| format!("`{what}` must be non-negative")),
+        Json::Str(s) => s
+            .parse()
+            .map_err(|_| format!("`{what}` must be a u64 (got `{s}`)")),
+        _ => Err(format!("`{what}` must be an integer")),
+    }
+}
+
+fn u64_field(json: &Json, name: &str) -> Result<u64, String> {
+    u64_value(
+        json.get(name)
+            .ok_or_else(|| format!("missing `{name}` field"))?,
+        name,
+    )
+}
+
+fn opinion_json(opinion: Opinion) -> Json {
+    Json::str(match opinion {
+        Opinion::A => "A",
+        Opinion::B => "B",
+    })
+}
+
+fn opinion_from(text: &str) -> Result<Opinion, String> {
+    match text {
+        "A" => Ok(Opinion::A),
+        "B" => Ok(Opinion::B),
+        other => Err(format!("unknown opinion `{other}` (A|B)")),
+    }
+}
+
+fn rule_json(rule: ConvergenceRule) -> Json {
+    match rule {
+        ConvergenceRule::OutputConsensus => Json::str("output_consensus"),
+        ConvergenceRule::StateConsensus => Json::str("state_consensus"),
+        ConvergenceRule::Silence => Json::str("silence"),
+        ConvergenceRule::OutputCount { opinion, count } => Json::obj([
+            ("name", Json::str("output_count")),
+            ("opinion", opinion_json(opinion)),
+            ("count", u64_json(count)),
+        ]),
+    }
+}
+
+fn rule_from_json(json: &Json) -> Result<ConvergenceRule, String> {
+    if let Some(name) = json.as_str() {
+        return match name {
+            "output_consensus" => Ok(ConvergenceRule::OutputConsensus),
+            "state_consensus" => Ok(ConvergenceRule::StateConsensus),
+            "silence" => Ok(ConvergenceRule::Silence),
+            other => Err(format!(
+                "unknown rule `{other}` (output_consensus|state_consensus|silence|output_count)"
+            )),
+        };
+    }
+    if json.get("name").and_then(Json::as_str) == Some("output_count") {
+        let opinion = opinion_from(
+            json.get("opinion")
+                .and_then(Json::as_str)
+                .ok_or("output_count rule needs an `opinion`")?,
+        )?;
+        let count = u64_field(json, "count")?;
+        return Ok(ConvergenceRule::OutputCount { opinion, count });
+    }
+    Err("malformed `rule` field".to_string())
+}
+
+fn state_json(state: StateId) -> Json {
+    Json::Int(i64::from(state))
+}
+
+fn state_from(json: &Json, what: &str) -> Result<StateId, String> {
+    u64_value(
+        json.get(what).ok_or_else(|| format!("missing `{what}`"))?,
+        what,
+    )
+    .and_then(|v| StateId::try_from(v).map_err(|_| format!("`{what}` out of StateId range")))
+}
+
+fn agent_from(json: &Json) -> Result<usize, String> {
+    u64_field(json, "agent")
+        .and_then(|v| usize::try_from(v).map_err(|_| "`agent` out of range".to_string()))
+}
+
+fn fault_json(event: &FaultEvent) -> Json {
+    let at = ("at", u64_json(event.at_step));
+    let agent_fault = |kind: &str, agent: usize| {
+        Json::obj([
+            at.clone(),
+            ("kind", Json::str(kind)),
+            ("agent", u64_json(agent as u64)),
+        ])
+    };
+    match event.fault {
+        Fault::Corrupt { from, to, agents } => Json::obj([
+            at,
+            ("kind", Json::str("corrupt")),
+            ("from", state_json(from)),
+            ("to", state_json(to)),
+            ("agents", u64_json(agents)),
+        ]),
+        Fault::BitFlip { agent, bit } => Json::obj([
+            at,
+            ("kind", Json::str("bit_flip")),
+            ("agent", u64_json(agent as u64)),
+            ("bit", Json::Int(i64::from(bit))),
+        ]),
+        Fault::Crash { agent } => agent_fault("crash", agent),
+        Fault::Revive { agent } => agent_fault("revive", agent),
+        Fault::StickAt { agent } => agent_fault("stick_at", agent),
+        Fault::Unstick { agent } => agent_fault("unstick", agent),
+    }
+}
+
+fn fault_from_json(json: &Json) -> Result<FaultEvent, String> {
+    let at_step = u64_field(json, "at")?;
+    let kind = json
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or("fault needs a string `kind`")?;
+    let fault = match kind {
+        "corrupt" => Fault::Corrupt {
+            from: state_from(json, "from")?,
+            to: state_from(json, "to")?,
+            agents: u64_field(json, "agents")?,
+        },
+        "bit_flip" => Fault::BitFlip {
+            agent: agent_from(json)?,
+            bit: u64_field(json, "bit")
+                .and_then(|v| u32::try_from(v).map_err(|_| "`bit` out of range".to_string()))?,
+        },
+        "crash" => Fault::Crash {
+            agent: agent_from(json)?,
+        },
+        "revive" => Fault::Revive {
+            agent: agent_from(json)?,
+        },
+        "stick_at" => Fault::StickAt {
+            agent: agent_from(json)?,
+        },
+        "unstick" => Fault::Unstick {
+            agent: agent_from(json)?,
+        },
+        other => {
+            return Err(format!(
+                "unknown fault kind `{other}` \
+                 (corrupt|bit_flip|crash|revive|stick_at|unstick)"
+            ))
+        }
+    };
+    Ok(FaultEvent { at_step, fault })
+}
+
+/// Builds the erased simulator for an engine/scheduler choice — the single
+/// dispatch site turning kind enums into engine values.
+///
+/// Construction is identical to what the pre-scenario call sites did
+/// (`AgentSim::new` on the clique, `CountSim::new`, …), so RNG streams are
+/// unchanged. Non-uniform schedulers are monomorphized into [`AgentSim`]'s
+/// hot loop and therefore require [`EngineKind::Agent`].
+///
+/// # Errors
+///
+/// A description of the unsupported combination (non-uniform scheduler on
+/// a count-space engine).
+pub fn build_erased<'a, P>(
+    protocol: P,
+    config: Config,
+    engine: EngineKind,
+    scheduler: &SchedulerSpec,
+) -> Result<Box<dyn ErasedChunkedSim + 'a>, String>
+where
+    P: Protocol + Clone + 'a,
+{
+    build_erased_with_sink(protocol, config, engine, scheduler, NoopSink)
+}
+
+/// As [`build_erased`], attaching a telemetry sink to the engine.
+///
+/// With the default [`NoopSink`] the sink hooks compile to nothing, so
+/// [`build_erased`] is exactly this function; instrumented callers lend a
+/// `&mut CountingSink` (the `Sink for &mut T` forwarding impl).
+///
+/// # Errors
+///
+/// As [`build_erased`].
+pub fn build_erased_with_sink<'a, P, T>(
+    protocol: P,
+    config: Config,
+    engine: EngineKind,
+    scheduler: &SchedulerSpec,
+    sink: T,
+) -> Result<Box<dyn ErasedChunkedSim + 'a>, String>
+where
+    P: Protocol + Clone + 'a,
+    T: Sink + 'a,
+{
+    if *scheduler != SchedulerSpec::Uniform && engine != EngineKind::Agent {
+        return Err(format!(
+            "scheduler `{scheduler}` needs per-agent scheduling — \
+             only the `agent` engine supports it (got `{engine}`)"
+        ));
+    }
+    let n = config.population() as usize;
+    Ok(match *scheduler {
+        SchedulerSpec::Uniform => match engine {
+            EngineKind::Agent => {
+                Box::new(AgentSim::new(protocol, config, Graph::clique(n)).with_telemetry(sink))
+            }
+            EngineKind::Count => Box::new(CountSim::new(protocol, config).with_telemetry(sink)),
+            EngineKind::Jump => Box::new(JumpSim::new(protocol, config).with_telemetry(sink)),
+            EngineKind::TauLeap => Box::new(TauLeapSim::new(protocol, config).with_telemetry(sink)),
+            EngineKind::Auto | EngineKind::Adaptive => {
+                Box::new(AdaptiveSim::new(protocol, config).with_telemetry(sink))
+            }
+        },
+        SchedulerSpec::Biased { hot, bias } => Box::new(
+            AgentSim::with_scheduler(
+                protocol,
+                config,
+                Graph::clique(n),
+                BiasedPair::new(hot as usize, bias),
+            )
+            .with_telemetry(sink),
+        ),
+        SchedulerSpec::Starved { laggards, period } => Box::new(
+            AgentSim::with_scheduler(
+                protocol,
+                config,
+                Graph::clique(n),
+                LaggardStarving::new(laggards as usize, period),
+            )
+            .with_telemetry(sink),
+        ),
+        SchedulerSpec::Epoch => Box::new(
+            AgentSim::with_scheduler(protocol, config, Graph::clique(n), EpochBatched::new())
+                .with_telemetry(sink),
+        ),
+        SchedulerSpec::RestrictedStar => Box::new(
+            AgentSim::with_scheduler(
+                protocol,
+                config,
+                Graph::clique(n),
+                GraphRestricted::new(Graph::star(n)),
+            )
+            .with_telemetry(sink),
+        ),
+        SchedulerSpec::RestrictedCycle => Box::new(
+            AgentSim::with_scheduler(
+                protocol,
+                config,
+                Graph::clique(n),
+                GraphRestricted::new(Graph::cycle(n)),
+            )
+            .with_telemetry(sink),
+        ),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Scenario {
+        Scenario::new(
+            ProtocolSpec::Avc { m: 7, d: 1 },
+            MajorityInstance::new(31, 10),
+        )
+        .engine(EngineKind::Agent)
+        .scheduler(SchedulerSpec::RestrictedStar)
+        .max_steps(10_000_000)
+        .runs(6)
+        .seed(77)
+        .seed_child(4)
+        .fault(
+            41,
+            Fault::Corrupt {
+                from: 0,
+                to: 1,
+                agents: 2,
+            },
+        )
+    }
+
+    #[test]
+    fn canonical_round_trips() {
+        let scenario = sample();
+        let reparsed = Scenario::parse(&scenario.canonical()).unwrap();
+        assert_eq!(reparsed, scenario);
+        assert_eq!(reparsed.canonical(), scenario.canonical());
+        assert_eq!(reparsed.hash(), scenario.hash());
+    }
+
+    #[test]
+    fn defaults_are_omitted_from_canonical_form() {
+        let scenario = Scenario::new(ProtocolSpec::FourState, MajorityInstance::new(6, 5));
+        let canonical = scenario.canonical();
+        for absent in ["scheduler", "faults", "max_steps", "seed_child"] {
+            assert!(!canonical.contains(absent), "{absent} in {canonical}");
+        }
+        assert_eq!(Scenario::parse(&canonical).unwrap(), scenario);
+    }
+
+    #[test]
+    fn kind_names_round_trip() {
+        for engine in [EngineKind::Auto, EngineKind::Agent, EngineKind::TauLeap] {
+            assert_eq!(engine.name().parse::<EngineKind>().unwrap(), engine);
+        }
+        assert_eq!(
+            "tau-leap".parse::<EngineKind>().unwrap(),
+            EngineKind::TauLeap
+        );
+        for protocol in [
+            ProtocolSpec::Avc { m: 17, d: 3 },
+            ProtocolSpec::ThreeState,
+            ProtocolSpec::Voter,
+        ] {
+            assert_eq!(
+                protocol.to_string().parse::<ProtocolSpec>().unwrap(),
+                protocol
+            );
+        }
+        for scheduler in [
+            SchedulerSpec::Uniform,
+            SchedulerSpec::Biased { hot: 4, bias: 0.5 },
+            SchedulerSpec::Starved {
+                laggards: 10,
+                period: 16,
+            },
+            SchedulerSpec::RestrictedCycle,
+        ] {
+            assert_eq!(
+                scheduler.to_string().parse::<SchedulerSpec>().unwrap(),
+                scheduler
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_fields_and_schemas() {
+        assert!(Scenario::parse(r#"{"bogus": 1}"#).is_err());
+        let mut json = sample().to_json();
+        if let Json::Obj(map) = &mut json {
+            map.insert("schema".to_string(), Json::Int(2));
+        }
+        assert!(Scenario::from_json(&json).is_err());
+    }
+
+    #[test]
+    fn builder_rejects_scheduler_on_count_engines() {
+        use crate::protocol::tests_support::Voter;
+        let config = Config::from_input(&Voter, 5, 3);
+        let err = build_erased(Voter, config, EngineKind::Count, &SchedulerSpec::Epoch)
+            .err()
+            .expect("count + epoch must be rejected");
+        assert!(err.contains("agent"), "{err}");
+    }
+}

@@ -21,11 +21,14 @@ use crate::specs;
 use crate::store::Store;
 use crate::sweep::{self, Plan};
 use avc_analysis::cli::Args;
-use avc_analysis::harness::StatsCollector;
+use avc_analysis::harness::{ScenarioPlan, StatsCollector};
+use avc_analysis::stats::Summary;
 use avc_analysis::table::{fmt_num, Table};
+use avc_population::spec::Verdict;
 use avc_population::telemetry::export::{prometheus_text, read_lines_tolerant};
 use avc_population::telemetry::metrics::bucket_bounds;
 use avc_population::telemetry::{keys, CellTelemetry, HistogramSnapshot};
+use avc_population::{EngineKind, Scenario, SchedulerSpec};
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
@@ -412,6 +415,82 @@ fn cmd_top(name: Option<&str>, args: &Args) -> Result<(), String> {
     }
 }
 
+/// `avc run <scenario.json>`: executes one declarative scenario file
+/// end-to-end through the shared harness and prints the outcome summary.
+fn cmd_run(path: &str, args: &Args) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let scenario = Scenario::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    if scenario.scheduler != SchedulerSpec::Uniform && scenario.engine != EngineKind::Agent {
+        return Err(format!(
+            "{path}: scheduler `{}` needs per-agent scheduling — set \"engine\": \"agent\" \
+             (got `{}`)",
+            scenario.scheduler, scenario.engine
+        ));
+    }
+    println!("== avc run {path} ==");
+    println!(
+        "scenario {}: {} on n = {} (a = {}, b = {}), engine {}, scheduler {}, \
+         {} fault(s), {} runs, seed {}",
+        &scenario.hash()[..12],
+        scenario.protocol,
+        scenario.instance.population(),
+        scenario.instance.a(),
+        scenario.instance.b(),
+        scenario.engine,
+        scenario.scheduler,
+        scenario.faults.len(),
+        scenario.runs,
+        scenario.seed
+    );
+    let winner = scenario.instance.winner();
+    let started = std::time::Instant::now();
+    let (results, telemetry) = ScenarioPlan::new(scenario)
+        .parallelism(args.parallelism())
+        .run_with_telemetry(&collector(args));
+    let wall = started.elapsed().as_secs_f64();
+
+    let mut correct = 0u64;
+    let mut wrong = 0u64;
+    let mut timeouts = 0u64;
+    let mut stuck = 0u64;
+    for outcome in results.outcomes() {
+        match outcome.verdict {
+            Verdict::Consensus(op) if winner.is_none() || Some(op) == winner => correct += 1,
+            Verdict::Consensus(_) => wrong += 1,
+            Verdict::MaxSteps => timeouts += 1,
+            Verdict::Stuck => stuck += 1,
+        }
+    }
+    println!(
+        "outcomes: {correct} correct, {wrong} wrong, {timeouts} timed out, {stuck} stuck \
+         (error fraction {})",
+        fmt_num(results.error_fraction())
+    );
+    let times = results.converged_times();
+    if times.is_empty() {
+        println!("no run converged within the step budget");
+    } else {
+        let summary = Summary::from_samples(&times);
+        println!(
+            "parallel time: mean {} ± {}, median {}, range [{}, {}]",
+            fmt_num(summary.mean),
+            fmt_num(summary.std_error()),
+            fmt_num(summary.median),
+            fmt_num(summary.min),
+            fmt_num(summary.max)
+        );
+    }
+    let steps = telemetry
+        .sim
+        .counter(keys::SIM_STEPS)
+        .map_or("-".to_string(), |s| s.to_string());
+    let rate = telemetry
+        .steps_per_sec()
+        .map_or("-".to_string(), |r| format!("{r:.3e}"));
+    println!("telemetry: {steps} steps, {rate} steps/s, {wall:.1}s wall");
+    Ok(())
+}
+
 fn usage() -> String {
     let mut out = String::from(
         "usage: avc <command> [flags]\n\
@@ -419,6 +498,8 @@ fn usage() -> String {
          commands:\n\
          \x20 sweep <name>    run (or resume) a sweep, checkpointing each cell\n\
          \x20 resume <name>   alias for sweep\n\
+         \x20 run <file>      execute one scenario JSON file end-to-end\n\
+         \x20                 (see examples/scenarios/)\n\
          \x20 export <name>   write the sweep's results/*.csv from the store\n\
          \x20 report <name>   render the sweep's telemetry (throughput table,\n\
          \x20                 chunk histograms, convergence; --prometheus)\n\
@@ -449,6 +530,7 @@ pub fn main() -> i32 {
     let target = positionals.get(1).map(String::as_str);
     let outcome = match (command, target) {
         (Some("sweep") | Some("resume"), Some(name)) => cmd_sweep(name, &args),
+        (Some("run"), Some(path)) => cmd_run(path, &args),
         (Some("export"), Some(name)) => cmd_export(name, &args),
         (Some("report"), Some(name)) => cmd_report(name, &args),
         (Some("top"), name) => cmd_top(name, &args),
@@ -461,6 +543,7 @@ pub fn main() -> i32 {
         (Some("sweep") | Some("resume") | Some("export") | Some("report"), None) => {
             Err("missing sweep name (see `avc help`)".to_string())
         }
+        (Some("run"), None) => Err("missing scenario file (see `avc help`)".to_string()),
         (Some("show"), None) => Err("missing hash prefix (see `avc help`)".to_string()),
         (Some(other), _) => Err(format!("unknown command `{other}` (see `avc help`)")),
     };

@@ -1,414 +1,9 @@
-//! A minimal JSON value type with writer and parser.
+//! Canonical JSON value type — re-exported from `avc_population::json`.
 //!
-//! The registry's records are plain JSON so they stay greppable and
-//! tool-friendly, but the workspace is vendored-offline with no serde; this
-//! module implements exactly the subset needed — objects, arrays, strings,
-//! integer numbers, and booleans. Floats are *never* serialized as JSON
-//! numbers: exact `f64` round-tripping matters for byte-identical resumes,
-//! so callers store them as hex bit-pattern strings (see
-//! [`crate::record::f64_to_hex`]).
+//! The JSON machinery originated here (PR 2) but moved down to
+//! `avc-population` so scenario specs can share the exact same canonical
+//! serialization (sorted keys, integer-only numbers) that manifest hashing
+//! relies on. This module stays as a shim so `avc_store::json::Json` keeps
+//! working for existing clients.
 
-use std::collections::BTreeMap;
-use std::fmt::Write as _;
-
-/// A JSON value. Objects use [`BTreeMap`] so serialization is canonical
-/// (sorted keys), which the manifest hash relies on.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// A number. Only integer-valued numbers are ever produced by this
-    /// workspace; the parser accepts any JSON number into an `i64` when
-    /// lossless, else a float (accepted but not canonical).
-    Int(i64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object with canonically sorted keys.
-    Obj(BTreeMap<String, Json>),
-}
-
-impl Json {
-    /// Builds an object from key/value pairs.
-    #[must_use]
-    pub fn obj(pairs: impl IntoIterator<Item = (impl Into<String>, Json)>) -> Json {
-        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
-    }
-
-    /// Builds a string value.
-    #[must_use]
-    pub fn str(s: impl Into<String>) -> Json {
-        Json::Str(s.into())
-    }
-
-    /// The value as a string slice, if it is one.
-    #[must_use]
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// The value as an `i64`, if it is an integer.
-    #[must_use]
-    pub fn as_int(&self) -> Option<i64> {
-        match self {
-            Json::Int(i) => Some(*i),
-            _ => None,
-        }
-    }
-
-    /// The value as an object, if it is one.
-    #[must_use]
-    pub fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
-        match self {
-            Json::Obj(m) => Some(m),
-            _ => None,
-        }
-    }
-
-    /// The value as an array, if it is one.
-    #[must_use]
-    pub fn as_arr(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(a) => Some(a),
-            _ => None,
-        }
-    }
-
-    /// A field of an object, if present.
-    #[must_use]
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        self.as_obj().and_then(|m| m.get(key))
-    }
-
-    /// Serializes to a compact single-line string (no whitespace), with
-    /// object keys in sorted order — the canonical form used both on disk
-    /// and as the manifest-hash preimage.
-    #[must_use]
-    pub fn to_string_compact(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out, None, 0);
-        out
-    }
-
-    /// Serializes with two-space indentation (for `avc show`).
-    #[must_use]
-    pub fn to_string_pretty(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out, Some(2), 0);
-        out
-    }
-
-    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
-        let (nl, pad, pad_in) = match indent {
-            Some(w) => ("\n", " ".repeat(w * depth), " ".repeat(w * (depth + 1))),
-            None => ("", String::new(), String::new()),
-        };
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Int(i) => {
-                let _ = write!(out, "{i}");
-            }
-            Json::Str(s) => write_json_string(out, s),
-            Json::Arr(items) => {
-                if items.is_empty() {
-                    out.push_str("[]");
-                    return;
-                }
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push_str(nl);
-                    out.push_str(&pad_in);
-                    item.write(out, indent, depth + 1);
-                }
-                out.push_str(nl);
-                out.push_str(&pad);
-                out.push(']');
-            }
-            Json::Obj(map) => {
-                if map.is_empty() {
-                    out.push_str("{}");
-                    return;
-                }
-                out.push('{');
-                for (i, (k, v)) in map.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push_str(nl);
-                    out.push_str(&pad_in);
-                    write_json_string(out, k);
-                    out.push(':');
-                    if indent.is_some() {
-                        out.push(' ');
-                    }
-                    v.write(out, indent, depth + 1);
-                }
-                out.push_str(nl);
-                out.push_str(&pad);
-                out.push('}');
-            }
-        }
-    }
-
-    /// Parses a JSON document.
-    ///
-    /// # Errors
-    ///
-    /// Returns a description of the first syntax error (with byte offset),
-    /// or of trailing garbage after the document.
-    pub fn parse(text: &str) -> Result<Json, String> {
-        let bytes = text.as_bytes();
-        let mut pos = 0;
-        let value = parse_value(bytes, &mut pos)?;
-        skip_ws(bytes, &mut pos);
-        if pos != bytes.len() {
-            return Err(format!("trailing garbage at byte {pos}"));
-        }
-        Ok(value)
-    }
-}
-
-fn write_json_string(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-fn skip_ws(bytes: &[u8], pos: &mut usize) {
-    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
-        *pos += 1;
-    }
-}
-
-fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), String> {
-    if *pos < bytes.len() && bytes[*pos] == byte {
-        *pos += 1;
-        Ok(())
-    } else {
-        Err(format!("expected `{}` at byte {pos}", byte as char))
-    }
-}
-
-fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
-    skip_ws(bytes, pos);
-    match bytes.get(*pos) {
-        None => Err("unexpected end of input".to_string()),
-        Some(b'{') => {
-            *pos += 1;
-            let mut map = BTreeMap::new();
-            skip_ws(bytes, pos);
-            if bytes.get(*pos) == Some(&b'}') {
-                *pos += 1;
-                return Ok(Json::Obj(map));
-            }
-            loop {
-                skip_ws(bytes, pos);
-                let key = parse_string(bytes, pos)?;
-                skip_ws(bytes, pos);
-                expect(bytes, pos, b':')?;
-                let value = parse_value(bytes, pos)?;
-                map.insert(key, value);
-                skip_ws(bytes, pos);
-                match bytes.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b'}') => {
-                        *pos += 1;
-                        return Ok(Json::Obj(map));
-                    }
-                    _ => return Err(format!("expected `,` or `}}` at byte {pos}")),
-                }
-            }
-        }
-        Some(b'[') => {
-            *pos += 1;
-            let mut items = Vec::new();
-            skip_ws(bytes, pos);
-            if bytes.get(*pos) == Some(&b']') {
-                *pos += 1;
-                return Ok(Json::Arr(items));
-            }
-            loop {
-                items.push(parse_value(bytes, pos)?);
-                skip_ws(bytes, pos);
-                match bytes.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b']') => {
-                        *pos += 1;
-                        return Ok(Json::Arr(items));
-                    }
-                    _ => return Err(format!("expected `,` or `]` at byte {pos}")),
-                }
-            }
-        }
-        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
-        Some(b't') => parse_literal(bytes, pos, "true", Json::Bool(true)),
-        Some(b'f') => parse_literal(bytes, pos, "false", Json::Bool(false)),
-        Some(b'n') => parse_literal(bytes, pos, "null", Json::Null),
-        Some(_) => parse_number(bytes, pos),
-    }
-}
-
-fn parse_literal(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
-    if bytes[*pos..].starts_with(lit.as_bytes()) {
-        *pos += lit.len();
-        Ok(value)
-    } else {
-        Err(format!("invalid literal at byte {pos}"))
-    }
-}
-
-fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
-    let start = *pos;
-    while *pos < bytes.len()
-        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-    {
-        *pos += 1;
-    }
-    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ascii");
-    text.parse::<i64>()
-        .map(Json::Int)
-        .map_err(|_| format!("unsupported number `{text}` at byte {start} (only integers)"))
-}
-
-fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
-    expect(bytes, pos, b'"')?;
-    let mut out = String::new();
-    loop {
-        let Some(&b) = bytes.get(*pos) else {
-            return Err("unterminated string".to_string());
-        };
-        *pos += 1;
-        match b {
-            b'"' => return Ok(out),
-            b'\\' => {
-                let Some(&esc) = bytes.get(*pos) else {
-                    return Err("unterminated escape".to_string());
-                };
-                *pos += 1;
-                match esc {
-                    b'"' => out.push('"'),
-                    b'\\' => out.push('\\'),
-                    b'/' => out.push('/'),
-                    b'n' => out.push('\n'),
-                    b'r' => out.push('\r'),
-                    b't' => out.push('\t'),
-                    b'b' => out.push('\u{8}'),
-                    b'f' => out.push('\u{c}'),
-                    b'u' => {
-                        let hex = bytes
-                            .get(*pos..*pos + 4)
-                            .and_then(|h| std::str::from_utf8(h).ok())
-                            .ok_or_else(|| format!("bad \\u escape at byte {pos}"))?;
-                        let code = u32::from_str_radix(hex, 16)
-                            .map_err(|_| format!("bad \\u escape at byte {pos}"))?;
-                        *pos += 4;
-                        // Surrogate pairs are not produced by our writer;
-                        // map lone surrogates to the replacement character.
-                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                    }
-                    _ => return Err(format!("unknown escape at byte {pos}")),
-                }
-            }
-            _ => {
-                // Collect the full UTF-8 sequence starting at b.
-                let width = match b {
-                    0x00..=0x7f => {
-                        out.push(b as char);
-                        continue;
-                    }
-                    0xc0..=0xdf => 2,
-                    0xe0..=0xef => 3,
-                    _ => 4,
-                };
-                let start = *pos - 1;
-                let end = start + width;
-                let chunk = bytes
-                    .get(start..end)
-                    .and_then(|c| std::str::from_utf8(c).ok())
-                    .ok_or_else(|| format!("invalid UTF-8 at byte {start}"))?;
-                out.push_str(chunk);
-                *pos = end;
-            }
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn roundtrips_nested_document() {
-        let doc = Json::obj([
-            ("b", Json::Int(-3)),
-            ("a", Json::str("hi \"there\"\n")),
-            (
-                "list",
-                Json::Arr(vec![Json::Bool(true), Json::Null, Json::str("x")]),
-            ),
-            ("empty", Json::obj(Vec::<(String, Json)>::new())),
-        ]);
-        let text = doc.to_string_compact();
-        assert_eq!(Json::parse(&text).unwrap(), doc);
-        // Keys serialize sorted regardless of insertion order.
-        assert!(text.find("\"a\"").unwrap() < text.find("\"b\"").unwrap());
-    }
-
-    #[test]
-    fn pretty_printing_is_reparseable() {
-        let doc = Json::obj([("k", Json::Arr(vec![Json::Int(1), Json::Int(2)]))]);
-        assert_eq!(Json::parse(&doc.to_string_pretty()).unwrap(), doc);
-    }
-
-    #[test]
-    fn rejects_garbage() {
-        assert!(Json::parse("{\"a\":}").is_err());
-        assert!(Json::parse("[1,]").is_err());
-        assert!(Json::parse("{} extra").is_err());
-        assert!(Json::parse("\"unterminated").is_err());
-    }
-
-    #[test]
-    fn rejects_float_numbers() {
-        // Floats travel as hex bit strings, never JSON numbers.
-        assert!(Json::parse("1.5").is_err());
-        assert!(Json::parse("[3]").is_ok());
-    }
-
-    #[test]
-    fn escapes_control_characters() {
-        let doc = Json::str("tab\tnul\u{1}");
-        let text = doc.to_string_compact();
-        assert!(text.contains("\\t"));
-        assert!(text.contains("\\u0001"));
-        assert_eq!(Json::parse(&text).unwrap(), doc);
-    }
-
-    #[test]
-    fn preserves_unicode() {
-        let doc = Json::str("ε ≈ 10⁻⁵");
-        assert_eq!(Json::parse(&doc.to_string_compact()).unwrap(), doc);
-    }
-}
+pub use avc_population::json::*;

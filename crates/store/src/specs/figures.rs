@@ -1,6 +1,6 @@
 //! Sweep specs for the paper's two figures and the dynamics trace.
 
-use super::{only_row, trials_of};
+use super::{only_row, rule_name, scenario_params, trials_of};
 use crate::manifest::Manifest;
 use crate::record::{f64_to_hex, CellResult};
 use crate::sweep::{Cell, Export, Plan};
@@ -15,28 +15,20 @@ pub(super) fn fig3_plan(args: &Args) -> Plan {
     for (ni, &n) in config.ns.iter().enumerate() {
         for (pi, &key) in fig3::PROTOCOL_KEYS.iter().enumerate() {
             let label = format!("n={n}/{key}");
+            let scenario = fig3::cell_scenario(&config, ni, pi);
             let manifest = Manifest::new(
                 "fig3",
                 [
                     ("cell", label.clone()),
                     ("protocol", key.to_string()),
-                    (
-                        "engine",
-                        if key == "avc" { "auto" } else { "jump" }.to_string(),
-                    ),
-                    (
-                        "rule",
-                        if key == "three_state" {
-                            "state_consensus"
-                        } else {
-                            "output_consensus"
-                        }
-                        .to_string(),
-                    ),
+                    ("engine", scenario.engine.to_string()),
+                    ("rule", rule_name(scenario.rule).to_string()),
                     ("n", n.to_string()),
                     ("runs", config.runs.to_string()),
-                    ("seed", config.seed.wrapping_add(ni as u64).to_string()),
-                ],
+                    ("seed", scenario.seed.to_string()),
+                ]
+                .into_iter()
+                .chain(scenario_params(&scenario)),
             );
             let config = config.clone();
             cells.push(Cell {
@@ -123,23 +115,23 @@ pub(super) fn fig4_plan(args: &Args) -> Plan {
     for (si, &s_requested) in config.state_counts.iter().enumerate() {
         for (ei, &eps) in config.epsilons.iter().enumerate() {
             let label = format!("s={s_requested}/eps={eps:e}");
+            let scenario = fig4::cell_scenario(&config, si, ei);
             let manifest = Manifest::new(
                 "fig4",
                 [
                     ("cell", label.clone()),
                     ("protocol", "avc".to_string()),
-                    ("engine", "auto".to_string()),
-                    ("rule", "output_consensus".to_string()),
+                    ("engine", scenario.engine.to_string()),
+                    ("rule", rule_name(scenario.rule).to_string()),
                     ("n", config.n.to_string()),
                     ("s", s_requested.to_string()),
                     ("eps", f64_to_hex(eps)),
                     ("eps_text", format!("{eps:e}")),
                     ("runs", config.runs.to_string()),
-                    (
-                        "seed",
-                        (config.seed + (si as u64) * 1_000 + ei as u64).to_string(),
-                    ),
-                ],
+                    ("seed", scenario.seed.to_string()),
+                ]
+                .into_iter()
+                .chain(scenario_params(&scenario)),
             );
             let config = config.clone();
             cells.push(Cell {

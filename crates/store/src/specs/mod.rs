@@ -19,6 +19,7 @@ use avc_analysis::cli::Args;
 use avc_analysis::harness::TrialResults;
 use avc_analysis::stats::Summary;
 use avc_analysis::table::Table;
+use avc_population::{ConvergenceRule, Scenario};
 
 /// `(name, description)` of every sweep spec, in `avc help` order.
 pub const NAMES: [(&str, &str); 11] = [
@@ -111,6 +112,28 @@ pub(crate) fn only_row(table: &Table) -> Vec<String> {
     table.rows()[0].clone()
 }
 
+/// The two manifest params embedding a cell's declarative scenario: its
+/// canonical JSON form and the SHA-256 of that form. A manifest carrying
+/// these suffices to re-run the cell byte-identically — `avc run` executes
+/// the embedded JSON directly.
+pub(crate) fn scenario_params(scenario: &Scenario) -> [(&'static str, String); 2] {
+    [
+        ("scenario", scenario.canonical()),
+        ("scenario_hash", scenario.hash()),
+    ]
+}
+
+/// The manifest name of a convergence rule (the scenario plane's canonical
+/// rule names).
+pub(crate) fn rule_name(rule: ConvergenceRule) -> &'static str {
+    match rule {
+        ConvergenceRule::OutputConsensus => "output_consensus",
+        ConvergenceRule::StateConsensus => "state_consensus",
+        ConvergenceRule::Silence => "silence",
+        ConvergenceRule::OutputCount { .. } => "output_count",
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,5 +182,72 @@ mod tests {
         let a = build("fig4", &args(&["--quick"])).unwrap();
         let b = build("fig4", &args(&["--quick", "--seed", "99"])).unwrap();
         assert_ne!(a.cells[0].manifest.hash(), b.cells[0].manifest.hash());
+    }
+
+    /// Sweeps whose cells run through the scenario plane.
+    const SCENARIO_SWEEPS: [&str; 6] = [
+        "fig3",
+        "fig4",
+        "lb_four_state",
+        "err_three_state",
+        "ablation_d",
+        "robustness",
+    ];
+
+    #[test]
+    fn embedded_scenarios_are_canonical_and_hashed() {
+        for name in SCENARIO_SWEEPS {
+            let plan = build(name, &args(&["--quick"])).unwrap();
+            for cell in &plan.cells {
+                let text = cell
+                    .manifest
+                    .get("scenario")
+                    .unwrap_or_else(|| panic!("{name}/{} lacks a scenario param", cell.label));
+                let scenario = Scenario::parse(text)
+                    .unwrap_or_else(|e| panic!("{name}/{}: embedded scenario: {e}", cell.label));
+                assert_eq!(
+                    scenario.canonical(),
+                    text,
+                    "{name}/{}: embedded form is not canonical",
+                    cell.label
+                );
+                assert_eq!(
+                    cell.manifest.get("scenario_hash"),
+                    Some(scenario.hash().as_str()),
+                    "{name}/{}: scenario_hash param disagrees with the scenario",
+                    cell.label
+                );
+            }
+        }
+    }
+
+    /// The reproducibility contract end to end: parsing the `scenario`
+    /// param out of a manifest and running it through [`ScenarioPlan`]
+    /// yields exactly the trial payload the cell's own runner checkpoints.
+    /// No spec code, flags, or grid indices needed — the manifest alone
+    /// re-runs the cell.
+    #[test]
+    fn manifest_scenario_alone_replays_the_cell() {
+        use avc_analysis::harness::{ScenarioPlan, StatsCollector};
+
+        let plan = build("fig3", &args(&["--quick"])).unwrap();
+        let cell = plan
+            .cells
+            .iter()
+            .find(|c| c.label == "n=11/avc")
+            .expect("quick fig3 has an n=11 avc cell");
+
+        let direct = (cell.run)(&StatsCollector::new());
+        let trials = direct.trials.expect("fig3 cells checkpoint trials");
+
+        let replayed = Scenario::parse(cell.manifest.get("scenario").unwrap())
+            .expect("embedded scenario parses");
+        let results = ScenarioPlan::new(replayed).run();
+        let mut samples = results.converged_times();
+        samples.sort_by(f64::total_cmp);
+
+        assert_eq!(trials.samples, samples, "replay diverged from the cell");
+        assert_eq!(trials.error_fraction, results.error_fraction());
+        assert_eq!(trials.total_runs, results.outcomes().len() as u64);
     }
 }

@@ -1,6 +1,6 @@
 //! Sweep specs for the lower-bound and ablation studies.
 
-use super::{only_row, trials_of_summary};
+use super::{only_row, rule_name, scenario_params, trials_of_summary};
 use crate::manifest::Manifest;
 use crate::record::{f64_to_hex, CellResult, TrialSummary};
 use crate::sweep::{Cell, Export, Plan};
@@ -20,19 +20,22 @@ pub(super) fn lb_four_state_plan(args: &Args) -> Plan {
     let mut cells = Vec::new();
     for (i, &eps) in config.epsilons.iter().enumerate() {
         let label = format!("eps={eps:e}");
+        let scenario = four_state_scaling::cell_scenario(&config, i);
         let manifest = Manifest::new(
             "lb_four_state",
             [
                 ("cell", label.clone()),
                 ("protocol", "four_state".to_string()),
-                ("engine", "jump".to_string()),
-                ("rule", "output_consensus".to_string()),
+                ("engine", scenario.engine.to_string()),
+                ("rule", rule_name(scenario.rule).to_string()),
                 ("n", config.n.to_string()),
                 ("eps", f64_to_hex(eps)),
                 ("eps_text", format!("{eps:e}")),
                 ("runs", config.runs.to_string()),
-                ("seed", (config.seed + i as u64).to_string()),
-            ],
+                ("seed", scenario.seed.to_string()),
+            ]
+            .into_iter()
+            .chain(scenario_params(&scenario)),
         );
         let config = config.clone();
         cells.push(Cell {
@@ -236,22 +239,22 @@ pub(super) fn err_three_state_plan(args: &Args) -> Plan {
     for (ni, &n) in config.ns.iter().enumerate() {
         for (ei, &eps) in config.epsilons.iter().enumerate() {
             let label = format!("n={n}/eps={eps}");
+            let scenario = three_state_error::cell_scenario(&config, ni, ei);
             let manifest = Manifest::new(
                 "err_three_state",
                 [
                     ("cell", label.clone()),
                     ("protocol", "three_state".to_string()),
-                    ("engine", "jump".to_string()),
-                    ("rule", "state_consensus".to_string()),
+                    ("engine", scenario.engine.to_string()),
+                    ("rule", rule_name(scenario.rule).to_string()),
                     ("n", n.to_string()),
                     ("eps", f64_to_hex(eps)),
                     ("eps_text", format!("{eps}")),
                     ("runs", config.runs.to_string()),
-                    (
-                        "seed",
-                        (config.seed + (ni as u64) * 100 + ei as u64).to_string(),
-                    ),
-                ],
+                    ("seed", scenario.seed.to_string()),
+                ]
+                .into_iter()
+                .chain(scenario_params(&scenario)),
             );
             let config = config.clone();
             cells.push(Cell {
@@ -305,19 +308,22 @@ pub(super) fn ablation_d_plan(args: &Args) -> Plan {
     let mut cells = Vec::new();
     for (i, &d) in config.ds.iter().enumerate() {
         let label = format!("d={d}");
+        let scenario = ablation_d::cell_scenario(&config, i);
         let manifest = Manifest::new(
             "ablation_d",
             [
                 ("cell", label.clone()),
                 ("protocol", "avc".to_string()),
-                ("engine", "auto".to_string()),
-                ("rule", "output_consensus".to_string()),
+                ("engine", scenario.engine.to_string()),
+                ("rule", rule_name(scenario.rule).to_string()),
                 ("n", config.n.to_string()),
                 ("budget", config.state_budget.to_string()),
                 ("d", d.to_string()),
                 ("runs", config.runs.to_string()),
-                ("seed", (config.seed + i as u64).to_string()),
-            ],
+                ("seed", scenario.seed.to_string()),
+            ]
+            .into_iter()
+            .chain(scenario_params(&scenario)),
         );
         let config = config.clone();
         cells.push(Cell {
@@ -445,16 +451,18 @@ pub(super) fn robustness_plan(args: &Args) -> Plan {
     for (pi, protocol) in robustness::PROTOCOLS.iter().enumerate() {
         for (si, scenario) in scenarios.iter().enumerate() {
             let label = format!("{protocol}/{}", scenario.label);
+            let run_scenario = robustness::cell_scenario(&config, pi, si);
             // The scheduler and fault configuration are part of the
-            // manifest: a changed adversary is a different cell, never a
-            // stale checkpoint hit.
+            // manifest (via the canonical scenario JSON and its own
+            // spec strings): a changed adversary is a different cell,
+            // never a stale checkpoint hit.
             let manifest = Manifest::new(
                 "robustness",
                 [
                     ("cell", label.clone()),
                     ("protocol", (*protocol).to_string()),
-                    ("engine", "agent".to_string()),
-                    ("scenario", scenario.label.clone()),
+                    ("engine", run_scenario.engine.to_string()),
+                    ("scenario_label", scenario.label.clone()),
                     ("scheduler", scenario.scheduler_spec()),
                     ("faults", scenario.fault_spec()),
                     ("n", config.n.to_string()),
@@ -463,7 +471,9 @@ pub(super) fn robustness_plan(args: &Args) -> Plan {
                     ("runs", config.runs.to_string()),
                     ("seed", config.seed.to_string()),
                     ("max_steps", config.max_steps.to_string()),
-                ],
+                ]
+                .into_iter()
+                .chain(scenario_params(&run_scenario)),
             );
             let config = config.clone();
             cells.push(Cell {

@@ -261,6 +261,26 @@ fn killed_robustness_sweep_resumes_to_byte_identical_export() {
         "robustness.csv differs after resume"
     );
 
+    // Every durable record of the resumed store — survivors and recomputed
+    // cells alike — embeds its declarative scenario: the manifest alone is
+    // a re-run recipe (`avc run` executes the embedded JSON directly), and
+    // the stored hash matches a reparse of the stored form.
+    let store = Store::open(victim.join("store")).expect("resumed store parses");
+    assert_eq!(store.len(), ROBUSTNESS_CELLS);
+    for record in store.iter_latest() {
+        let text = record
+            .manifest
+            .get("scenario")
+            .expect("robustness manifest lacks an embedded scenario");
+        let scenario = avc_population::Scenario::parse(text)
+            .unwrap_or_else(|e| panic!("embedded scenario does not parse: {e}"));
+        assert_eq!(
+            record.manifest.get("scenario_hash"),
+            Some(scenario.hash().as_str()),
+            "scenario_hash param disagrees with the embedded scenario"
+        );
+    }
+
     let _ = std::fs::remove_dir_all(&reference);
     let _ = std::fs::remove_dir_all(&victim);
 }

@@ -33,15 +33,11 @@ fn main() {
     let max_steps = args.get_u64("max-steps", u64::MAX);
     let verbose = args.flag("verbose");
 
-    let engine = match args.get("engine").unwrap_or("auto") {
-        "auto" => EngineKind::Auto,
-        "agent" => EngineKind::Agent,
-        "count" => EngineKind::Count,
-        "jump" => EngineKind::Jump,
-        "adaptive" => EngineKind::Adaptive,
-        "tau-leap" => EngineKind::TauLeap,
-        other => panic!("unknown engine `{other}`"),
-    };
+    let engine: EngineKind = args
+        .get("engine")
+        .unwrap_or("auto")
+        .parse()
+        .unwrap_or_else(|e| panic!("{e}"));
 
     let instance = MajorityInstance::with_margin(n, eps);
     let name = args.get("protocol").unwrap_or("avc").to_string();

@@ -1,0 +1,185 @@
+//! Property suite for the scenario plane's canonical form: parse → print →
+//! parse is the identity, the canonical string is a fixed point, and the
+//! content hash is stable across re-serialization. Together these make a
+//! store manifest's embedded scenario a faithful re-run recipe.
+
+use avc::population::faults::{Fault, FaultEvent};
+use avc::population::json::Json;
+use avc::population::{
+    ConvergenceRule, EngineKind, MajorityInstance, Opinion, ProtocolSpec, Scenario, SchedulerSpec,
+};
+use proptest::prelude::*;
+
+fn protocol_spec(choice: usize, half_m: u64, d: u32) -> ProtocolSpec {
+    match choice % 4 {
+        0 => ProtocolSpec::Avc {
+            m: 2 * half_m + 1,
+            d,
+        },
+        1 => ProtocolSpec::FourState,
+        2 => ProtocolSpec::ThreeState,
+        _ => ProtocolSpec::Voter,
+    }
+}
+
+fn engine_kind(choice: usize) -> EngineKind {
+    match choice % 6 {
+        0 => EngineKind::Auto,
+        1 => EngineKind::Agent,
+        2 => EngineKind::Count,
+        3 => EngineKind::Jump,
+        4 => EngineKind::Adaptive,
+        _ => EngineKind::TauLeap,
+    }
+}
+
+fn scheduler_spec(choice: usize, x: u64, y: u64) -> SchedulerSpec {
+    match choice % 6 {
+        0 => SchedulerSpec::Uniform,
+        1 => SchedulerSpec::Biased {
+            hot: 2 + x % 14,
+            bias: (y % 10) as f64 / 10.0,
+        },
+        2 => SchedulerSpec::Starved {
+            laggards: 1 + x % 8,
+            period: 2 + y % 50,
+        },
+        3 => SchedulerSpec::Epoch,
+        4 => SchedulerSpec::RestrictedStar,
+        _ => SchedulerSpec::RestrictedCycle,
+    }
+}
+
+fn fault(choice: usize, at: u64, x: u64, y: u64) -> FaultEvent {
+    let agent = (x % 64) as usize;
+    let fault = match choice % 6 {
+        0 => Fault::Crash { agent },
+        1 => Fault::Revive { agent },
+        2 => Fault::StickAt { agent },
+        3 => Fault::Unstick { agent },
+        4 => Fault::BitFlip {
+            agent,
+            bit: (y % 8) as u32,
+        },
+        _ => Fault::Corrupt {
+            from: (x % 10) as u32,
+            to: (y % 10) as u32,
+            agents: 1 + y % 5,
+        },
+    };
+    FaultEvent { at_step: at, fault }
+}
+
+fn rule(choice: usize, count: u64) -> ConvergenceRule {
+    match choice % 4 {
+        0 => ConvergenceRule::OutputConsensus,
+        1 => ConvergenceRule::StateConsensus,
+        2 => ConvergenceRule::Silence,
+        _ => ConvergenceRule::OutputCount {
+            opinion: if count.is_multiple_of(2) {
+                Opinion::A
+            } else {
+                Opinion::B
+            },
+            count,
+        },
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn scenario(
+    (p_choice, half_m, d): (usize, u64, u32),
+    (a, b): (u64, u64),
+    e_choice: usize,
+    (s_choice, sx, sy): (usize, u64, u64),
+    faults: Vec<(usize, u64, u64, u64)>,
+    (r_choice, r_count): (usize, u64),
+    (max_steps_raw, runs, seed): (u64, u64, u64),
+    seed_child: u64,
+) -> Scenario {
+    let mut built = Scenario::new(
+        protocol_spec(p_choice, half_m, d),
+        MajorityInstance::new(a, b),
+    )
+    .engine(engine_kind(e_choice))
+    .scheduler(scheduler_spec(s_choice, sx, sy))
+    .rule(rule(r_choice, r_count))
+    .runs(runs)
+    .seed(seed);
+    // Exercise both the "absent because default" and the explicit spelling.
+    if max_steps_raw != 0 {
+        built = built.max_steps(max_steps_raw);
+    }
+    if seed_child.is_multiple_of(2) {
+        built = built.seed_child(seed_child);
+    }
+    for (choice, at, x, y) in faults {
+        built = built.fault(at, fault(choice, at, x, y).fault);
+    }
+    built
+}
+
+proptest! {
+    /// parse(canonical(s)) == s for arbitrary scenarios.
+    #[test]
+    fn parse_print_parse_is_identity(
+        p in (0usize..4, 0u64..=20, 1u32..=4),
+        inst in (1u64..500, 1u64..500),
+        e_choice in 0usize..6,
+        sched in (0usize..6, any::<u64>(), any::<u64>()),
+        faults in proptest::collection::vec((0usize..6, 0u64..10_000, any::<u64>(), any::<u64>()), 0..4),
+        r in (0usize..4, 0u64..1_000),
+        tail in (0u64..5_000_000, 1u64..200, any::<u64>()),
+        seed_child in any::<u64>(),
+    ) {
+        let original = scenario(p, inst, e_choice, sched, faults, r, tail, seed_child);
+        let reparsed = Scenario::parse(&original.canonical()).expect("canonical form parses");
+        prop_assert_eq!(&reparsed, &original);
+        // The canonical string is a fixed point, so the hash is stable.
+        prop_assert_eq!(reparsed.canonical(), original.canonical());
+        prop_assert_eq!(reparsed.hash(), original.hash());
+    }
+
+    /// Pretty-printed (hand-authored style) JSON parses to the same value
+    /// and the same canonical hash as the compact canonical form.
+    #[test]
+    fn pretty_form_is_equivalent(
+        p in (0usize..4, 0u64..=20, 1u32..=4),
+        inst in (1u64..500, 1u64..500),
+        e_choice in 0usize..6,
+        sched in (0usize..6, any::<u64>(), any::<u64>()),
+        r in (0usize..4, 0u64..1_000),
+        tail in (0u64..5_000_000, 1u64..200, any::<u64>()),
+    ) {
+        let original = scenario(p, inst, e_choice, sched, Vec::new(), r, tail, 1);
+        let pretty = Json::parse(&original.canonical())
+            .expect("canonical form is JSON")
+            .to_string_pretty();
+        let reparsed = Scenario::parse(&pretty).expect("pretty form parses");
+        prop_assert_eq!(reparsed.hash(), original.hash());
+        prop_assert_eq!(reparsed, original);
+    }
+}
+
+#[test]
+fn unknown_fields_are_rejected() {
+    let err = Scenario::parse(r#"{"protocol":"voter","typo":1}"#).unwrap_err();
+    assert!(err.contains("typo"), "{err}");
+}
+
+#[test]
+fn committed_example_scenarios_parse() {
+    for entry in std::fs::read_dir(concat!(env!("CARGO_MANIFEST_DIR"), "/examples/scenarios"))
+        .expect("examples/scenarios exists")
+    {
+        let path = entry.unwrap().path();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let scenario = Scenario::parse(&text)
+            .unwrap_or_else(|e| panic!("{} does not parse: {e}", path.display()));
+        // Every committed example must be runnable: a non-uniform scheduler
+        // implies the agent engine.
+        if scenario.scheduler != SchedulerSpec::Uniform {
+            assert_eq!(scenario.engine, EngineKind::Agent, "{}", path.display());
+        }
+    }
+}
