@@ -247,14 +247,45 @@ where
     T: Send,
     F: Fn(u64) -> (T, u64) + Sync,
 {
+    run_indexed_with_ctx(runs, parallelism, || (), |(), i| task(i))
+}
+
+/// As [`run_indexed_with_stats`], but every worker lazily builds one
+/// private context with `init` and threads it through each trial it claims
+/// — the reuse seam behind zero-reallocation trial batches
+/// ([`reset_erased`](avc_population::engine::ErasedChunkedSim::reset_erased) reinitializes a long-lived engine in
+/// place between trials).
+///
+/// The context never crosses threads (workers are scoped and results travel
+/// home without it), so `C` needs neither `Send` nor `Sync`. Determinism is
+/// unaffected: trial `i` must still derive all randomness from its index
+/// alone, and a correct context carries no trial-to-trial state — worker
+/// assignment races, so anything leaking through the context would make
+/// results scheduling-dependent.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics, propagating the failure.
+pub fn run_indexed_with_ctx<T, C, I, F>(
+    runs: u64,
+    parallelism: Parallelism,
+    init: I,
+    task: F,
+) -> (Vec<T>, BatchStats)
+where
+    T: Send,
+    I: Fn() -> C + Sync,
+    F: Fn(&mut C, u64) -> (T, u64) + Sync,
+{
     let workers = parallelism.worker_count().min(runs.max(1) as usize);
     let started = Span::start();
 
     if workers <= 1 {
         let mut out = Vec::with_capacity(runs as usize);
         let mut events = 0u64;
+        let mut ctx: Option<C> = None;
         for i in 0..runs {
-            let (value, e) = task(i);
+            let (value, e) = task(ctx.get_or_insert_with(&init), i);
             events += e;
             out.push(value);
         }
@@ -277,6 +308,7 @@ where
     let next = AtomicU64::new(0);
     let per_worker: Vec<WorkerYield<T>> = std::thread::scope(|scope| {
         let next = &next;
+        let init = &init;
         let task = &task;
         let handles: Vec<_> = (0..workers)
             .map(|_| {
@@ -284,12 +316,15 @@ where
                     let begun = Span::start();
                     let mut local = Vec::new();
                     let mut events = 0u64;
+                    // Lazy so a worker that never claims a trial (possible
+                    // under dynamic sharding) never pays for a context.
+                    let mut ctx: Option<C> = None;
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= runs {
                             break;
                         }
-                        let (value, e) = task(i);
+                        let (value, e) = task(ctx.get_or_insert_with(init), i);
                         events += e;
                         local.push((i, value));
                     }
@@ -577,34 +612,16 @@ impl<'s> BatchSpec<'s> {
 }
 
 /// Builds the spec's engine over an already-dispatched protocol (cached or
-/// arithmetic) through the [`build_erased`] seam and drives one trial to
-/// convergence. `protocol` is taken by value so batch callers can pass a
+/// arithmetic) through the [`build_erased_with_sink`] seam and drives one
+/// trial to convergence, with a [`CountingSink`] attached to the engine's
+/// telemetry seam. `protocol` is taken by value so batch callers can pass a
 /// `&Cached<P>` — engines over a shared reference reuse one table across
-/// every trial of a batch. Fault-free specs run [`Driver::run_erased`];
-/// faulted ones rebuild the per-trial [`FaultPlan`] (cheap: a sort of a
-/// handful of events) and run [`Driver::run_faulted_erased`].
-fn run_spec_trial<P: Protocol + Clone, O: Observer + ?Sized>(
-    protocol: P,
-    config: Config,
-    spec: &BatchSpec<'_>,
-    rng: &mut rand::rngs::SmallRng,
-    observer: &mut O,
-) -> RunOutcome {
-    let driver = Driver::new(spec.rule).with_max_steps(spec.max_steps);
-    let mut sim = build_erased(protocol, config, spec.engine, spec.scheduler)
-        .unwrap_or_else(|e| panic!("unrunnable scenario: {e}"));
-    if spec.faults.is_empty() {
-        driver.run_erased(sim.as_mut(), rng, observer)
-    } else {
-        let mut faults = FaultPlan::from_events(spec.faults.to_vec());
-        driver.run_faulted_erased(sim.as_mut(), rng, observer, &mut faults)
-    }
-}
-
-/// As [`run_spec_trial`], but with a [`CountingSink`] attached to the
-/// engine's telemetry seam. The sink is borrowed, so the caller keeps the
+/// every trial of a batch. The sink is borrowed, so the caller keeps the
 /// counts after the engine is dropped. Attaching it changes no RNG draws —
-/// the seam records only quantities the engine already computes.
+/// the seam records only quantities the engine already computes. Fault-free
+/// specs run [`Driver::run_erased`]; faulted ones rebuild the per-trial
+/// [`FaultPlan`] (cheap: a sort of a handful of events) and run
+/// [`Driver::run_faulted_erased`].
 fn run_spec_trial_instrumented<P: Protocol + Clone, O: Observer + ?Sized>(
     protocol: P,
     config: Config,
@@ -792,6 +809,17 @@ fn run_trials_core<P: Protocol + Clone + Sync>(
 
 /// The one uninstrumented batch loop behind [`run_trials`] and
 /// [`ScenarioPlan::run`].
+///
+/// Each worker builds the spec's engine **once** through the
+/// [`build_erased`] seam and replays every trial it claims through it,
+/// reinitializing in place with [`reset_erased`](avc_population::engine::ErasedChunkedSim::reset_erased) between
+/// trials. Reset is fresh-equivalent (`tests/reuse_reset.rs` pins outcomes
+/// *and* RNG stream position), so results are bit-identical to per-trial
+/// construction at every [`Parallelism`] setting — only the per-trial
+/// allocator traffic disappears. The instrumented loop
+/// ([`run_batch_with_telemetry`]) keeps per-trial construction: its
+/// engines borrow a per-trial [`CountingSink`], which cannot outlive one
+/// trial, and telemetry batches are not on the sweep hot path.
 fn run_batch_core<P: Protocol + Clone + Sync>(
     protocol: &P,
     spec: &BatchSpec<'_>,
@@ -801,15 +829,31 @@ fn run_batch_core<P: Protocol + Clone + Sync>(
     // Build the dense transition cache once per batch; worker threads share
     // it by reference, so even a maximal (128 MiB) table is paid for once.
     let dispatch = Cached::try_new(protocol.clone());
-    let (outcomes, batch) = run_indexed_with_stats(spec.runs, spec.parallelism, |trial| {
-        let mut rng = seeds.rng_for(trial);
+    let driver = Driver::new(spec.rule).with_max_steps(spec.max_steps);
+    let build = || {
         let config = Config::from_input(protocol, instance.a(), instance.b());
-        let outcome = match &dispatch {
-            Ok(cached) => run_spec_trial(cached, config, spec, &mut rng, &mut NullObserver),
-            Err(plain) => run_spec_trial(plain, config, spec, &mut rng, &mut NullObserver),
-        };
-        (outcome, outcome.steps)
-    });
+        let sim = match &dispatch {
+            Ok(cached) => build_erased(cached, config.clone(), spec.engine, spec.scheduler),
+            Err(plain) => build_erased(plain, config.clone(), spec.engine, spec.scheduler),
+        }
+        .unwrap_or_else(|e| panic!("unrunnable scenario: {e}"));
+        (sim, config)
+    };
+    let (outcomes, batch) =
+        run_indexed_with_ctx(spec.runs, spec.parallelism, build, |ctx, trial| {
+            let (sim, config) = ctx;
+            let mut rng = seeds.rng_for(trial);
+            // A freshly built engine is already in this state; resetting it
+            // anyway keeps one uniform per-trial path.
+            sim.reset_erased(config);
+            let outcome = if spec.faults.is_empty() {
+                driver.run_erased(sim.as_mut(), &mut rng, &mut NullObserver)
+            } else {
+                let mut faults = FaultPlan::from_events(spec.faults.to_vec());
+                driver.run_faulted_erased(sim.as_mut(), &mut rng, &mut NullObserver, &mut faults)
+            };
+            (outcome, outcome.steps)
+        });
     let results = TrialResults {
         outcomes,
         expected: instance.winner(),

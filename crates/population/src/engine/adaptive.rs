@@ -48,18 +48,16 @@ const SWITCH_DIVISOR: u64 = 16;
 /// that sees both phases.
 #[derive(Debug)]
 pub struct AdaptiveSim<P: Protocol + Clone, T = NoopSink> {
-    inner: Inner<P>,
+    dense: CountSim<P>,
+    /// Allocated at the first dense→sparse switch and retained across
+    /// [`ChunkedSimulator::reset`], so reused trial batches switch phases
+    /// without reconstructing a `JumpSim`. Stale (ignored) while
+    /// `in_sparse` is false.
+    sparse: Option<JumpSim<P>>,
+    in_sparse: bool,
     window_start_steps: u64,
     window_start_events: u64,
     telemetry: T,
-}
-
-#[derive(Debug)]
-enum Inner<P: Protocol + Clone> {
-    Dense(CountSim<P>),
-    Sparse(JumpSim<P>),
-    /// Transient state during the handoff; never observable.
-    Switching,
 }
 
 impl<P: Protocol + Clone> AdaptiveSim<P> {
@@ -70,7 +68,9 @@ impl<P: Protocol + Clone> AdaptiveSim<P> {
     /// Panics under the same conditions as [`CountSim::new`].
     pub fn new(protocol: P, config: Config) -> AdaptiveSim<P> {
         AdaptiveSim {
-            inner: Inner::Dense(CountSim::new(protocol, config)),
+            dense: CountSim::new(protocol, config),
+            sparse: None,
+            in_sparse: false,
             window_start_steps: 0,
             window_start_events: 0,
             telemetry: NoopSink,
@@ -84,7 +84,9 @@ impl<P: Protocol + Clone, T: Sink> AdaptiveSim<P, T> {
     /// RNG-invisible.
     pub fn with_telemetry<T2: Sink>(self, telemetry: T2) -> AdaptiveSim<P, T2> {
         AdaptiveSim {
-            inner: self.inner,
+            dense: self.dense,
+            sparse: self.sparse,
+            in_sparse: self.in_sparse,
             window_start_steps: self.window_start_steps,
             window_start_events: self.window_start_events,
             telemetry,
@@ -104,19 +106,20 @@ impl<P: Protocol + Clone, T: Sink> AdaptiveSim<P, T> {
     /// Whether the engine has switched to the jump-chain phase.
     #[must_use]
     pub fn is_sparse_phase(&self) -> bool {
-        matches!(self.inner, Inner::Sparse(_))
+        self.in_sparse
     }
 
     fn dispatch(&self) -> &dyn Simulator {
-        match &self.inner {
-            Inner::Dense(sim) => sim,
-            Inner::Sparse(sim) => sim,
-            Inner::Switching => unreachable!("observed mid-handoff"),
+        if self.in_sparse {
+            self.sparse.as_ref().expect("in_sparse without a JumpSim")
+        } else {
+            &self.dense
         }
     }
 
     fn maybe_switch(&mut self) {
-        let (steps, events) = (self.dispatch().steps(), self.dispatch().events());
+        debug_assert!(!self.in_sparse, "maybe_switch is a dense-phase hook");
+        let (steps, events) = (self.dense.steps(), self.dense.events());
         if steps - self.window_start_steps < WINDOW {
             return;
         }
@@ -124,19 +127,19 @@ impl<P: Protocol + Clone, T: Sink> AdaptiveSim<P, T> {
         self.window_start_steps = steps;
         self.window_start_events = events;
         if productive < WINDOW / SWITCH_DIVISOR {
-            let inner = std::mem::replace(&mut self.inner, Inner::Switching);
-            if let Inner::Dense(sim) = inner {
-                let steps = sim.steps();
-                let events = sim.events();
-                let config = sim.config();
-                let protocol = sim.protocol().clone();
-                let mut jump = JumpSim::new(protocol, config);
-                jump.set_counters(steps, events);
-                self.inner = Inner::Sparse(jump);
-                self.telemetry.on_phase_switch();
-            } else {
-                self.inner = inner;
+            let config = self.dense.config();
+            match &mut self.sparse {
+                // A retained JumpSim from an earlier trial: reset replays
+                // exactly like a fresh build, so the handoff is unchanged.
+                Some(jump) => jump.reset(&config),
+                None => {
+                    self.sparse = Some(JumpSim::new(self.dense.protocol().clone(), config));
+                }
             }
+            let jump = self.sparse.as_mut().expect("just installed");
+            jump.set_counters(steps, events);
+            self.in_sparse = true;
+            self.telemetry.on_phase_switch();
         }
     }
 }
@@ -155,10 +158,13 @@ impl<P: Protocol + Clone, T: Sink> Simulator for AdaptiveSim<P, T> {
     }
 
     fn counts(&self) -> &[u64] {
-        match &self.inner {
-            Inner::Dense(sim) => sim.counts(),
-            Inner::Sparse(sim) => sim.counts(),
-            Inner::Switching => unreachable!("observed mid-handoff"),
+        if self.in_sparse {
+            self.sparse
+                .as_ref()
+                .expect("in_sparse without a JumpSim")
+                .counts()
+        } else {
+            self.dense.counts()
         }
     }
 
@@ -179,10 +185,13 @@ impl<P: Protocol + Clone, T: Sink> Simulator for AdaptiveSim<P, T> {
     }
 
     fn inject(&mut self, fault: Fault) -> Result<u64, FaultError> {
-        let result = match &mut self.inner {
-            Inner::Dense(sim) => sim.inject(fault),
-            Inner::Sparse(sim) => sim.inject(fault),
-            Inner::Switching => unreachable!("observed mid-handoff"),
+        let result = if self.in_sparse {
+            self.sparse
+                .as_mut()
+                .expect("in_sparse without a JumpSim")
+                .inject(fault)
+        } else {
+            self.dense.inject(fault)
         };
         if let Ok(n) = result {
             if n > 0 {
@@ -200,11 +209,14 @@ impl<P: Protocol + Clone, T: Sink> Simulator for AdaptiveSim<P, T> {
     }
 
     fn advance(&mut self, rng: &mut dyn RngCore) -> u64 {
-        let advanced = match &mut self.inner {
-            Inner::Dense(sim) => sim.advance(rng),
-            Inner::Sparse(sim) => return sim.advance(rng),
-            Inner::Switching => unreachable!("observed mid-handoff"),
-        };
+        if self.in_sparse {
+            return self
+                .sparse
+                .as_mut()
+                .expect("in_sparse without a JumpSim")
+                .advance(rng);
+        }
+        let advanced = self.dense.advance(rng);
         self.maybe_switch();
         advanced
     }
@@ -226,15 +238,16 @@ impl<P: Protocol + Clone, T: Sink> ChunkedSimulator for AdaptiveSim<P, T> {
         // steps the per-step path would evaluate it (the handoff consumes
         // no randomness, so the trajectory is unaffected either way).
         let reason = loop {
+            if self.in_sparse {
+                let sim = self.sparse.as_mut().expect("in_sparse without a JumpSim");
+                break sim.advance_chunk(rng, stop).reason;
+            }
             let window_end = self.window_start_steps.saturating_add(WINDOW);
-            let reason = match &mut self.inner {
-                Inner::Dense(sim) => {
-                    let budget = stop.max_steps.min(window_end);
-                    sim.advance_chunk(rng, stop.with_max_steps(budget)).reason
-                }
-                Inner::Sparse(sim) => break sim.advance_chunk(rng, stop).reason,
-                Inner::Switching => unreachable!("observed mid-handoff"),
-            };
+            let budget = stop.max_steps.min(window_end);
+            let reason = self
+                .dense
+                .advance_chunk(rng, stop.with_max_steps(budget))
+                .reason;
             match reason {
                 StopReason::StepBudget => {
                     self.maybe_switch();
@@ -252,6 +265,16 @@ impl<P: Protocol + Clone, T: Sink> ChunkedSimulator for AdaptiveSim<P, T> {
         };
         self.telemetry.on_chunk(report.steps, report.events);
         report
+    }
+
+    fn reset(&mut self, config: &Config) {
+        self.dense.reset(config);
+        // The retained sparse engine (if any) stays allocated but ignored
+        // until the next dense→sparse switch resets it from the live
+        // configuration.
+        self.in_sparse = false;
+        self.window_start_steps = 0;
+        self.window_start_events = 0;
     }
 }
 

@@ -118,6 +118,26 @@ impl States {
             States::Wide(v) => v[agent] = to,
         }
     }
+
+    /// Overwrites every slot with the state-order placement of `config`
+    /// (the first `config.count(0)` agents get state 0, and so on) —
+    /// exactly [`AgentSim::with_scheduler`]'s assignment, in place.
+    fn refill_in_state_order(&mut self, config: &Config) {
+        fn fill<C: StateCell>(cells: &mut [C], config: &Config) {
+            let mut idx = 0;
+            for s in 0..config.num_states() {
+                for _ in 0..config.count(s) {
+                    cells[idx] = C::pack(s);
+                    idx += 1;
+                }
+            }
+            debug_assert_eq!(idx, cells.len(), "config population mismatch");
+        }
+        match self {
+            States::Narrow(v) => fill(v, config),
+            States::Wide(v) => fill(v, config),
+        }
+    }
 }
 
 /// A fixed-width cell a `StateId` round-trips through losslessly (the
@@ -668,6 +688,42 @@ impl<P: Protocol, S: Scheduler, T: Sink> Simulator for AgentSim<P, S, T> {
 }
 
 impl<P: Protocol, S: Scheduler, T: Sink> ChunkedSimulator for AgentSim<P, S, T> {
+    fn reset(&mut self, config: &Config) {
+        assert_eq!(
+            config.num_states(),
+            self.protocol.num_states(),
+            "configuration does not match protocol state space"
+        );
+        // Agents have identity here (graph vertices), so the population is
+        // part of the engine's shape and must not change across trials.
+        assert_eq!(
+            config.population() as usize,
+            self.states.len(),
+            "reset must keep the population (the graph is fixed)"
+        );
+        self.states.refill_in_state_order(config);
+        self.counts.copy_from_slice(config.as_slice());
+        self.count_a = self
+            .counts
+            .iter()
+            .zip(&self.output_a)
+            .filter(|(_, &is_a)| is_a)
+            .map(|(&c, _)| c)
+            .sum();
+        let n = config.population();
+        self.unanimous = self
+            .counts
+            .iter()
+            .position(|&c| c == n)
+            .map(|i| i as StateId);
+        // A fresh engine holds no fault overlay; dropping one restores the
+        // fault-free hot loop (and its exact RNG consumption).
+        self.faults = None;
+        self.scheduler.reset();
+        self.steps = 0;
+        self.events = 0;
+    }
+
     fn advance_chunk<R: RngCore + ?Sized>(
         &mut self,
         rng: &mut R,

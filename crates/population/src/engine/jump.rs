@@ -6,10 +6,55 @@ use crate::faults::{Fault, FaultError};
 use crate::protocol::{Opinion, Protocol, StateId};
 use avc_telemetry::{NoopSink, Sink};
 use rand::{Rng, RngCore};
-use rand_distr::{Distribution, Geometric};
 
 /// Sentinel for "state not in the live list".
 const NOT_LIVE: u32 = u32::MAX;
+
+/// Memoized setup of the geometric silent-run draw.
+///
+/// One jump samples `⌊ln U / ln(1−p)⌋` with `p = w_prod / w_total`. The
+/// denominator `ln(1−p)` depends only on the productive weight, which
+/// changes far less often than steps are taken on slow protocols — so the
+/// hot loop caches it keyed on `w_prod` instead of rebuilding a
+/// `Geometric` distribution (probability check, division, `ln`) every
+/// step. `w_prod = 0` marks the cache empty; a jump never draws at that
+/// weight (the configuration is silent), so the sentinel can't collide.
+///
+/// The cached value is produced by exactly the expression
+/// `rand_distr::Geometric` evaluates internally, so the draws are
+/// bit-identical to the uncached path (pinned by
+/// `geometric_cache_matches_rand_distr` below).
+#[derive(Debug, Clone, Copy, Default)]
+struct GeoCache {
+    w_prod: u64,
+    ln_one_minus_p: f64,
+}
+
+impl GeoCache {
+    /// Draws the number of failures before the first success in
+    /// Bernoulli(`w_prod / w_total`) trials, refreshing the cached
+    /// `ln(1−p)` only when `w_prod` moved since the last draw.
+    ///
+    /// Caller guarantees `0 < w_prod < w_total` (the `p = 1` and silent
+    /// cases never reach the draw).
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&mut self, w_prod: u64, w_total: u64, rng: &mut R) -> u64 {
+        if self.w_prod != w_prod {
+            let p = w_prod as f64 / w_total as f64;
+            self.w_prod = w_prod;
+            self.ln_one_minus_p = (1.0 - p).ln();
+        }
+        // Inversion, exactly as the vendored `rand_distr::Geometric`:
+        // U uniform on (0, 1] from one `gen::<f64>()` draw.
+        let u = 1.0 - rng.r#gen::<f64>();
+        let failures = u.ln() / self.ln_one_minus_p;
+        if failures >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            failures as u64
+        }
+    }
+}
 
 /// A count-based engine that skips *silent* steps in geometric batches.
 ///
@@ -63,6 +108,11 @@ pub struct JumpSim<P, T = NoopSink> {
     count_a: u64,
     unanimous: Option<StateId>,
     n: u64,
+    /// `n(n−1)`, the total ordered-pair weight — constant per population.
+    w_total: u64,
+    /// Cached geometric-draw setup (see [`GeoCache`]). Pure memoization:
+    /// never observable except through speed.
+    geo: GeoCache,
     steps: u64,
     events: u64,
     telemetry: T,
@@ -96,13 +146,17 @@ impl<P: Protocol> JumpSim<P> {
         let mut sim = JumpSim {
             protocol,
             counts,
-            live: Vec::new(),
+            // Full capacity up front so the reuse seam's `reset` can
+            // repopulate liveness without ever growing the vector.
+            live: Vec::with_capacity(s as usize),
             live_pos: vec![NOT_LIVE; s as usize],
             null_row: vec![0; s as usize],
             output_a,
             count_a,
             unanimous,
             n,
+            w_total: n * (n - 1),
+            geo: GeoCache::default(),
             steps: 0,
             events: 0,
             telemetry: NoopSink,
@@ -136,6 +190,8 @@ impl<P: Protocol, T: Sink> JumpSim<P, T> {
             count_a: self.count_a,
             unanimous: self.unanimous,
             n: self.n,
+            w_total: self.w_total,
+            geo: self.geo,
             steps: self.steps,
             events: self.events,
             telemetry,
@@ -281,7 +337,7 @@ impl<P: Protocol, T: Sink> JumpSim<P, T> {
     /// Generic over the RNG so chunked loops inline the draws end to end.
     #[inline]
     fn step<R: RngCore + ?Sized>(&mut self, rng: &mut R) -> u64 {
-        let w_total = self.n * (self.n - 1);
+        let w_total = self.w_total;
         let w_null = self.null_weight();
         debug_assert!(w_null <= w_total, "null weight exceeds total");
         let w_prod = w_total - w_null;
@@ -289,12 +345,12 @@ impl<P: Protocol, T: Sink> JumpSim<P, T> {
             return 0; // silent configuration: no interaction can change it
         }
 
-        // Number of skipped silent steps before the next productive one.
-        let p = w_prod as f64 / w_total as f64;
+        // Number of skipped silent steps before the next productive one,
+        // with the `ln(1−p)` setup memoized across steps (see [`GeoCache`]).
         let skipped = if w_prod == w_total {
             0
         } else {
-            Geometric::new(p).expect("probability in (0,1]").sample(rng)
+            self.geo.sample(w_prod, w_total, rng)
         };
 
         let (i, j) = self.sample_productive(rng, w_prod);
@@ -450,6 +506,50 @@ impl<P: Protocol, T: Sink> Simulator for JumpSim<P, T> {
 }
 
 impl<P: Protocol, T: Sink> ChunkedSimulator for JumpSim<P, T> {
+    fn reset(&mut self, config: &Config) {
+        assert_eq!(
+            config.num_states(),
+            self.protocol.num_states(),
+            "configuration does not match protocol state space"
+        );
+        let n = config.population();
+        assert!(n >= 2, "need at least two agents, got {n}");
+        self.counts.copy_from_slice(config.as_slice());
+        self.count_a = self
+            .counts
+            .iter()
+            .zip(&self.output_a)
+            .filter(|(_, &is_a)| is_a)
+            .map(|(&c, _)| c)
+            .sum();
+        self.unanimous = self
+            .counts
+            .iter()
+            .position(|&c| c == n)
+            .map(|i| i as StateId);
+        self.n = n;
+        self.w_total = n * (n - 1);
+        // The memoized `ln(1−p)` is keyed on `w_prod` alone; a changed
+        // `w_total` would silently invalidate it, so start cold like a
+        // fresh engine.
+        self.geo = GeoCache::default();
+        self.steps = 0;
+        self.events = 0;
+        // Liveness and null rows, rebuilt in place exactly as `new` does.
+        self.live.clear();
+        self.live_pos.fill(NOT_LIVE);
+        for q in 0..self.protocol.num_states() {
+            if self.counts[q as usize] > 0 {
+                self.live_pos[q as usize] = self.live.len() as u32;
+                self.live.push(q);
+            }
+        }
+        for idx in 0..self.live.len() {
+            let q = self.live[idx];
+            self.null_row[q as usize] = self.compute_null_row(q);
+        }
+    }
+
     fn advance_chunk<R: RngCore + ?Sized>(
         &mut self,
         rng: &mut R,
@@ -611,5 +711,55 @@ mod tests {
     #[should_panic(expected = "does not match protocol")]
     fn rejects_wrong_state_space() {
         let _ = JumpSim::new(Voter, Config::from_counts(vec![1, 2, 3]));
+    }
+
+    /// The memoized geometric draw must be bit-identical to constructing
+    /// `rand_distr::Geometric` fresh every step — same single RNG draw,
+    /// same float pipeline — across cache hits, misses, and re-keys.
+    #[test]
+    fn geometric_cache_matches_rand_distr() {
+        use rand_distr::{Distribution, Geometric};
+        let w_total: u64 = 1_001 * 1_000;
+        let weights = [1u64, 37, 500, 999_999, w_total - 1, 123_456];
+        let mut cache = GeoCache::default();
+        let mut rng_a = SmallRng::seed_from_u64(99);
+        let mut rng_b = SmallRng::seed_from_u64(99);
+        for round in 0..4 {
+            for &w_prod in &weights {
+                let cached = cache.sample(w_prod, w_total, &mut rng_a);
+                let p = w_prod as f64 / w_total as f64;
+                let fresh = Geometric::new(p)
+                    .expect("probability in (0,1]")
+                    .sample(&mut rng_b);
+                assert_eq!(cached, fresh, "w_prod {w_prod} round {round}");
+                // A repeated weight exercises the cache-hit path.
+                let cached = cache.sample(w_prod, w_total, &mut rng_a);
+                let fresh = Geometric::new(p)
+                    .expect("probability in (0,1]")
+                    .sample(&mut rng_b);
+                assert_eq!(cached, fresh, "hit at w_prod {w_prod} round {round}");
+            }
+        }
+        // RNG streams stayed in lockstep throughout.
+        assert_eq!(rng_a.r#gen::<u64>(), rng_b.r#gen::<u64>());
+    }
+
+    #[test]
+    fn reset_jump_sim_matches_a_fresh_one() {
+        let mut used = JumpSim::new(Voter, Config::from_input(&Voter, 12, 8));
+        let mut rng = SmallRng::seed_from_u64(41);
+        let _ = used.run_to_consensus(&mut rng, u64::MAX);
+        let config = Config::from_input(&Voter, 9, 11);
+        used.reset(&config);
+        let mut fresh = JumpSim::new(Voter, config);
+        let mut rng_a = SmallRng::seed_from_u64(43);
+        let mut rng_b = SmallRng::seed_from_u64(43);
+        let out_a = used.run_to_consensus(&mut rng_a, u64::MAX);
+        let out_b = fresh.run_to_consensus(&mut rng_b, u64::MAX);
+        assert_eq!(out_a.verdict, out_b.verdict);
+        assert_eq!(out_a.steps, out_b.steps);
+        assert_eq!(used.counts(), fresh.counts());
+        check_invariants(&mut used);
+        assert_eq!(rng_a.r#gen::<u64>(), rng_b.r#gen::<u64>());
     }
 }

@@ -27,6 +27,7 @@ pub use count::CountSim;
 pub use jump::JumpSim;
 pub use tau_leap::TauLeapSim;
 
+use crate::config::Config;
 use crate::faults::{Fault, FaultError};
 use crate::protocol::Opinion;
 use crate::spec::{ConvergenceRule, RunOutcome, Verdict};
@@ -346,6 +347,30 @@ pub trait ChunkedSimulator: Simulator {
         rng: &mut R,
         stop: StopCondition,
     ) -> AdvanceReport;
+
+    /// Reinitializes the engine in place to the given starting
+    /// configuration, reusing every internal allocation.
+    ///
+    /// This is the trial-batch reuse seam: a worker thread builds one
+    /// engine for its whole slice of trials and calls `reset` between
+    /// them instead of constructing afresh. The contract is strict
+    /// *fresh-equivalence* — after `reset(config)` the engine must be
+    /// observationally identical to a newly constructed one over the same
+    /// protocol and configuration, including its RNG consumption pattern
+    /// (pinned by `tests/reuse_reset.rs`). Trial results therefore cannot
+    /// depend on which worker (or which preceding trial) warmed the
+    /// engine up.
+    ///
+    /// Implementations must not allocate on this path (beyond freeing
+    /// state a fresh engine would not hold, e.g. a fault ledger from a
+    /// faulted previous trial).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is incompatible with the engine's shape: a
+    /// different state count, or (for engines with per-agent identity) a
+    /// different population size.
+    fn reset(&mut self, config: &Config);
 }
 
 /// An object-safe view of a [`ChunkedSimulator`], monomorphized over
@@ -367,6 +392,10 @@ pub trait ErasedChunkedSim: Simulator {
         rng: &mut rand::rngs::SmallRng,
         stop: StopCondition,
     ) -> AdvanceReport;
+
+    /// As [`ChunkedSimulator::reset`], behind the erased seam — same
+    /// fresh-equivalence contract, same no-allocation expectation.
+    fn reset_erased(&mut self, config: &Config);
 }
 
 impl<S: ChunkedSimulator> ErasedChunkedSim for S {
@@ -376,6 +405,10 @@ impl<S: ChunkedSimulator> ErasedChunkedSim for S {
         stop: StopCondition,
     ) -> AdvanceReport {
         self.advance_chunk(rng, stop)
+    }
+
+    fn reset_erased(&mut self, config: &Config) {
+        self.reset(config);
     }
 }
 

@@ -440,6 +440,32 @@ impl<P: Protocol, T: Sink> ChunkedSimulator for TauLeapSim<P, T> {
         self.telemetry.on_chunk(report.steps, report.events);
         report
     }
+
+    fn reset(&mut self, config: &Config) {
+        assert_eq!(
+            config.num_states(),
+            self.protocol.num_states(),
+            "configuration does not match protocol state space"
+        );
+        let n = config.population();
+        assert!(n >= 2, "need at least two agents, got {n}");
+        self.counts.copy_from_slice(config.as_slice());
+        self.count_a = self
+            .counts
+            .iter()
+            .zip(&self.output_a)
+            .filter(|(_, &is_a)| is_a)
+            .map(|(&c, _)| c)
+            .sum();
+        self.unanimous = self
+            .counts
+            .iter()
+            .position(|&c| c == n)
+            .map(|i| i as StateId);
+        self.n = n;
+        self.steps = 0;
+        self.events = 0;
+    }
 }
 
 #[cfg(test)]

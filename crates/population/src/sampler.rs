@@ -92,6 +92,40 @@ impl FenwickSampler {
         sampler
     }
 
+    /// Overwrites every weight in place, reusing the existing allocations.
+    ///
+    /// Equivalent to `*self = FenwickSampler::from_weights(weights)` —
+    /// the rebuilt tree is bit-identical to a fresh build, including the
+    /// padded parents — but performs no heap allocation, which is what the
+    /// engines' trial-batch `reset` seam needs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len()` differs from the sampler's category count
+    /// (a reused sampler keeps its shape; changing `len` would need a
+    /// realloc anyway, so callers should construct a new sampler instead).
+    pub fn reassign(&mut self, weights: &[u64]) {
+        assert_eq!(
+            weights.len(),
+            self.len,
+            "reassign must keep the category count"
+        );
+        self.tree.fill(0);
+        self.total = 0;
+        self.leaves.copy_from_slice(weights);
+        for (i, &w) in weights.iter().enumerate() {
+            self.tree[i + 1] = w;
+            self.total += w;
+        }
+        for i in 1..=self.top_bit {
+            let parent = i + (i & i.wrapping_neg());
+            if parent <= self.top_bit {
+                let v = self.tree[i];
+                self.tree[parent] += v;
+            }
+        }
+    }
+
     /// Number of categories.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -438,6 +472,34 @@ mod tests {
         // weights, including the padded parents.
         let fresh = FenwickSampler::from_weights(&[4, 6, 2]);
         assert_eq!(s.tree, fresh.tree);
+    }
+
+    #[test]
+    fn reassign_matches_fresh_build_bit_for_bit() {
+        let mut rng = SmallRng::seed_from_u64(31);
+        use rand::Rng;
+        for len in [1usize, 3, 8, 64, 257] {
+            let first: Vec<u64> = (0..len).map(|_| rng.gen_range(0..9)).collect();
+            let second: Vec<u64> = (0..len).map(|_| rng.gen_range(0..9)).collect();
+            let mut reused = FenwickSampler::from_weights(&first);
+            // Dirty the tree with some churn before reassigning.
+            if reused.weight(0) > 0 {
+                reused.add(0, -1);
+            }
+            reused.add(len - 1, 5);
+            reused.reassign(&second);
+            let fresh = FenwickSampler::from_weights(&second);
+            assert_eq!(reused.tree, fresh.tree, "len {len}");
+            assert_eq!(reused.leaves, fresh.leaves, "len {len}");
+            assert_eq!(reused.total(), fresh.total(), "len {len}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "category count")]
+    fn reassign_rejects_shape_changes() {
+        let mut s = FenwickSampler::from_weights(&[1, 2, 3]);
+        s.reassign(&[1, 2]);
     }
 
     #[test]

@@ -54,6 +54,16 @@ pub trait Scheduler {
 
     /// Short human-readable description for reports and manifests.
     fn label(&self) -> String;
+
+    /// Returns the scheduler to its freshly-constructed state without
+    /// reallocating, so a reused engine replays exactly like a new one
+    /// (the trial-batch reuse seam of `ChunkedSimulator::reset`).
+    ///
+    /// Stateless strategies need nothing; stateful ones (epoch buffers,
+    /// phase counters) must clear every field that influences future
+    /// draws. The contract: after `reset`, the next-pair stream for any
+    /// RNG must be identical to a fresh scheduler's.
+    fn reset(&mut self) {}
 }
 
 /// The uniform random scheduler: the model's default, and the paper's.
@@ -235,7 +245,10 @@ impl EpochBatched {
 
     fn reshuffle<R: RngCore + ?Sized>(&mut self, n: usize, rng: &mut R) {
         if self.order.len() != n {
-            self.order = (0..n as u32).collect();
+            // Refill in place (no realloc once capacity is warm) so the
+            // reuse seam's reset → reshuffle path allocates nothing.
+            self.order.clear();
+            self.order.extend(0..n as u32);
         }
         // Fisher–Yates; manual so we only depend on `gen_range`.
         for i in (1..n).rev() {
@@ -273,6 +286,15 @@ impl Scheduler for EpochBatched {
 
     fn label(&self) -> String {
         "epoch".to_string()
+    }
+
+    fn reset(&mut self) {
+        // An empty order forces `next_pair` down the same
+        // rebuild-identity-then-shuffle path a fresh scheduler takes; a
+        // bare `cursor = 0` would instead Fisher–Yates the *stale*
+        // permutation and diverge from a fresh scheduler's draws.
+        self.order.clear();
+        self.cursor = 0;
     }
 }
 
@@ -444,5 +466,28 @@ mod tests {
     #[should_panic(expected = "must be connected")]
     fn graph_restricted_rejects_disconnected_subgraphs() {
         let _ = GraphRestricted::new(Graph::from_edges(4, vec![(0, 1), (2, 3)]));
+    }
+
+    #[test]
+    fn reset_epoch_scheduler_replays_like_a_fresh_one() {
+        let graph = Graph::clique(11);
+        let mut used = EpochBatched::new();
+        let mut rng = SmallRng::seed_from_u64(23);
+        // Leave the scheduler mid-epoch with a warm, partially-served
+        // permutation — the state a trial boundary would catch it in.
+        for t in 0..7 {
+            used.next_pair(&graph, t, &mut rng);
+        }
+        used.reset();
+        let mut a = SmallRng::seed_from_u64(29);
+        let mut b = SmallRng::seed_from_u64(29);
+        let mut fresh = EpochBatched::new();
+        for t in 0..200 {
+            assert_eq!(
+                used.next_pair(&graph, t, &mut a),
+                fresh.next_pair(&graph, t, &mut b),
+                "divergence at step {t}"
+            );
+        }
     }
 }

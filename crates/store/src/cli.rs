@@ -2,7 +2,9 @@
 //!
 //! ```text
 //! avc sweep <name> [flags]    run (or resume) a sweep, checkpointing cells
+//!                             (--shard i/k executes one grid slice)
 //! avc resume <name> [flags]   alias for `sweep` — resuming IS rerunning
+//! avc merge <name> [flags]    fold shard stores into one unsharded store
 //! avc export <name> [flags]   write the sweep's CSVs from the store
 //! avc ls [--cells]            list stored results by experiment
 //! avc show <hash-prefix>      inspect one stored cell
@@ -63,24 +65,63 @@ fn build_plan(name: &str, args: &Args) -> Result<Plan, String> {
     })
 }
 
+/// The grid slice to execute (`--shard i/k`, default the full grid).
+fn shard_of(args: &Args) -> Result<sweep::Shard, String> {
+    match args.get("shard") {
+        Some(text) => sweep::Shard::parse(text),
+        None => Ok(sweep::Shard::full()),
+    }
+}
+
 fn cmd_sweep(name: &str, args: &Args) -> Result<(), String> {
     let plan = build_plan(name, args)?;
+    let shard = shard_of(args)?;
     println!("== avc sweep {name} ==");
     println!("{}", plan.banner);
+    if !shard.is_full() {
+        println!("shard {shard} of the cell grid");
+    }
     println!();
     let mut store = Store::open(store_dir(args)).map_err(|e| e.to_string())?;
     let started = std::time::Instant::now();
-    let outcome = sweep::run(&mut store, &plan, &collector(args), true)
+    let outcome = sweep::run_sharded(&mut store, &plan, &collector(args), true, shard)
         .map_err(|e| format!("store append failed: {e}"))?;
     store
         .compact()
         .map_err(|e| format!("store compaction failed: {e}"))?;
+    let foreign = if outcome.foreign > 0 {
+        format!(", {} on other shards", outcome.foreign)
+    } else {
+        String::new()
+    };
     println!(
-        "sweep {name}: {} cells ran, {} cached, {:.1}s wall (store: {})",
+        "sweep {name}: {} cells ran, {} cached{foreign}, {:.1}s wall (store: {})",
         outcome.ran,
         outcome.cached,
         started.elapsed().as_secs_f64(),
         store.records_path().display()
+    );
+    Ok(())
+}
+
+/// `avc merge <name> --stores DIR1,DIR2,... [--store DIR]`: folds shard
+/// stores into the destination store in plan grid order (see
+/// [`sweep::merge`] for the byte-identity contract).
+fn cmd_merge(name: &str, args: &Args) -> Result<(), String> {
+    let plan = build_plan(name, args)?;
+    let stores_arg = args
+        .get("stores")
+        .ok_or("merge needs --stores DIR1,DIR2,... (the shard store directories)")?;
+    let sources: Vec<Store> = stores_arg
+        .split(',')
+        .map(|dir| Store::open(dir.trim()).map_err(|e| format!("{dir}: {e}")))
+        .collect::<Result<_, String>>()?;
+    let mut dest = Store::open(store_dir(args)).map_err(|e| e.to_string())?;
+    let appended = sweep::merge(&mut dest, &plan, &sources)?;
+    println!(
+        "merge {name}: {appended} cells merged from {} shard store(s) into {}",
+        sources.len(),
+        dest.records_path().display()
     );
     Ok(())
 }
@@ -308,6 +349,17 @@ fn cmd_report(name: &str, args: &Args) -> Result<(), String> {
             plan.cells.len()
         );
     }
+    // Per-shard attribution: sharded sweeps annotate their journal lines,
+    // so wall time and throughput can be split by shard invocation.
+    let plan_hashes: BTreeSet<String> = plan.cells.iter().map(|c| c.manifest.hash()).collect();
+    let journal: Vec<JournalEntry> = read_journal(&store_dir(args))
+        .unwrap_or_default()
+        .into_iter()
+        .filter(|e| plan_hashes.contains(&e.hash))
+        .collect();
+    if let Some(shards) = shard_summary(&journal) {
+        println!("{}", shards.to_markdown());
+    }
     if let Some(chunks) = aggregate.sim.histogram("sim.chunk_steps") {
         println!("{}\n", render_histogram("chunk sizes", "steps", chunks));
     }
@@ -336,6 +388,8 @@ fn cmd_report(name: &str, args: &Args) -> Result<(), String> {
 struct JournalEntry {
     hash: String,
     cell: String,
+    /// `i/k` provenance for cells executed by a sharded sweep.
+    shard: Option<String>,
     telemetry: CellTelemetry,
 }
 
@@ -355,6 +409,7 @@ fn read_journal(dir: &Path) -> Result<Vec<JournalEntry>, String> {
                 .and_then(Json::as_str)
                 .ok_or("journal line missing cell")?
                 .to_string(),
+            shard: json.get("shard").and_then(Json::as_str).map(str::to_string),
             telemetry: telemetry_from_json(
                 json.get("telemetry")
                     .ok_or("journal line missing telemetry")?,
@@ -362,6 +417,51 @@ fn read_journal(dir: &Path) -> Result<Vec<JournalEntry>, String> {
         });
     }
     Ok(entries)
+}
+
+/// Renders per-shard wall time and throughput from shard-annotated journal
+/// entries (one row per shard, in `i/k` order). Empty when no entry carries
+/// shard provenance — unsharded sweeps print nothing extra.
+fn shard_summary(entries: &[JournalEntry]) -> Option<Table> {
+    use std::collections::BTreeMap;
+    // (cells, trials, wall ns) per shard label.
+    let mut by_shard: BTreeMap<&str, (u64, u64, u64)> = BTreeMap::new();
+    for entry in entries {
+        let Some(shard) = entry.shard.as_deref() else {
+            continue;
+        };
+        let slot = by_shard.entry(shard).or_default();
+        slot.0 += 1;
+        slot.1 += entry.telemetry.sim.counter(keys::SIM_TRIALS).unwrap_or(0);
+        slot.2 += entry
+            .telemetry
+            .wall
+            .counter(keys::WALL_CELL_NS)
+            .unwrap_or(0);
+    }
+    if by_shard.is_empty() {
+        return None;
+    }
+    let mut table = Table::new(
+        "per-shard wall time",
+        ["shard", "cells", "trials", "wall_s", "trials/s"],
+    );
+    for (shard, (cells, trials, wall_ns)) in by_shard {
+        let wall_s = wall_ns as f64 / 1e9;
+        let rate = if wall_ns > 0 {
+            format!("{:.1}", trials as f64 / wall_s)
+        } else {
+            "-".to_string()
+        };
+        table.push_row([
+            shard.to_string(),
+            cells.to_string(),
+            trials.to_string(),
+            format!("{wall_s:.1}"),
+            rate,
+        ]);
+    }
+    Some(table)
 }
 
 fn cmd_top(name: Option<&str>, args: &Args) -> Result<(), String> {
@@ -497,7 +597,10 @@ fn usage() -> String {
          \n\
          commands:\n\
          \x20 sweep <name>    run (or resume) a sweep, checkpointing each cell\n\
+         \x20                 (--shard i/k runs the i-th of k grid slices)\n\
          \x20 resume <name>   alias for sweep\n\
+         \x20 merge <name>    fold shard stores (--stores DIR1,DIR2,...) into\n\
+         \x20                 --store, ordered like an unsharded sweep\n\
          \x20 run <file>      execute one scenario JSON file end-to-end\n\
          \x20                 (see examples/scenarios/)\n\
          \x20 export <name>   write the sweep's results/*.csv from the store\n\
@@ -510,8 +613,8 @@ fn usage() -> String {
          \x20 help            this message\n\
          \n\
          flags: --out DIR (default results), --store DIR (default <out>/store),\n\
-         \x20      --progress, --serial | --threads N, plus per-sweep flags\n\
-         \x20      (--quick, --runs N, --seed N, ...)\n\
+         \x20      --progress, --serial | --threads N, --shard i/k, plus\n\
+         \x20      per-sweep flags (--quick, --runs N, --seed N, ...)\n\
          \n\
          sweeps:\n",
     );
@@ -530,6 +633,7 @@ pub fn main() -> i32 {
     let target = positionals.get(1).map(String::as_str);
     let outcome = match (command, target) {
         (Some("sweep") | Some("resume"), Some(name)) => cmd_sweep(name, &args),
+        (Some("merge"), Some(name)) => cmd_merge(name, &args),
         (Some("run"), Some(path)) => cmd_run(path, &args),
         (Some("export"), Some(name)) => cmd_export(name, &args),
         (Some("report"), Some(name)) => cmd_report(name, &args),
@@ -540,9 +644,10 @@ pub fn main() -> i32 {
             print!("{}", usage());
             Ok(())
         }
-        (Some("sweep") | Some("resume") | Some("export") | Some("report"), None) => {
-            Err("missing sweep name (see `avc help`)".to_string())
-        }
+        (
+            Some("sweep") | Some("resume") | Some("merge") | Some("export") | Some("report"),
+            None,
+        ) => Err("missing sweep name (see `avc help`)".to_string()),
         (Some("run"), None) => Err("missing scenario file (see `avc help`)".to_string()),
         (Some("show"), None) => Err("missing hash prefix (see `avc help`)".to_string()),
         (Some(other), _) => Err(format!("unknown command `{other}` (see `avc help`)")),

@@ -23,8 +23,88 @@ use crate::store::Store;
 use avc_analysis::harness::StatsCollector;
 use avc_analysis::table::Table;
 use avc_population::telemetry::export::JsonlWriter;
-use avc_population::telemetry::Span;
+use avc_population::telemetry::{wall_suppressed, RegistrySnapshot, Span};
+use std::fmt;
 use std::io;
+
+/// A deterministic 1-of-k slice of a sweep's cell grid (`--shard i/k`).
+///
+/// Ownership hashes each cell's content-addressed [`Manifest::hash`]: cell
+/// `h` belongs to shard `i` iff `u64(h[..16]) % k == i`. The partition is a
+/// pure function of cell identity — independent of grid order, flags that
+/// don't enter the manifest, and which shards ran before — so k invocations
+/// with `--shard 0/k .. k-1/k` cover every cell exactly once and
+/// [`merge`] can reassemble them into an unsharded store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    index: u64,
+    count: u64,
+}
+
+impl Shard {
+    /// The trivial shard owning every cell (an unsharded sweep).
+    #[must_use]
+    pub fn full() -> Shard {
+        Shard { index: 0, count: 1 }
+    }
+
+    /// A shard `index` of `count`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `count == 0` and `index >= count`.
+    pub fn new(index: u64, count: u64) -> Result<Shard, String> {
+        if count == 0 {
+            return Err("shard count must be at least 1".to_string());
+        }
+        if index >= count {
+            return Err(format!(
+                "shard index {index} out of range for {count} shard(s)"
+            ));
+        }
+        Ok(Shard { index, count })
+    }
+
+    /// Parses the CLI form `i/k`.
+    ///
+    /// # Errors
+    ///
+    /// Describes the malformed input.
+    pub fn parse(text: &str) -> Result<Shard, String> {
+        let (index, count) = text
+            .split_once('/')
+            .ok_or_else(|| format!("shard `{text}` is not of the form i/k"))?;
+        let parse = |s: &str| {
+            s.parse::<u64>()
+                .map_err(|_| format!("shard `{text}` is not of the form i/k"))
+        };
+        Shard::new(parse(index)?, parse(count)?)
+    }
+
+    /// Whether this is the trivial full shard.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.count == 1
+    }
+
+    /// Whether this shard owns the cell with the given manifest hash.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hash` is shorter than 16 hex characters (manifest hashes
+    /// are 64).
+    #[must_use]
+    pub fn owns(&self, hash: &str) -> bool {
+        let prefix = u64::from_str_radix(&hash[..16], 16).expect("manifest hashes are hex");
+        prefix % self.count == self.index
+    }
+}
+
+impl fmt::Display for Shard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
 
 /// One runnable cell of a sweep.
 pub struct Cell {
@@ -64,10 +144,13 @@ pub struct SweepOutcome {
     pub cached: usize,
     /// Cells executed this invocation.
     pub ran: usize,
+    /// Cells owned by other shards and not touched (`0` unsharded).
+    pub foreign: usize,
 }
 
 /// Runs every missing cell of `plan`, checkpointing each into `store` as it
-/// completes. Progress lines go to stderr when `verbose`.
+/// completes. Progress lines go to stderr when `verbose`. Equivalent to
+/// [`run_sharded`] with [`Shard::full`].
 ///
 /// # Errors
 ///
@@ -79,14 +162,49 @@ pub fn run(
     stats: &StatsCollector,
     verbose: bool,
 ) -> io::Result<SweepOutcome> {
+    run_sharded(store, plan, stats, verbose, Shard::full())
+}
+
+/// As [`run`], but executing only the cells `shard` owns — the parallel
+/// half of the shard/merge protocol (`avc sweep --shard i/k`, then
+/// [`merge`]).
+///
+/// Cells are seeded by identity, not position, so a shard's cells run with
+/// exactly the RNG streams they consume in an unsharded sweep. With
+/// [`wall_suppressed`] set, checkpoints carry no wall-clock bytes at all
+/// (`wall_ms` recorded as 0, the telemetry `wall` registry stripped), which
+/// makes each shard store — and therefore the merged store — a pure
+/// function of the plan and seed: byte-identical to an unsharded run's.
+///
+/// # Errors
+///
+/// As [`run`].
+pub fn run_sharded(
+    store: &mut Store,
+    plan: &Plan,
+    stats: &StatsCollector,
+    verbose: bool,
+    shard: Shard,
+) -> io::Result<SweepOutcome> {
     let mut outcome = SweepOutcome::default();
     let total = plan.cells.len();
     // Per-cell telemetry journal beside the records file. Opening tolerates
     // a torn final line (the crash signature), so a resumed sweep appends
     // cleanly after a kill.
     let mut journal = JsonlWriter::open(&telemetry_path(store))?;
+    // Journal lines of sharded runs carry their shard as provenance, so
+    // `avc report` can attribute wall time and throughput per shard.
+    let shard_field = if shard.is_full() {
+        String::new()
+    } else {
+        format!("\"shard\":\"{shard}\",")
+    };
     for (i, cell) in plan.cells.iter().enumerate() {
         let hash = cell.manifest.hash();
+        if !shard.owns(&hash) {
+            outcome.foreign += 1;
+            continue;
+        }
         if store.get(&hash).is_some() {
             outcome.cached += 1;
             if verbose {
@@ -100,11 +218,20 @@ pub fn run(
             continue;
         }
         let started = Span::start();
-        let result = (cell.run)(stats);
-        let wall_ms = started.elapsed_ms();
+        let mut result = (cell.run)(stats);
+        let wall_ms = if wall_suppressed() {
+            0
+        } else {
+            started.elapsed_ms()
+        };
+        if wall_suppressed() {
+            if let Some(telemetry) = &mut result.telemetry {
+                telemetry.wall = RegistrySnapshot::new();
+            }
+        }
         if let Some(telemetry) = &result.telemetry {
             journal.append(&format!(
-                "{{\"hash\":\"{hash}\",\"cell\":\"{}\",\"telemetry\":{}}}",
+                "{{\"hash\":\"{hash}\",\"cell\":\"{}\",{shard_field}\"telemetry\":{}}}",
                 avc_population::telemetry::export::json_escape(&cell.label),
                 telemetry.to_json()
             ))?;
@@ -122,6 +249,69 @@ pub fn run(
         }
     }
     Ok(outcome)
+}
+
+/// Folds shard stores back into one store laid out exactly like an
+/// unsharded sweep's: for each plan cell **in grid order**, the cell's
+/// record is looked up across `sources` (first hit wins — a deterministic
+/// sweep writes identical records wherever the cell ran) and appended to
+/// `dest`. Since the unsharded runner also appends in grid order, a merge
+/// of k complete shard stores produced under [`wall_suppressed`] yields a
+/// `records.jsonl` byte-identical to the unsharded run's. Cells already in
+/// `dest` are left untouched; the telemetry journals are merged the same
+/// way (journal lines keep their shard provenance, so the merged journal is
+/// shard-annotated rather than byte-identical).
+///
+/// Returns how many records were appended.
+///
+/// # Errors
+///
+/// Lists cells missing from every source (some shard has not finished),
+/// and propagates store/journal I/O failures as strings.
+pub fn merge(dest: &mut Store, plan: &Plan, sources: &[Store]) -> Result<usize, String> {
+    let mut missing = Vec::new();
+    let mut appended = 0usize;
+    let source_journals: Vec<Vec<String>> = sources
+        .iter()
+        .map(|s| {
+            avc_population::telemetry::export::read_lines_tolerant(&telemetry_path(s))
+                .map_err(|e| e.to_string())
+        })
+        .collect::<Result<_, String>>()?;
+    let mut journal = JsonlWriter::open(&telemetry_path(dest)).map_err(|e| e.to_string())?;
+    for cell in &plan.cells {
+        let hash = cell.manifest.hash();
+        if dest.get(&hash).is_some() {
+            continue;
+        }
+        let Some(record) = sources.iter().find_map(|s| s.get(&hash)) else {
+            missing.push(format!("  {} ({})", cell.label, &hash[..12]));
+            continue;
+        };
+        dest.append(record.clone()).map_err(|e| e.to_string())?;
+        // Carry the cell's journal line over (hash-keyed, plan-ordered).
+        let needle = format!("\"hash\":\"{hash}\"");
+        if let Some(line) = source_journals
+            .iter()
+            .flatten()
+            .find(|line| line.contains(&needle))
+        {
+            journal.append(line).map_err(|e| e.to_string())?;
+        }
+        appended += 1;
+    }
+    if missing.is_empty() {
+        Ok(appended)
+    } else {
+        Err(format!(
+            "{} of {} cells missing from every shard store — run the remaining shards of \
+             `avc sweep {}` first:\n{}",
+            missing.len(),
+            plan.cells.len(),
+            plan.name,
+            missing.join("\n")
+        ))
+    }
 }
 
 /// The sweep telemetry journal's path: `telemetry.jsonl` beside the

@@ -39,7 +39,7 @@ pub mod registry;
 pub mod sink;
 pub mod span;
 
-pub use cell::CellTelemetry;
+pub use cell::{wall_suppressed, CellTelemetry};
 pub use metrics::{Counter, Gauge, HistogramSnapshot, LogHistogram};
 pub use registry::{MetricValue, Registry, RegistrySnapshot};
 pub use sink::{CountingSink, NoopSink, Sink};
