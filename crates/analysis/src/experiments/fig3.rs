@@ -183,7 +183,9 @@ pub fn run_cell(config: &Config, ni: usize, pi: usize, stats: &StatsCollector) -
             let states = m + 2 * u64::from(d) + 1;
             (format!("avc(s={states})"), states)
         }
-        ProtocolSpec::Voter => unreachable!("figure 3 never runs the voter model"),
+        ProtocolSpec::Voter | ProtocolSpec::Bef { .. } | ProtocolSpec::Degssu { .. } => {
+            unreachable!("figure 3 only runs the 3-state, 4-state, and AVC protocols")
+        }
     };
     let (results, telemetry) = ScenarioPlan::new(scenario)
         .parallelism(config.parallelism)

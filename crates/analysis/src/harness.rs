@@ -26,7 +26,7 @@ use avc_population::{
     Config, ConvergenceRule, MajorityInstance, Opinion, Protocol, ProtocolSpec, Scenario,
     SchedulerSpec,
 };
-use avc_protocols::{Avc, FourState, ThreeState, Voter};
+use avc_protocols::{Avc, Bef, Degssu, FourState, ThreeState, Voter};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -872,6 +872,15 @@ macro_rules! with_resolved_protocol {
                 let $protocol = Avc::new(m, d).expect("scenario names a valid AVC instance");
                 $body
             }
+            ProtocolSpec::Bef { levels } => {
+                let $protocol = Bef::new(levels).expect("scenario names a valid BEF instance");
+                $body
+            }
+            ProtocolSpec::Degssu { levels, phase } => {
+                let $protocol =
+                    Degssu::new(levels, phase).expect("scenario names a valid DEGSSU instance");
+                $body
+            }
             ProtocolSpec::FourState => {
                 let $protocol = FourState;
                 $body
@@ -886,6 +895,19 @@ macro_rules! with_resolved_protocol {
             }
         }
     };
+}
+
+/// Number of states of the protocol a [`ProtocolSpec`] names, resolved
+/// through the real constructor (not the spec's arithmetic
+/// [`ProtocolSpec::state_count`] formula) — the sweep tables' state-count
+/// accounting goes through here so the two can be cross-checked.
+///
+/// # Panics
+///
+/// Panics on parameters the constructors reject; validate the spec first.
+#[must_use]
+pub fn spec_states(spec: ProtocolSpec) -> u32 {
+    with_resolved_protocol!(spec, |protocol| Protocol::num_states(&protocol))
 }
 
 /// Runs any [`Scenario`] — scheduler and fault scenarios included — through
@@ -972,6 +994,54 @@ impl ScenarioPlan {
 mod tests {
     use super::*;
     use avc_protocols::{FourState, ThreeState, Voter};
+
+    #[test]
+    fn spec_states_agrees_with_the_state_count_formulas() {
+        for spec in [
+            ProtocolSpec::Avc { m: 15, d: 3 },
+            ProtocolSpec::Bef { levels: 10 },
+            ProtocolSpec::Degssu {
+                levels: 10,
+                phase: 4,
+            },
+            ProtocolSpec::FourState,
+            ProtocolSpec::ThreeState,
+            ProtocolSpec::Voter,
+        ] {
+            assert_eq!(u64::from(spec_states(spec)), spec.state_count(), "{spec}");
+        }
+    }
+
+    #[test]
+    fn spec_validation_bounds_match_the_constructors() {
+        // `ProtocolSpec::validate` (in avc-population, which cannot see the
+        // constructors) must accept exactly what the constructors accept at
+        // the boundary values, or valid scenarios would panic at resolution.
+        assert_eq!(Bef::MAX_LEVELS, 32);
+        assert_eq!(Degssu::MAX_LEVELS, 32);
+        assert_eq!(Degssu::MAX_PHASE, 64);
+        for levels in [1, Bef::MAX_LEVELS] {
+            assert!(ProtocolSpec::Bef { levels }.validate().is_ok());
+            assert!(Bef::new(levels).is_ok());
+        }
+        assert!(ProtocolSpec::Bef { levels: 33 }.validate().is_err());
+        for (levels, phase) in [(1, 1), (Degssu::MAX_LEVELS, Degssu::MAX_PHASE)] {
+            assert!(ProtocolSpec::Degssu { levels, phase }.validate().is_ok());
+            assert!(Degssu::new(levels, phase).is_ok());
+        }
+        assert!(ProtocolSpec::Degssu {
+            levels: 33,
+            phase: 1
+        }
+        .validate()
+        .is_err());
+        assert!(ProtocolSpec::Degssu {
+            levels: 1,
+            phase: 65
+        }
+        .validate()
+        .is_err());
+    }
 
     #[test]
     fn trials_are_reproducible() {

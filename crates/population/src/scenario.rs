@@ -124,6 +124,20 @@ pub enum ProtocolSpec {
         /// Intermediate levels (≥ 1).
         d: u32,
     },
+    /// The \[BEF18] cancel/split/merge exact-majority protocol with `l`
+    /// levels (`2l + 4` states).
+    Bef {
+        /// Number of levels below the input tokens (`1..=32`).
+        levels: u32,
+    },
+    /// The \[DEGSSU21] clocked cancel/split exact-majority protocol with
+    /// `l` levels and phase length `t` (`2(l+1)(t+1) + 2` states).
+    Degssu {
+        /// Number of levels below the input tokens (`1..=32`).
+        levels: u32,
+        /// Interactions an active token waits at a level (`1..=64`).
+        phase: u32,
+    },
     /// The four-state exact-majority protocol.
     FourState,
     /// The three-state approximate-majority protocol.
@@ -132,13 +146,140 @@ pub enum ProtocolSpec {
     Voter,
 }
 
+/// Canonical protocol base names: the single source shared by
+/// [`ProtocolSpec`]'s `Display`, `FromStr` (including its error hint), and
+/// the CLI help text. Adding a protocol means adding a constant here and
+/// a row to [`ProtocolSpec::SYNTAX`] — nothing else enumerates names.
+mod protocol_names {
+    /// The paper's Average-and-Conquer protocol.
+    pub const AVC: &str = "avc";
+    /// Berenbrink–Elsässer–Friedetzky (arXiv:1805.05157).
+    pub const BEF: &str = "bef";
+    /// Doty et al. (arXiv:2106.10201).
+    pub const DEGSSU: &str = "degssu";
+    /// The four-state exact-majority protocol.
+    pub const FOUR_STATE: &str = "four_state";
+    /// The three-state approximate-majority protocol.
+    pub const THREE_STATE: &str = "three_state";
+    /// The two-state voter model.
+    pub const VOTER: &str = "voter";
+}
+
+/// Parameter bounds mirrored from `avc-protocols` (this crate cannot
+/// depend on it); `avc-analysis` cross-checks that the constructors accept
+/// exactly what these bounds admit.
+const BEF_MAX_LEVELS: u32 = 32;
+const DEGSSU_MAX_LEVELS: u32 = 32;
+const DEGSSU_MAX_PHASE: u32 = 64;
+
+impl ProtocolSpec {
+    /// `(base name, parameter syntax)` of every protocol, in `avc help`
+    /// order. The base names are the same constants `Display` and
+    /// `FromStr` use, so the list cannot drift from the parser.
+    pub const SYNTAX: [(&'static str, &'static str); 6] = [
+        (protocol_names::AVC, "(m=..,d=..)"),
+        (protocol_names::BEF, "(l=..)"),
+        (protocol_names::DEGSSU, "(l=..,t=..)"),
+        (protocol_names::FOUR_STATE, ""),
+        (protocol_names::THREE_STATE, ""),
+        (protocol_names::VOTER, ""),
+    ];
+
+    /// The `|`-separated syntax hint used by parse errors and CLI help,
+    /// derived from [`ProtocolSpec::SYNTAX`].
+    #[must_use]
+    pub fn syntax_hint() -> String {
+        ProtocolSpec::SYNTAX
+            .iter()
+            .map(|(name, params)| format!("{name}{params}"))
+            .collect::<Vec<_>>()
+            .join("|")
+    }
+
+    /// The canonical base name (the spelling before any parameter list).
+    #[must_use]
+    pub fn base_name(&self) -> &'static str {
+        match self {
+            ProtocolSpec::Avc { .. } => protocol_names::AVC,
+            ProtocolSpec::Bef { .. } => protocol_names::BEF,
+            ProtocolSpec::Degssu { .. } => protocol_names::DEGSSU,
+            ProtocolSpec::FourState => protocol_names::FOUR_STATE,
+            ProtocolSpec::ThreeState => protocol_names::THREE_STATE,
+            ProtocolSpec::Voter => protocol_names::VOTER,
+        }
+    }
+
+    /// Number of states `s` of the specified protocol, computed from the
+    /// documented formulas (`validate` first; the formulas assume valid
+    /// parameters).
+    #[must_use]
+    pub fn state_count(&self) -> u64 {
+        match *self {
+            ProtocolSpec::Avc { m, d } => m + 2 * d as u64 + 1,
+            ProtocolSpec::Bef { levels } => 2 * (levels as u64 + 1) + 2,
+            ProtocolSpec::Degssu { levels, phase } => {
+                2 * (levels as u64 + 1) * (phase as u64 + 1) + 2
+            }
+            ProtocolSpec::FourState => 4,
+            ProtocolSpec::ThreeState => 3,
+            ProtocolSpec::Voter => 2,
+        }
+    }
+
+    /// Checks the documented parameter invariants, returning a parse-style
+    /// error for violations. Called by `FromStr` (so malformed scenarios
+    /// are rejected at parse time, not at protocol construction) and by
+    /// [`Scenario::from_json`] as a backstop for programmatically built
+    /// values.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            ProtocolSpec::Avc { m, d } => {
+                if m == 0 || m % 2 == 0 {
+                    return Err(format!(
+                        "invalid protocol `{self}`: avc m must be odd and >= 1"
+                    ));
+                }
+                if d == 0 {
+                    return Err(format!("invalid protocol `{self}`: avc d must be >= 1"));
+                }
+            }
+            ProtocolSpec::Bef { levels } => {
+                if levels == 0 || levels > BEF_MAX_LEVELS {
+                    return Err(format!(
+                        "invalid protocol `{self}`: bef levels must be in 1..={BEF_MAX_LEVELS}"
+                    ));
+                }
+            }
+            ProtocolSpec::Degssu { levels, phase } => {
+                if levels == 0 || levels > DEGSSU_MAX_LEVELS {
+                    return Err(format!(
+                        "invalid protocol `{self}`: degssu levels must be in \
+                         1..={DEGSSU_MAX_LEVELS}"
+                    ));
+                }
+                if phase == 0 || phase > DEGSSU_MAX_PHASE {
+                    return Err(format!(
+                        "invalid protocol `{self}`: degssu phase must be in \
+                         1..={DEGSSU_MAX_PHASE}"
+                    ));
+                }
+            }
+            ProtocolSpec::FourState | ProtocolSpec::ThreeState | ProtocolSpec::Voter => {}
+        }
+        Ok(())
+    }
+}
+
 impl fmt::Display for ProtocolSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = self.base_name();
         match self {
-            ProtocolSpec::Avc { m, d } => write!(f, "avc(m={m},d={d})"),
-            ProtocolSpec::FourState => f.write_str("four_state"),
-            ProtocolSpec::ThreeState => f.write_str("three_state"),
-            ProtocolSpec::Voter => f.write_str("voter"),
+            ProtocolSpec::Avc { m, d } => write!(f, "{name}(m={m},d={d})"),
+            ProtocolSpec::Bef { levels } => write!(f, "{name}(l={levels})"),
+            ProtocolSpec::Degssu { levels, phase } => write!(f, "{name}(l={levels},t={phase})"),
+            ProtocolSpec::FourState | ProtocolSpec::ThreeState | ProtocolSpec::Voter => {
+                f.write_str(name)
+            }
         }
     }
 }
@@ -147,23 +288,56 @@ impl FromStr for ProtocolSpec {
     type Err = String;
 
     fn from_str(s: &str) -> Result<ProtocolSpec, String> {
-        match s {
-            "four_state" => return Ok(ProtocolSpec::FourState),
-            "three_state" => return Ok(ProtocolSpec::ThreeState),
-            "voter" => return Ok(ProtocolSpec::Voter),
-            _ => {}
-        }
-        if let Some(body) = s.strip_prefix("avc(m=").and_then(|r| r.strip_suffix(')')) {
-            let (m, d) = body
-                .split_once(",d=")
-                .ok_or_else(|| format!("malformed AVC spec `{s}`"))?;
-            let m = m.parse().map_err(|_| format!("bad AVC m in `{s}`"))?;
-            let d = d.parse().map_err(|_| format!("bad AVC d in `{s}`"))?;
-            return Ok(ProtocolSpec::Avc { m, d });
-        }
-        Err(format!(
-            "unknown protocol `{s}` (avc(m=..,d=..)|four_state|three_state|voter)"
-        ))
+        let parsed = 'parse: {
+            match s {
+                _ if s == protocol_names::FOUR_STATE => break 'parse ProtocolSpec::FourState,
+                _ if s == protocol_names::THREE_STATE => break 'parse ProtocolSpec::ThreeState,
+                _ if s == protocol_names::VOTER => break 'parse ProtocolSpec::Voter,
+                _ => {}
+            }
+            if let Some(body) = s
+                .strip_prefix(protocol_names::AVC)
+                .and_then(|r| r.strip_prefix("(m="))
+                .and_then(|r| r.strip_suffix(')'))
+            {
+                let (m, d) = body
+                    .split_once(",d=")
+                    .ok_or_else(|| format!("malformed AVC spec `{s}`"))?;
+                let m = m.parse().map_err(|_| format!("bad AVC m in `{s}`"))?;
+                let d = d.parse().map_err(|_| format!("bad AVC d in `{s}`"))?;
+                break 'parse ProtocolSpec::Avc { m, d };
+            }
+            if let Some(body) = s
+                .strip_prefix(protocol_names::DEGSSU)
+                .and_then(|r| r.strip_prefix("(l="))
+                .and_then(|r| r.strip_suffix(')'))
+            {
+                let (levels, phase) = body
+                    .split_once(",t=")
+                    .ok_or_else(|| format!("malformed DEGSSU spec `{s}`"))?;
+                let levels = levels
+                    .parse()
+                    .map_err(|_| format!("bad DEGSSU l in `{s}`"))?;
+                let phase = phase
+                    .parse()
+                    .map_err(|_| format!("bad DEGSSU t in `{s}`"))?;
+                break 'parse ProtocolSpec::Degssu { levels, phase };
+            }
+            if let Some(body) = s
+                .strip_prefix(protocol_names::BEF)
+                .and_then(|r| r.strip_prefix("(l="))
+                .and_then(|r| r.strip_suffix(')'))
+            {
+                let levels = body.parse().map_err(|_| format!("bad BEF l in `{s}`"))?;
+                break 'parse ProtocolSpec::Bef { levels };
+            }
+            return Err(format!(
+                "unknown protocol `{s}` ({})",
+                ProtocolSpec::syntax_hint()
+            ));
+        };
+        parsed.validate()?;
+        Ok(parsed)
     }
 }
 
@@ -455,7 +629,11 @@ impl Scenario {
                 .and_then(Json::as_str)
                 .ok_or_else(|| format!("scenario needs a string `{name}` field"))
         };
-        let protocol = str_field("protocol")?.parse()?;
+        let protocol: ProtocolSpec = str_field("protocol")?.parse()?;
+        // `FromStr` already validates; repeat as a backstop so scenarios
+        // assembled from a programmatically built (unvalidated) spec are
+        // caught here too.
+        protocol.validate()?;
         let engine = str_field("engine")?.parse()?;
         let instance = obj
             .get("instance")
@@ -834,6 +1012,11 @@ mod tests {
         );
         for protocol in [
             ProtocolSpec::Avc { m: 17, d: 3 },
+            ProtocolSpec::Bef { levels: 10 },
+            ProtocolSpec::Degssu {
+                levels: 10,
+                phase: 4,
+            },
             ProtocolSpec::ThreeState,
             ProtocolSpec::Voter,
         ] {
@@ -876,5 +1059,93 @@ mod tests {
             .err()
             .expect("count + epoch must be rejected");
         assert!(err.contains("agent"), "{err}");
+    }
+
+    #[test]
+    fn invalid_avc_parameters_are_rejected_at_parse_time() {
+        // The two documented-invariant violations that used to slip
+        // through and panic later at protocol construction.
+        assert_eq!(
+            "avc(m=2,d=0)".parse::<ProtocolSpec>().unwrap_err(),
+            "invalid protocol `avc(m=2,d=0)`: avc m must be odd and >= 1"
+        );
+        assert_eq!(
+            "avc(m=0,d=1)".parse::<ProtocolSpec>().unwrap_err(),
+            "invalid protocol `avc(m=0,d=1)`: avc m must be odd and >= 1"
+        );
+        assert_eq!(
+            "avc(m=3,d=0)".parse::<ProtocolSpec>().unwrap_err(),
+            "invalid protocol `avc(m=3,d=0)`: avc d must be >= 1"
+        );
+        assert!("avc(m=3,d=1)".parse::<ProtocolSpec>().is_ok());
+    }
+
+    #[test]
+    fn invalid_rival_parameters_are_rejected_at_parse_time() {
+        assert!("bef(l=0)".parse::<ProtocolSpec>().is_err());
+        assert!("bef(l=33)".parse::<ProtocolSpec>().is_err());
+        assert!("bef(l=32)".parse::<ProtocolSpec>().is_ok());
+        assert!("degssu(l=0,t=4)".parse::<ProtocolSpec>().is_err());
+        assert!("degssu(l=4,t=0)".parse::<ProtocolSpec>().is_err());
+        assert!("degssu(l=4,t=65)".parse::<ProtocolSpec>().is_err());
+        assert!("degssu(l=32,t=64)".parse::<ProtocolSpec>().is_ok());
+    }
+
+    #[test]
+    fn scenario_json_rejects_invalid_avc_parameters() {
+        let mut scenario = sample();
+        scenario.protocol = ProtocolSpec::Avc { m: 2, d: 0 };
+        let err = Scenario::parse(&scenario.canonical()).unwrap_err();
+        assert!(err.contains("avc m must be odd"), "{err}");
+    }
+
+    #[test]
+    fn unknown_protocol_hint_tracks_the_syntax_list() {
+        let err = "no_such_protocol".parse::<ProtocolSpec>().unwrap_err();
+        assert_eq!(
+            err,
+            format!(
+                "unknown protocol `no_such_protocol` ({})",
+                ProtocolSpec::syntax_hint()
+            )
+        );
+        // Every syntax row's base name is what `Display` prints for the
+        // matching variant, so the hint cannot drift from the parser.
+        for spec in [
+            ProtocolSpec::Avc { m: 1, d: 1 },
+            ProtocolSpec::Bef { levels: 1 },
+            ProtocolSpec::Degssu {
+                levels: 1,
+                phase: 1,
+            },
+            ProtocolSpec::FourState,
+            ProtocolSpec::ThreeState,
+            ProtocolSpec::Voter,
+        ] {
+            assert!(
+                ProtocolSpec::SYNTAX
+                    .iter()
+                    .any(|(name, _)| *name == spec.base_name()),
+                "{spec} missing from SYNTAX"
+            );
+            assert!(spec.to_string().starts_with(spec.base_name()));
+        }
+    }
+
+    #[test]
+    fn state_count_formulas() {
+        assert_eq!(ProtocolSpec::Avc { m: 15, d: 1 }.state_count(), 18);
+        assert_eq!(ProtocolSpec::Bef { levels: 8 }.state_count(), 20);
+        assert_eq!(
+            ProtocolSpec::Degssu {
+                levels: 3,
+                phase: 2
+            }
+            .state_count(),
+            26
+        );
+        assert_eq!(ProtocolSpec::FourState.state_count(), 4);
+        assert_eq!(ProtocolSpec::ThreeState.state_count(), 3);
+        assert_eq!(ProtocolSpec::Voter.state_count(), 2);
     }
 }

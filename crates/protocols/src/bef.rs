@@ -1,0 +1,419 @@
+//! The Berenbrink–Elsässer–Friedetzky cancel/split exact-majority protocol
+//! \[BEF18, arXiv:1805.05157].
+//!
+//! Agents carry signed power-of-two *tokens*. An agent is either **active**
+//! at a level `ℓ ∈ 0..=L`, holding value `sign · 2^{L−ℓ}`, or **inactive**
+//! with value `0` and a remembered *bias* (the sign of the last token it
+//! saw retired). Opinion `A` enters as `+2^L`, opinion `B` as `−2^L`, so
+//! the configuration-wide token sum is conserved at `(a − b) · 2^L` by
+//! every rule:
+//!
+//! * **cancel** — `±2^{L−ℓ}` meets `∓2^{L−ℓ}`: both become inactive.
+//! * **split** — an active below the bottom level meets an inactive: the
+//!   token halves into two tokens one level down (`2^{L−ℓ} = 2 · 2^{L−ℓ−1}`).
+//! * **merge** — two same-sign tokens at the same level `ℓ ≥ 1` combine one
+//!   level up, freeing an inactive. This is the recovery rule: without it,
+//!   populations can freeze with opposite-sign tokens stranded at disjoint
+//!   levels (reachable already at `n = 5`, `L = 2`).
+//! * **adopt** — a bottom-level (`ℓ = L`, value `±1`) active stamps its
+//!   sign onto inactive biases, broadcasting the surviving majority.
+//!
+//! Exactness is unconditional: all agents outputting the minority sign
+//! would force the conserved sum to the wrong side of zero. The merge rule
+//! additionally makes every *silent* configuration a consensus (or an
+//! exact tie): in a frozen configuration each level above `0` holds at
+//! most one token and opposite signs never share a level, so the sum's
+//! low bits could not vanish unless only level `0` — a single sign — is
+//! populated.
+//!
+//! This reproduction keeps \[BEF18]'s token dynamics but drops the paper's
+//! phase clock; levels desynchronize freely and the merge rule stands in
+//! for the clocked resynchronization. The state count `2L + 4` matches the
+//! paper's `Θ(log n)` space when `L ≈ log₂ n`. With `L = 0` the protocol
+//! degenerates to the four-state protocol (cancel + adopt only).
+//!
+//! Like \[BEF18], the protocol assumes the complete interaction graph.
+//! Token mass never changes position except by splitting into a partner —
+//! in particular `adopt` stamps the inactive partner but leaves the active
+//! token where it is — so on a restricted graph (e.g. the cycle) a lone
+//! surviving level-`L` token can only ever reach its immediate neighbors
+//! and stale biases farther away are never corrected. Exactness still
+//! holds there (the sum invariant is graph-independent), but convergence
+//! does not: on graphs of diameter above two the last token can be pinned
+//! arbitrarily far from a stale bias, so convergence sweeps pair this
+//! protocol with complete-graph schedulers (uniform, biased, starved,
+//! epoch) or the star, never the cycle.
+
+use avc_population::{Opinion, Protocol, StateId};
+use std::fmt;
+
+/// Parameter error for [`Bef::new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BefParameterError {
+    /// `levels` must be in `1..=Bef::MAX_LEVELS`.
+    InvalidLevels(u32),
+}
+
+impl fmt::Display for BefParameterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BefParameterError::InvalidLevels(l) => {
+                write!(f, "levels must be in 1..={}, got {l}", Bef::MAX_LEVELS)
+            }
+        }
+    }
+}
+
+impl std::error::Error for BefParameterError {}
+
+/// Inactive with bias `A` (value 0, outputs `A`).
+const INACTIVE_A: StateId = 0;
+/// Inactive with bias `B` (value 0, outputs `B`).
+const INACTIVE_B: StateId = 1;
+
+/// The \[BEF18] cancel/split/merge exact-majority protocol with `L`
+/// levels (`2L + 4` states).
+#[derive(Debug, Clone)]
+pub struct Bef {
+    levels: u32,
+    name: String,
+}
+
+/// A decoded [`Bef`] state: an inactive bias or an active signed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BefState {
+    /// Inactive; remembers the sign it would output.
+    Inactive(Opinion),
+    /// Active token of value `sign · 2^{L−level}`.
+    Active {
+        /// Token sign (`A` = `+`, `B` = `−`).
+        sign: Opinion,
+        /// Level `0..=L`; value halves as the level grows.
+        level: u32,
+    },
+}
+
+impl Bef {
+    /// Maximum supported number of levels (token values stay well inside
+    /// `i64` even when summed over large populations).
+    pub const MAX_LEVELS: u32 = 32;
+
+    /// Creates the protocol with `levels ∈ 1..=`[`Bef::MAX_LEVELS`] levels
+    /// below the input tokens (input value `2^levels`, bottom value `1`).
+    pub fn new(levels: u32) -> Result<Bef, BefParameterError> {
+        if levels == 0 || levels > Bef::MAX_LEVELS {
+            return Err(BefParameterError::InvalidLevels(levels));
+        }
+        Ok(Bef {
+            levels,
+            name: format!("bef(l={levels})"),
+        })
+    }
+
+    /// Number of levels `L`.
+    #[must_use]
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    fn decode(&self, state: StateId) -> BefState {
+        match state {
+            INACTIVE_A => BefState::Inactive(Opinion::A),
+            INACTIVE_B => BefState::Inactive(Opinion::B),
+            _ => {
+                let idx = state - 2;
+                let per_sign = self.levels + 1;
+                debug_assert!(idx < 2 * per_sign, "state {state} out of range");
+                if idx < per_sign {
+                    BefState::Active {
+                        sign: Opinion::A,
+                        level: idx,
+                    }
+                } else {
+                    BefState::Active {
+                        sign: Opinion::B,
+                        level: idx - per_sign,
+                    }
+                }
+            }
+        }
+    }
+
+    fn encode(&self, state: BefState) -> StateId {
+        match state {
+            BefState::Inactive(Opinion::A) => INACTIVE_A,
+            BefState::Inactive(Opinion::B) => INACTIVE_B,
+            BefState::Active { sign, level } => {
+                debug_assert!(level <= self.levels);
+                let base = match sign {
+                    Opinion::A => 2,
+                    Opinion::B => 2 + self.levels + 1,
+                };
+                base + level
+            }
+        }
+    }
+
+    /// The conserved token value of a state: `sign · 2^{L−ℓ}` for actives,
+    /// `0` for inactives. The configuration sum is invariant under every
+    /// transition and equals `(a − b) · 2^L`.
+    #[must_use]
+    pub fn value_of(&self, state: StateId) -> i64 {
+        match self.decode(state) {
+            BefState::Inactive(_) => 0,
+            BefState::Active { sign, level } => {
+                let magnitude = 1i64 << (self.levels - level);
+                match sign {
+                    Opinion::A => magnitude,
+                    Opinion::B => -magnitude,
+                }
+            }
+        }
+    }
+}
+
+impl Protocol for Bef {
+    fn num_states(&self) -> u32 {
+        2 * (self.levels + 1) + 2
+    }
+
+    fn transition(&self, initiator: StateId, responder: StateId) -> (StateId, StateId) {
+        use BefState::{Active, Inactive};
+        let (x, y) = (self.decode(initiator), self.decode(responder));
+        let (x2, y2) = match (x, y) {
+            (
+                Active {
+                    sign: sx,
+                    level: lx,
+                },
+                Active {
+                    sign: sy,
+                    level: ly,
+                },
+            ) => {
+                if lx == ly && sx != sy {
+                    // Cancel: opposite equal tokens retire each other.
+                    (Inactive(sx), Inactive(sy))
+                } else if lx == ly && lx >= 1 {
+                    // Merge: two equal same-sign tokens combine one level
+                    // up; the responder's slot becomes inactive.
+                    (
+                        Active {
+                            sign: sx,
+                            level: lx - 1,
+                        },
+                        Inactive(sx),
+                    )
+                } else {
+                    // Different levels never react (values cannot combine
+                    // into a single power of two).
+                    (x, y)
+                }
+            }
+            (Active { sign, level }, Inactive(bias)) => {
+                if level < self.levels {
+                    // Split: the token halves into both agents.
+                    let child = Active {
+                        sign,
+                        level: level + 1,
+                    };
+                    (child, child)
+                } else if bias != sign {
+                    // Adopt: a bottom-level token stamps its sign.
+                    (x, Inactive(sign))
+                } else {
+                    (x, y)
+                }
+            }
+            (Inactive(bias), Active { sign, level }) => {
+                if level < self.levels {
+                    let child = Active {
+                        sign,
+                        level: level + 1,
+                    };
+                    (child, child)
+                } else if bias != sign {
+                    (Inactive(sign), y)
+                } else {
+                    (x, y)
+                }
+            }
+            (Inactive(_), Inactive(_)) => (x, y),
+        };
+        (self.encode(x2), self.encode(y2))
+    }
+
+    fn output(&self, state: StateId) -> Opinion {
+        match self.decode(state) {
+            BefState::Inactive(bias) => bias,
+            BefState::Active { sign, .. } => sign,
+        }
+    }
+
+    fn input(&self, opinion: Opinion) -> StateId {
+        self.encode(BefState::Active {
+            sign: opinion,
+            level: 0,
+        })
+    }
+
+    fn state_label(&self, state: StateId) -> String {
+        match self.decode(state) {
+            BefState::Inactive(Opinion::A) => "0+".to_string(),
+            BefState::Inactive(Opinion::B) => "0-".to_string(),
+            BefState::Active { sign, level } => {
+                let magnitude = 1u64 << (self.levels - level);
+                match sign {
+                    Opinion::A => format!("+{magnitude}"),
+                    Opinion::B => format!("-{magnitude}"),
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avc_population::engine::{CountSim, Simulator};
+    use avc_population::rngutil::SeedSequence;
+    use avc_population::Config;
+
+    fn total_value(p: &Bef, counts: &[u64]) -> i64 {
+        counts
+            .iter()
+            .enumerate()
+            .map(|(q, &c)| p.value_of(q as StateId) * c as i64)
+            .sum()
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(Bef::new(0).is_err());
+        assert!(Bef::new(Bef::MAX_LEVELS + 1).is_err());
+        assert_eq!(
+            Bef::new(0).unwrap_err().to_string(),
+            format!("levels must be in 1..={}, got 0", Bef::MAX_LEVELS)
+        );
+        let p = Bef::new(8).expect("valid");
+        assert_eq!(p.num_states(), 20);
+        assert_eq!(p.name(), "bef(l=8)");
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_and_labels() {
+        let p = Bef::new(3).expect("valid");
+        for q in 0..p.num_states() {
+            assert_eq!(p.encode(p.decode(q)), q);
+        }
+        assert_eq!(p.state_label(p.input(Opinion::A)), "+8");
+        assert_eq!(p.state_label(p.input(Opinion::B)), "-8");
+        assert_eq!(p.state_label(INACTIVE_A), "0+");
+        assert_eq!(p.state_label(INACTIVE_B), "0-");
+    }
+
+    #[test]
+    fn inputs_carry_the_full_weight() {
+        let p = Bef::new(5).expect("valid");
+        assert_eq!(p.value_of(p.input(Opinion::A)), 32);
+        assert_eq!(p.value_of(p.input(Opinion::B)), -32);
+        assert_eq!(p.output(p.input(Opinion::A)), Opinion::A);
+        assert_eq!(p.output(p.input(Opinion::B)), Opinion::B);
+    }
+
+    #[test]
+    fn every_transition_conserves_token_value() {
+        let p = Bef::new(4).expect("valid");
+        let s = p.num_states();
+        for a in 0..s {
+            for b in 0..s {
+                let (a2, b2) = p.transition(a, b);
+                assert!(a2 < s && b2 < s, "transition escaped the state space");
+                assert_eq!(
+                    p.value_of(a) + p.value_of(b),
+                    p.value_of(a2) + p.value_of(b2),
+                    "value not conserved on ({a}, {b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn named_rules_fire() {
+        let p = Bef::new(2).expect("valid");
+        let a0 = p.input(Opinion::A); // +4
+        let b0 = p.input(Opinion::B); // −4
+                                      // Cancel at the top level.
+        assert_eq!(p.transition(a0, b0), (INACTIVE_A, INACTIVE_B));
+        // Split: +4 meets an inactive → two +2.
+        let (x, y) = p.transition(a0, INACTIVE_B);
+        assert_eq!(x, y);
+        assert_eq!(p.value_of(x), 2);
+        // Merge: two +2 → one +4 plus an inactive biased A.
+        let (m, i) = p.transition(x, y);
+        assert_eq!(p.value_of(m), 4);
+        assert_eq!(i, INACTIVE_A);
+        // Adopt: a bottom-level token (+1) stamps biases but never splits.
+        let plus_one = {
+            let (c, _) = p.transition(x, INACTIVE_B);
+            c
+        };
+        assert_eq!(p.value_of(plus_one), 1);
+        assert_eq!(p.transition(plus_one, INACTIVE_B), (plus_one, INACTIVE_A));
+        assert!(p.is_silent(plus_one, INACTIVE_A));
+    }
+
+    #[test]
+    fn silent_pairs() {
+        let p = Bef::new(3).expect("valid");
+        // Inactive pairs are silent; unequal active levels are silent.
+        assert!(p.is_silent(INACTIVE_A, INACTIVE_B));
+        let a0 = p.input(Opinion::A);
+        let (a1, _) = p.transition(a0, INACTIVE_A);
+        assert!(p.is_silent(a0, a1));
+        let b0 = p.input(Opinion::B);
+        let (b1, _) = p.transition(b0, INACTIVE_A);
+        assert!(p.is_silent(a0, b1));
+        assert!(!p.is_silent(a0, b0));
+        assert!(!p.is_silent(a1, b1));
+    }
+
+    #[test]
+    fn converges_exactly_on_small_populations() {
+        let p = Bef::new(4).expect("valid");
+        let seeds = SeedSequence::new(0xBEF);
+        for trial in 0..40u64 {
+            let (a, b) = if trial % 2 == 0 { (6, 5) } else { (4, 7) };
+            let winner = if a > b { Opinion::A } else { Opinion::B };
+            let config = Config::from_input(&p, a, b);
+            let mut sim = CountSim::new(p.clone(), config);
+            let mut rng = seeds.rng_for(trial);
+            let out = sim.run_to_consensus(&mut rng, 2_000_000);
+            assert_eq!(
+                out.verdict.opinion(),
+                Some(winner),
+                "wrong or missing consensus in trial {trial}"
+            );
+        }
+    }
+
+    #[test]
+    fn token_sum_is_invariant_along_a_run() {
+        let p = Bef::new(5).expect("valid");
+        let (a, b) = (30u64, 21u64);
+        let expected = (a as i64 - b as i64) * (1i64 << 5);
+        let config = Config::from_input(&p, a, b);
+        let mut sim = CountSim::new(p.clone(), config);
+        let mut rng = SeedSequence::new(7).rng_for(0);
+        for _ in 0..20_000 {
+            if sim.advance(&mut rng) == 0 {
+                break;
+            }
+            assert_eq!(total_value(&p, sim.counts()), expected);
+        }
+    }
+}

@@ -1,0 +1,480 @@
+//! The Doty–Eftekhari–Gąsieniec–Severson–Stachowiak–Uznański clocked
+//! cancel/split exact-majority protocol \[DEGSSU21, arXiv:2106.10201].
+//!
+//! Like [`Bef`](crate::Bef), agents carry signed power-of-two tokens with a
+//! conserved sum `(a − b) · 2^L`; the difference is *when* tokens are
+//! allowed to move between levels. \[DEGSSU21] synchronizes the descent
+//! with a phase clock so each level gets a full cancellation window before
+//! tokens split below it. This reproduction keeps that discipline with a
+//! per-agent clock: an active token counts its own interactions at its
+//! current level (`c ∈ 0..=T`, saturating) and may only split or merge
+//! once the count reaches the phase length `T`. Cancellation-type
+//! reactions are never gated.
+//!
+//! * **cancel** — opposite signs at the same level: both become inactive.
+//! * **absorb** — opposite signs at *adjacent* levels: the larger token
+//!   shrinks one level (`2^{k} − 2^{k−1} = 2^{k−1}`) and the smaller
+//!   retires. \[DEGSSU21]'s cross-level cancellation; Bef has no analogue.
+//! * **tick** — any other meeting increments each participant's clock
+//!   toward `T`.
+//! * **split** — an expired (`c = T`) active above the bottom level meets
+//!   an inactive: the token halves, both children restart their clocks.
+//! * **merge** — two expired same-sign tokens at the same level `ℓ ≥ 1`
+//!   combine one level up with a fresh clock. This is the backup recovery
+//!   role the paper delegates to its fallback protocol: tokens that
+//!   outlived their cancellation window re-coarsen instead of stalling.
+//! * **adopt** — a bottom-level token stamps its sign onto inactive biases.
+//!
+//! Exactness is unconditional (the sum invariant survives every rule, and
+//! clocks carry no value); the frozen-configuration argument from
+//! [`Bef`](crate::Bef) applies verbatim once all clocks expire, so every
+//! silent configuration is a consensus or an exact tie. The state count is
+//! `2(L+1)(T+1) + 2`.
+//!
+//! Like [`Bef`](crate::Bef), the protocol assumes the complete interaction
+//! graph: `adopt` stamps the inactive partner without moving the active
+//! token, so on a sparse restricted graph a lone surviving token cannot
+//! reach distant stale biases and convergence fails even though exactness
+//! (the graph-independent sum invariant) survives.
+
+use avc_population::{Opinion, Protocol, StateId};
+use std::fmt;
+
+/// Parameter error for [`Degssu::new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegssuParameterError {
+    /// `levels` must be in `1..=Degssu::MAX_LEVELS`.
+    InvalidLevels(u32),
+    /// `phase` must be in `1..=Degssu::MAX_PHASE`.
+    InvalidPhase(u32),
+}
+
+impl fmt::Display for DegssuParameterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DegssuParameterError::InvalidLevels(l) => {
+                write!(f, "levels must be in 1..={}, got {l}", Degssu::MAX_LEVELS)
+            }
+            DegssuParameterError::InvalidPhase(t) => {
+                write!(
+                    f,
+                    "phase length must be in 1..={}, got {t}",
+                    Degssu::MAX_PHASE
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for DegssuParameterError {}
+
+/// Inactive with bias `A`.
+const INACTIVE_A: StateId = 0;
+/// Inactive with bias `B`.
+const INACTIVE_B: StateId = 1;
+
+/// The \[DEGSSU21] clocked cancel/split exact-majority protocol with `L`
+/// levels and phase length `T` (`2(L+1)(T+1) + 2` states).
+#[derive(Debug, Clone)]
+pub struct Degssu {
+    levels: u32,
+    phase: u32,
+    name: String,
+}
+
+/// A decoded [`Degssu`] state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DegssuState {
+    /// Inactive; remembers the sign it would output.
+    Inactive(Opinion),
+    /// Active token of value `sign · 2^{L−level}` with a saturating
+    /// per-level interaction clock `clock ∈ 0..=T`.
+    Active {
+        /// Token sign (`A` = `+`, `B` = `−`).
+        sign: Opinion,
+        /// Level `0..=L`; value halves as the level grows.
+        level: u32,
+        /// Interactions spent at this level, saturating at `T`.
+        clock: u32,
+    },
+}
+
+impl Degssu {
+    /// Maximum supported number of levels (shared bound with
+    /// [`Bef`](crate::Bef): token values stay well inside `i64`).
+    pub const MAX_LEVELS: u32 = 32;
+
+    /// Maximum supported phase length (bounds the state count).
+    pub const MAX_PHASE: u32 = 64;
+
+    /// Creates the protocol with `levels ∈ 1..=`[`Degssu::MAX_LEVELS`] and
+    /// phase length `phase ∈ 1..=`[`Degssu::MAX_PHASE`] interactions per
+    /// level.
+    pub fn new(levels: u32, phase: u32) -> Result<Degssu, DegssuParameterError> {
+        if levels == 0 || levels > Degssu::MAX_LEVELS {
+            return Err(DegssuParameterError::InvalidLevels(levels));
+        }
+        if phase == 0 || phase > Degssu::MAX_PHASE {
+            return Err(DegssuParameterError::InvalidPhase(phase));
+        }
+        Ok(Degssu {
+            levels,
+            phase,
+            name: format!("degssu(l={levels},t={phase})"),
+        })
+    }
+
+    /// Number of levels `L`.
+    #[must_use]
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// Phase length `T` (interactions an active token waits at a level
+    /// before it may split or merge).
+    #[must_use]
+    pub fn phase(&self) -> u32 {
+        self.phase
+    }
+
+    fn decode(&self, state: StateId) -> DegssuState {
+        match state {
+            INACTIVE_A => DegssuState::Inactive(Opinion::A),
+            INACTIVE_B => DegssuState::Inactive(Opinion::B),
+            _ => {
+                let idx = state - 2;
+                let clocks = self.phase + 1;
+                let per_sign = (self.levels + 1) * clocks;
+                debug_assert!(idx < 2 * per_sign, "state {state} out of range");
+                let (sign, rest) = if idx < per_sign {
+                    (Opinion::A, idx)
+                } else {
+                    (Opinion::B, idx - per_sign)
+                };
+                DegssuState::Active {
+                    sign,
+                    level: rest / clocks,
+                    clock: rest % clocks,
+                }
+            }
+        }
+    }
+
+    fn encode(&self, state: DegssuState) -> StateId {
+        match state {
+            DegssuState::Inactive(Opinion::A) => INACTIVE_A,
+            DegssuState::Inactive(Opinion::B) => INACTIVE_B,
+            DegssuState::Active { sign, level, clock } => {
+                debug_assert!(level <= self.levels && clock <= self.phase);
+                let clocks = self.phase + 1;
+                let base = match sign {
+                    Opinion::A => 0,
+                    Opinion::B => (self.levels + 1) * clocks,
+                };
+                2 + base + level * clocks + clock
+            }
+        }
+    }
+
+    /// The conserved token value of a state (clocks carry no value): the
+    /// configuration sum is invariant and equals `(a − b) · 2^L`.
+    #[must_use]
+    pub fn value_of(&self, state: StateId) -> i64 {
+        match self.decode(state) {
+            DegssuState::Inactive(_) => 0,
+            DegssuState::Active { sign, level, .. } => {
+                let magnitude = 1i64 << (self.levels - level);
+                match sign {
+                    Opinion::A => magnitude,
+                    Opinion::B => -magnitude,
+                }
+            }
+        }
+    }
+
+    fn tick(&self, state: DegssuState) -> DegssuState {
+        match state {
+            DegssuState::Active { sign, level, clock } if clock < self.phase => {
+                DegssuState::Active {
+                    sign,
+                    level,
+                    clock: clock + 1,
+                }
+            }
+            other => other,
+        }
+    }
+}
+
+impl Protocol for Degssu {
+    fn num_states(&self) -> u32 {
+        2 * (self.levels + 1) * (self.phase + 1) + 2
+    }
+
+    fn transition(&self, initiator: StateId, responder: StateId) -> (StateId, StateId) {
+        use DegssuState::{Active, Inactive};
+        let (x, y) = (self.decode(initiator), self.decode(responder));
+        let (x2, y2) = match (x, y) {
+            (
+                Active {
+                    sign: sx,
+                    level: lx,
+                    clock: cx,
+                },
+                Active {
+                    sign: sy,
+                    level: ly,
+                    clock: cy,
+                },
+            ) => {
+                if sx != sy && lx == ly {
+                    // Cancel: opposite equal tokens retire each other.
+                    (Inactive(sx), Inactive(sy))
+                } else if sx != sy && lx + 1 == ly {
+                    // Absorb: the initiator's larger token shrinks one
+                    // level; the responder retires.
+                    (
+                        Active {
+                            sign: sx,
+                            level: lx + 1,
+                            clock: 0,
+                        },
+                        Inactive(sy),
+                    )
+                } else if sx != sy && ly + 1 == lx {
+                    (
+                        Inactive(sx),
+                        Active {
+                            sign: sy,
+                            level: ly + 1,
+                            clock: 0,
+                        },
+                    )
+                } else if sx == sy && lx == ly && lx >= 1 && cx == self.phase && cy == self.phase {
+                    // Merge: two expired equal tokens re-coarsen one level
+                    // up with a fresh cancellation window.
+                    (
+                        Active {
+                            sign: sx,
+                            level: lx - 1,
+                            clock: 0,
+                        },
+                        Inactive(sx),
+                    )
+                } else {
+                    // No reaction: both clocks advance toward expiry.
+                    (self.tick(x), self.tick(y))
+                }
+            }
+            (Active { sign, level, clock }, Inactive(bias)) => {
+                if level < self.levels && clock == self.phase {
+                    // Split: the expired token halves into both agents.
+                    let child = Active {
+                        sign,
+                        level: level + 1,
+                        clock: 0,
+                    };
+                    (child, child)
+                } else if level == self.levels && bias != sign {
+                    // Adopt: a bottom-level token stamps its sign.
+                    (self.tick(x), Inactive(sign))
+                } else {
+                    (self.tick(x), y)
+                }
+            }
+            (Inactive(bias), Active { sign, level, clock }) => {
+                if level < self.levels && clock == self.phase {
+                    let child = Active {
+                        sign,
+                        level: level + 1,
+                        clock: 0,
+                    };
+                    (child, child)
+                } else if level == self.levels && bias != sign {
+                    (Inactive(sign), self.tick(y))
+                } else {
+                    (x, self.tick(y))
+                }
+            }
+            (Inactive(_), Inactive(_)) => (x, y),
+        };
+        (self.encode(x2), self.encode(y2))
+    }
+
+    fn output(&self, state: StateId) -> Opinion {
+        match self.decode(state) {
+            DegssuState::Inactive(bias) => bias,
+            DegssuState::Active { sign, .. } => sign,
+        }
+    }
+
+    fn input(&self, opinion: Opinion) -> StateId {
+        self.encode(DegssuState::Active {
+            sign: opinion,
+            level: 0,
+            clock: 0,
+        })
+    }
+
+    fn state_label(&self, state: StateId) -> String {
+        match self.decode(state) {
+            DegssuState::Inactive(Opinion::A) => "0+".to_string(),
+            DegssuState::Inactive(Opinion::B) => "0-".to_string(),
+            DegssuState::Active { sign, level, clock } => {
+                let magnitude = 1u64 << (self.levels - level);
+                match sign {
+                    Opinion::A => format!("+{magnitude}@{clock}"),
+                    Opinion::B => format!("-{magnitude}@{clock}"),
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use avc_population::engine::{CountSim, Simulator};
+    use avc_population::rngutil::SeedSequence;
+    use avc_population::Config;
+
+    fn total_value(p: &Degssu, counts: &[u64]) -> i64 {
+        counts
+            .iter()
+            .enumerate()
+            .map(|(q, &c)| p.value_of(q as StateId) * c as i64)
+            .sum()
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(Degssu::new(0, 2).is_err());
+        assert!(Degssu::new(Degssu::MAX_LEVELS + 1, 2).is_err());
+        assert!(Degssu::new(3, 0).is_err());
+        assert!(Degssu::new(3, Degssu::MAX_PHASE + 1).is_err());
+        let p = Degssu::new(3, 2).expect("valid");
+        assert_eq!(p.num_states(), 26);
+        assert_eq!(p.name(), "degssu(l=3,t=2)");
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let p = Degssu::new(3, 2).expect("valid");
+        for q in 0..p.num_states() {
+            assert_eq!(p.encode(p.decode(q)), q);
+        }
+        assert_eq!(p.state_label(p.input(Opinion::A)), "+8@0");
+        assert_eq!(p.state_label(p.input(Opinion::B)), "-8@0");
+    }
+
+    #[test]
+    fn every_transition_conserves_token_value() {
+        let p = Degssu::new(2, 2).expect("valid");
+        let s = p.num_states();
+        for a in 0..s {
+            for b in 0..s {
+                let (a2, b2) = p.transition(a, b);
+                assert!(a2 < s && b2 < s, "transition escaped the state space");
+                assert_eq!(
+                    p.value_of(a) + p.value_of(b),
+                    p.value_of(a2) + p.value_of(b2),
+                    "value not conserved on ({a}, {b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn clock_gates_the_split() {
+        let p = Degssu::new(2, 2).expect("valid");
+        let a0 = p.input(Opinion::A); // +4, clock 0
+                                      // Meeting inactives before expiry only ticks the clock.
+        let (a1, i) = p.transition(a0, INACTIVE_B);
+        assert_eq!(i, INACTIVE_B);
+        assert_eq!(p.value_of(a1), 4);
+        let (a2, _) = p.transition(a1, INACTIVE_B);
+        assert_eq!(p.value_of(a2), 4);
+        // Clock now expired (T = 2): the next inactive meeting splits.
+        let (x, y) = p.transition(a2, INACTIVE_B);
+        assert_eq!(x, y);
+        assert_eq!(p.value_of(x), 2);
+    }
+
+    #[test]
+    fn cancel_and_absorb_are_never_gated() {
+        let p = Degssu::new(2, 2).expect("valid");
+        let a0 = p.input(Opinion::A); // +4 @ 0
+        let b0 = p.input(Opinion::B); // −4 @ 0
+        assert_eq!(p.transition(a0, b0), (INACTIVE_A, INACTIVE_B));
+        // Build a −2 (split an expired −4).
+        let (b1, _) = p.transition(b0, INACTIVE_A);
+        let (b2, _) = p.transition(b1, INACTIVE_A);
+        let (minus_two, _) = p.transition(b2, INACTIVE_A);
+        assert_eq!(p.value_of(minus_two), -2);
+        // Absorb: +4 meets −2 (adjacent levels) → +2 plus a retired −.
+        let (x, y) = p.transition(a0, minus_two);
+        assert_eq!(p.value_of(x), 2);
+        assert_eq!(y, INACTIVE_B);
+        // Symmetric orientation.
+        let (x2, y2) = p.transition(minus_two, a0);
+        assert_eq!(x2, INACTIVE_B);
+        assert_eq!(p.value_of(y2), 2);
+    }
+
+    #[test]
+    fn merge_requires_both_clocks_expired() {
+        let p = Degssu::new(2, 1).expect("valid");
+        let a0 = p.input(Opinion::A);
+        let (fresh, other) = p.transition(a0, INACTIVE_A); // tick to @1 = T
+        assert_eq!(other, INACTIVE_A);
+        let (c1, c2) = p.transition(fresh, INACTIVE_A); // split: two +2 @ 0
+        assert_eq!(p.value_of(c1), 2);
+        // Fresh clocks: the pair only ticks.
+        let (t1, t2) = p.transition(c1, c2);
+        assert_eq!(p.value_of(t1) + p.value_of(t2), 4);
+        assert_ne!(t1, INACTIVE_A);
+        // Expired clocks: the pair merges back to +4.
+        let (m, i) = p.transition(t1, t2);
+        assert_eq!(p.value_of(m), 4);
+        assert_eq!(i, INACTIVE_A);
+    }
+
+    #[test]
+    fn converges_exactly_on_small_populations() {
+        let p = Degssu::new(3, 2).expect("valid");
+        let seeds = SeedSequence::new(0xDE655);
+        for trial in 0..40u64 {
+            let (a, b) = if trial % 2 == 0 { (6, 5) } else { (4, 7) };
+            let winner = if a > b { Opinion::A } else { Opinion::B };
+            let config = Config::from_input(&p, a, b);
+            let mut sim = CountSim::new(p.clone(), config);
+            let mut rng = seeds.rng_for(trial);
+            let out = sim.run_to_consensus(&mut rng, 2_000_000);
+            assert_eq!(
+                out.verdict.opinion(),
+                Some(winner),
+                "wrong or missing consensus in trial {trial}"
+            );
+        }
+    }
+
+    #[test]
+    fn token_sum_is_invariant_along_a_run() {
+        let p = Degssu::new(4, 3).expect("valid");
+        let (a, b) = (30u64, 21u64);
+        let expected = (a as i64 - b as i64) * (1i64 << 4);
+        let config = Config::from_input(&p, a, b);
+        let mut sim = CountSim::new(p.clone(), config);
+        let mut rng = SeedSequence::new(11).rng_for(0);
+        for _ in 0..20_000 {
+            if sim.advance(&mut rng) == 0 {
+                break;
+            }
+            assert_eq!(total_value(&p, sim.counts()), expected);
+        }
+    }
+}

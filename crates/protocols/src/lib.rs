@@ -18,6 +18,16 @@
 //! * [`Epidemic`] — one-way broadcast, the executable form of the
 //!   information-propagation process behind the `Ω(log n)` lower bound.
 //!
+//! Two rival exact-majority protocols from follow-up work round out the
+//! comparison set:
+//!
+//! * [`Bef`] — the Berenbrink–Elsässer–Friedetzky cancel/split/merge
+//!   protocol (arXiv:1805.05157), `2L + 4` states of signed power-of-two
+//!   tokens;
+//! * [`Degssu`] — the Doty et al. time-and-space-optimal protocol
+//!   (arXiv:2106.10201) reproduced as a clocked cancel/split:
+//!   `2(L+1)(T+1) + 2` states, splits gated by a per-agent phase clock.
+//!
 //! All protocols implement [`avc_population::Protocol`] and run on any of
 //! the engines in [`avc_population::engine`].
 //!
@@ -45,6 +55,8 @@
 pub mod compose;
 
 mod avc;
+mod bef;
+mod degssu;
 mod epidemic;
 mod four_state;
 mod leader_election;
@@ -52,6 +64,8 @@ mod three_state;
 mod voter;
 
 pub use crate::avc::{Avc, AvcParameterError, AvcState, Sign};
+pub use crate::bef::{Bef, BefParameterError};
+pub use crate::degssu::{Degssu, DegssuParameterError};
 pub use crate::epidemic::Epidemic;
 pub use crate::four_state::{FourState, FourStateState};
 pub use crate::leader_election::LeaderElection;

@@ -30,7 +30,7 @@ use avc_population::spec::Verdict;
 use avc_population::telemetry::export::{prometheus_text, read_lines_tolerant};
 use avc_population::telemetry::metrics::bucket_bounds;
 use avc_population::telemetry::{keys, CellTelemetry, HistogramSnapshot};
-use avc_population::{EngineKind, Scenario, SchedulerSpec};
+use avc_population::{EngineKind, ProtocolSpec, Scenario, SchedulerSpec};
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
@@ -56,10 +56,17 @@ fn collector(args: &Args) -> StatsCollector {
 }
 
 fn build_plan(name: &str, args: &Args) -> Result<Plan, String> {
+    // A name ending in `.json` is a scenario-grid file, not a registered
+    // spec module — the route by which new protocols get comparison sweeps
+    // without new Rust code (see `scenario_grid`).
+    if name.ends_with(".json") {
+        return crate::scenario_grid::load_plan(name, args);
+    }
     specs::build(name, args).ok_or_else(|| {
         let known: Vec<&str> = specs::NAMES.iter().map(|(n, _)| *n).collect();
         format!(
-            "unknown sweep `{name}` — known sweeps: {}",
+            "unknown sweep `{name}` — known sweeps: {} (or a path to a scenario-grid \
+             *.grid.json file)",
             known.join(", ")
         )
     })
@@ -515,11 +522,17 @@ fn cmd_top(name: Option<&str>, args: &Args) -> Result<(), String> {
     }
 }
 
-/// `avc run <scenario.json>`: executes one declarative scenario file
+/// `avc run <scenario.json>`: executes one declarative scenario file —
+/// or a whole scenario grid (any file with a top-level `cells` array) —
 /// end-to-end through the shared harness and prints the outcome summary.
+/// Grid runs honor `--quick`.
 fn cmd_run(path: &str, args: &Args) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let scenario = Scenario::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let json = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    if crate::scenario_grid::is_grid(&json) {
+        return cmd_run_grid(path, &json, args);
+    }
+    let scenario = Scenario::from_json(&json).map_err(|e| format!("{path}: {e}"))?;
     if scenario.scheduler != SchedulerSpec::Uniform && scenario.engine != EngineKind::Agent {
         return Err(format!(
             "{path}: scheduler `{}` needs per-agent scheduling — set \"engine\": \"agent\" \
@@ -528,6 +541,42 @@ fn cmd_run(path: &str, args: &Args) -> Result<(), String> {
         ));
     }
     println!("== avc run {path} ==");
+    run_scenario(&scenario, args);
+    Ok(())
+}
+
+/// Runs every cell of a scenario grid store-free (the `avc run` analogue of
+/// a grid sweep) and prints a per-grid wrong-consensus tally.
+fn cmd_run_grid(path: &str, json: &Json, args: &Args) -> Result<(), String> {
+    let grid =
+        crate::scenario_grid::ScenarioGrid::from_json(json).map_err(|e| format!("{path}: {e}"))?;
+    let quick = args.flag("quick");
+    let cells = grid.profile_cells(quick);
+    println!("== avc run {path} ==");
+    println!(
+        "grid {}: {}{} — {} of {} cell(s)",
+        grid.name,
+        grid.banner,
+        if quick { " [quick profile]" } else { "" },
+        cells.len(),
+        grid.cells.len()
+    );
+    let mut wrong_total = 0u64;
+    for cell in &cells {
+        println!("\n-- cell {} --", cell.label);
+        wrong_total += run_scenario(&cell.scenario, args);
+    }
+    println!(
+        "\ngrid {}: {} cell(s) ran, wrong_consensus={wrong_total}",
+        grid.name,
+        cells.len()
+    );
+    Ok(())
+}
+
+/// Executes one scenario through the shared harness, prints its summary
+/// block, and returns the number of wrong-consensus runs.
+fn run_scenario(scenario: &Scenario, args: &Args) -> u64 {
     println!(
         "scenario {}: {} on n = {} (a = {}, b = {}), engine {}, scheduler {}, \
          {} fault(s), {} runs, seed {}",
@@ -544,7 +593,7 @@ fn cmd_run(path: &str, args: &Args) -> Result<(), String> {
     );
     let winner = scenario.instance.winner();
     let started = std::time::Instant::now();
-    let (results, telemetry) = ScenarioPlan::new(scenario)
+    let (results, telemetry) = ScenarioPlan::new(scenario.clone())
         .parallelism(args.parallelism())
         .run_with_telemetry(&collector(args));
     let wall = started.elapsed().as_secs_f64();
@@ -588,7 +637,7 @@ fn cmd_run(path: &str, args: &Args) -> Result<(), String> {
         .steps_per_sec()
         .map_or("-".to_string(), |r| format!("{r:.3e}"));
     println!("telemetry: {steps} steps, {rate} steps/s, {wall:.1}s wall");
-    Ok(())
+    wrong
 }
 
 fn usage() -> String {
@@ -601,7 +650,8 @@ fn usage() -> String {
          \x20 resume <name>   alias for sweep\n\
          \x20 merge <name>    fold shard stores (--stores DIR1,DIR2,...) into\n\
          \x20                 --store, ordered like an unsharded sweep\n\
-         \x20 run <file>      execute one scenario JSON file end-to-end\n\
+         \x20 run <file>      execute one scenario JSON file — or a whole\n\
+         \x20                 *.grid.json grid — end-to-end\n\
          \x20                 (see examples/scenarios/)\n\
          \x20 export <name>   write the sweep's results/*.csv from the store\n\
          \x20 report <name>   render the sweep's telemetry (throughput table,\n\
@@ -620,6 +670,16 @@ fn usage() -> String {
     );
     for (name, description) in specs::NAMES {
         out.push_str(&format!("  {name:<16} {description}\n"));
+    }
+    out.push_str(
+        "\x20 <path>.json      any scenario-grid file (examples/scenarios/*.grid.json)\n\
+         \n\
+         protocols (scenario \"protocol\" strings):\n",
+    );
+    // Derived from the same canonical list as the parser and its error
+    // hint, so the help can never drift from what `FromStr` accepts.
+    for (name, params) in ProtocolSpec::SYNTAX {
+        out.push_str(&format!("  {name}{params}\n"));
     }
     out
 }

@@ -22,6 +22,7 @@ pub mod hash;
 pub mod json;
 pub mod manifest;
 pub mod record;
+pub mod scenario_grid;
 pub mod specs;
 pub mod store;
 pub mod sweep;

@@ -1,5 +1,5 @@
 //! Golden-trace regression tests: tiny fixed-seed [`CountSim`] runs with
-//! checked-in expected count trajectories for all six protocols plus the
+//! checked-in expected count trajectories for all eight protocols plus the
 //! parallel composition. Any edit
 //! that changes a transition function, the pair sampler, or the RNG stream
 //! shifts these traces and fails loudly.
@@ -12,7 +12,7 @@ use avc::population::engine::{CountSim, Simulator};
 use avc::population::rngutil::SeedSequence;
 use avc::population::{Config, Protocol};
 use avc::protocols::compose::{Lead, Parallel};
-use avc::protocols::{Avc, Epidemic, FourState, LeaderElection, ThreeState, Voter};
+use avc::protocols::{Avc, Bef, Degssu, Epidemic, FourState, LeaderElection, ThreeState, Voter};
 
 /// Runs `protocol` from `(a, b)` on [`CountSim`] with trial stream 0 of
 /// `SeedSequence::new(seed)` and records `steps counts` every `stride`
@@ -108,6 +108,32 @@ const EXPECTED_COMPOSE: &str = "\
 24 [4, 0, 0, 1, 6, 0, 4, 0]
 30 [4, 0, 0, 1, 6, 0, 4, 0]";
 
+const EXPECTED_BEF: &str = "\
+0 [0, 0, 9, 0, 0, 0, 6, 0, 0, 0]
+6 [1, 2, 6, 2, 0, 0, 4, 0, 0, 0]
+12 [2, 2, 5, 2, 0, 0, 2, 2, 0, 0]
+18 [1, 1, 4, 2, 2, 0, 1, 2, 2, 0]
+24 [1, 1, 2, 6, 1, 0, 1, 2, 1, 0]
+30 [1, 2, 1, 7, 1, 0, 1, 1, 1, 0]
+36 [1, 1, 1, 6, 3, 0, 1, 1, 1, 0]
+42 [2, 0, 1, 6, 3, 0, 1, 1, 1, 0]
+48 [1, 0, 1, 5, 5, 0, 1, 1, 1, 0]
+54 [0, 0, 1, 5, 4, 2, 1, 1, 1, 0]
+60 [1, 1, 2, 3, 2, 4, 1, 1, 0, 0]";
+
+const EXPECTED_DEGSSU: &str = "\
+0 [0, 0, 9, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 6, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]
+6 [3, 3, 6, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 3, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]
+12 [4, 4, 2, 3, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]
+18 [4, 4, 1, 3, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0]
+24 [4, 4, 1, 2, 0, 2, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0, 0]
+30 [4, 4, 0, 1, 2, 2, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 1, 0, 0, 0, 0, 0, 0]
+36 [4, 4, 0, 1, 1, 1, 1, 0, 2, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0]
+42 [3, 3, 0, 1, 0, 3, 1, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 0, 0, 0, 0]
+48 [3, 4, 0, 0, 1, 2, 0, 1, 1, 0, 2, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0, 0, 0]
+54 [3, 5, 0, 0, 0, 2, 2, 1, 0, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]
+60 [2, 5, 0, 0, 0, 1, 2, 1, 2, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0]";
+
 /// The composite used by the composition golden trace: four-state majority
 /// running in parallel with a one-way epidemic, outputs led by the
 /// majority component. Packs as `first * |second| + second` (8 states).
@@ -166,6 +192,24 @@ fn compose_trace_is_stable() {
     assert_eq!(trace(&composite(), 9, 6, 106, 30, 6), EXPECTED_COMPOSE);
 }
 
+/// BEF cancel/split/merge/adopt token dynamics at `L = 3` (10 states);
+/// pins the state packing (inactives at 0/1, `+` actives by level, then
+/// `-` actives) alongside the sampler stream.
+#[test]
+fn bef_trace_is_stable() {
+    let bef = Bef::new(3).expect("valid parameters");
+    assert_eq!(trace(&bef, 9, 6, 107, 60, 6), EXPECTED_BEF);
+}
+
+/// DEGSSU clocked dynamics at `L = 3`, `T = 2` (26 states); pins the
+/// `(sign, level, clock)` packing, the clock-gated split/merge, and the
+/// cross-level absorb rule alongside the sampler stream.
+#[test]
+fn degssu_trace_is_stable() {
+    let degssu = Degssu::new(3, 2).expect("valid parameters");
+    assert_eq!(trace(&degssu, 9, 6, 108, 60, 6), EXPECTED_DEGSSU);
+}
+
 /// Regeneration helper (see the module docs). Ignored by default.
 #[test]
 #[ignore = "prints the current traces for manual regeneration"]
@@ -184,4 +228,8 @@ fn print_traces() {
     );
     println!("epidemic:\n{}\n", trace(&Epidemic, 3, 12, 109, 60, 6));
     println!("compose:\n{}\n", trace(&composite(), 9, 6, 106, 30, 6));
+    let bef = Bef::new(3).expect("valid parameters");
+    println!("bef:\n{}\n", trace(&bef, 9, 6, 107, 60, 6));
+    let degssu = Degssu::new(3, 2).expect("valid parameters");
+    println!("degssu:\n{}\n", trace(&degssu, 9, 6, 108, 60, 6));
 }

@@ -15,7 +15,7 @@ use avc::population::sched::{
 };
 use avc::population::spec::RunOutcome;
 use avc::population::{Config, ConvergenceRule, MajorityInstance, Protocol};
-use avc::protocols::{Avc, FourState};
+use avc::protocols::{Avc, Bef, Degssu, FourState};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -119,6 +119,23 @@ fn avc_exact_under_fair_adversarial_schedulers() {
 #[test]
 fn four_state_exact_under_fair_adversarial_schedulers() {
     assert_exact_under_fair_adversaries(&FourState, "four_state");
+}
+
+/// The BEF split/cancel rival stays exact under every fair adversarial
+/// schedule, at the hardest margin. (Graph-restricted schedules are out of
+/// scope: BEF assumes the clique — see the module docs on `Bef`.)
+#[test]
+fn bef_exact_under_fair_adversarial_schedulers() {
+    let bef = Bef::new(5).expect("valid parameters");
+    assert_exact_under_fair_adversaries(&bef, "bef");
+}
+
+/// The DEGSSU clocked rival stays exact under every fair adversarial
+/// schedule, at the hardest margin.
+#[test]
+fn degssu_exact_under_fair_adversarial_schedulers() {
+    let degssu = Degssu::new(5, 3).expect("valid parameters");
+    assert_exact_under_fair_adversaries(&degssu, "degssu");
 }
 
 /// The four-state protocol additionally converges exactly when the

@@ -11,13 +11,22 @@ use avc::population::{
 use proptest::prelude::*;
 
 fn protocol_spec(choice: usize, half_m: u64, d: u32) -> ProtocolSpec {
-    match choice % 4 {
+    match choice % 6 {
         0 => ProtocolSpec::Avc {
             m: 2 * half_m + 1,
             d,
         },
         1 => ProtocolSpec::FourState,
         2 => ProtocolSpec::ThreeState,
+        // Reuse the AVC parameter ranges for the rivals: `half_m` ∈ 0..=20
+        // keeps levels within 1..=32 and `d` ∈ 1..=4 within 1..=64.
+        3 => ProtocolSpec::Bef {
+            levels: 1 + half_m as u32,
+        },
+        4 => ProtocolSpec::Degssu {
+            levels: 1 + half_m as u32,
+            phase: d,
+        },
         _ => ProtocolSpec::Voter,
     }
 }
@@ -123,7 +132,7 @@ proptest! {
     /// parse(canonical(s)) == s for arbitrary scenarios.
     #[test]
     fn parse_print_parse_is_identity(
-        p in (0usize..4, 0u64..=20, 1u32..=4),
+        p in (0usize..6, 0u64..=20, 1u32..=4),
         inst in (1u64..500, 1u64..500),
         e_choice in 0usize..6,
         sched in (0usize..6, any::<u64>(), any::<u64>()),
@@ -144,7 +153,7 @@ proptest! {
     /// and the same canonical hash as the compact canonical form.
     #[test]
     fn pretty_form_is_equivalent(
-        p in (0usize..4, 0u64..=20, 1u32..=4),
+        p in (0usize..6, 0u64..=20, 1u32..=4),
         inst in (1u64..500, 1u64..500),
         e_choice in 0usize..6,
         sched in (0usize..6, any::<u64>(), any::<u64>()),
@@ -169,11 +178,27 @@ fn unknown_fields_are_rejected() {
 
 #[test]
 fn committed_example_scenarios_parse() {
+    let mut singles = 0;
+    let mut grids = 0;
     for entry in std::fs::read_dir(concat!(env!("CARGO_MANIFEST_DIR"), "/examples/scenarios"))
         .expect("examples/scenarios exists")
     {
         let path = entry.unwrap().path();
         let text = std::fs::read_to_string(&path).unwrap();
+        if path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .is_some_and(|n| n.ends_with(".grid.json"))
+        {
+            // Grid files bundle many scenarios; `ScenarioGrid::parse`
+            // validates every embedded one, including the non-uniform
+            // scheduler ⇒ agent-engine constraint per cell.
+            let grid = avc::store::scenario_grid::ScenarioGrid::parse(&text)
+                .unwrap_or_else(|e| panic!("{} does not parse: {e}", path.display()));
+            assert!(!grid.cells.is_empty(), "{}", path.display());
+            grids += 1;
+            continue;
+        }
         let scenario = Scenario::parse(&text)
             .unwrap_or_else(|e| panic!("{} does not parse: {e}", path.display()));
         // Every committed example must be runnable: a non-uniform scheduler
@@ -181,5 +206,7 @@ fn committed_example_scenarios_parse() {
         if scenario.scheduler != SchedulerSpec::Uniform {
             assert_eq!(scenario.engine, EngineKind::Agent, "{}", path.display());
         }
+        singles += 1;
     }
+    assert!(singles > 0 && grids > 0, "{singles} singles, {grids} grids");
 }
